@@ -1,0 +1,28 @@
+// Command aitf-bench regenerates every experiment table of the paper's
+// evaluation (see DESIGN.md §4 and EXPERIMENTS.md). With no arguments
+// it runs everything; pass experiment IDs (e.g. "E2 E8") to select.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aitf/internal/experiments"
+)
+
+func main() {
+	drivers, ids := experiments.All()
+	want := os.Args[1:]
+	if len(want) == 0 {
+		want = ids
+	}
+	for _, id := range want {
+		d, ok := drivers[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "aitf-bench: unknown experiment %q (have %v)\n", id, ids)
+			os.Exit(2)
+		}
+		res := d()
+		res.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,118 @@
+// Command aitf-sim runs named AITF attack scenarios on the
+// deterministic simulator and prints the protocol timeline plus a
+// summary of what each node did.
+//
+// Usage:
+//
+//	aitf-sim -scenario fig1 [-duration 10s] [-rate 1250000]
+//	aitf-sim -scenario escalation -noncoop 2
+//	aitf-sim -scenario worstcase
+//	aitf-sim -scenario onoff -shadow victim-driven
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"aitf"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "fig1", "fig1 | escalation | worstcase | onoff")
+		duration = flag.Duration("duration", 10*time.Second, "virtual time to simulate")
+		rate     = flag.Float64("rate", 1.25e6, "attack bandwidth in bytes/second")
+		depth    = flag.Int("depth", 3, "border routers per side")
+		nonCoop  = flag.Int("noncoop", 1, "non-cooperative attacker-side gateways (escalation scenario)")
+		shadow   = flag.String("shadow", "victim-driven", "victim-driven | gateway-auto | shadow-off")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	opt := aitf.DefaultOptions()
+	opt.Seed = *seed
+	switch *shadow {
+	case "victim-driven":
+		opt.ShadowMode = aitf.VictimDriven
+	case "gateway-auto":
+		opt.ShadowMode = aitf.GatewayAuto
+	case "shadow-off":
+		opt.ShadowMode = aitf.ShadowOff
+	default:
+		log.Fatalf("aitf-sim: unknown shadow mode %q", *shadow)
+	}
+
+	chainOpt := aitf.ChainOptions{Options: opt, Depth: *depth}
+	var pulse bool
+	switch *scenario {
+	case "fig1":
+		chainOpt.AttackerCompliant = true
+	case "escalation":
+		chainOpt.NonCooperative = map[int]bool{}
+		for i := 0; i < *nonCoop && i < *depth; i++ {
+			chainOpt.NonCooperative[i] = true
+		}
+	case "worstcase":
+		chainOpt.NonCooperative = map[int]bool{}
+		for i := 0; i < *depth; i++ {
+			chainOpt.NonCooperative[i] = true
+		}
+	case "onoff":
+		chainOpt.NonCooperative = map[int]bool{0: true}
+		pulse = true
+	default:
+		log.Fatalf("aitf-sim: unknown scenario %q", *scenario)
+	}
+
+	dep := aitf.DeployChain(chainOpt)
+	fl := dep.Flood(dep.Attacker, dep.Victim, *rate)
+	if pulse {
+		fl.On = 300 * time.Millisecond
+		fl.Off = time.Second
+	}
+	fl.Launch()
+	dep.Run(*duration)
+
+	fmt.Printf("scenario %s: depth %d, %v attack for %v (virtual)\n\n",
+		*scenario, *depth, fmtBps(*rate), *duration)
+	fmt.Println("== protocol timeline ==")
+	fmt.Print(dep.Log)
+
+	fmt.Println("\n== summary ==")
+	horizon := dep.Now()
+	eff := dep.Victim.Meter.BandwidthOver(horizon)
+	fmt.Printf("victim received   %d bytes (effective bandwidth %s, reduction factor %.2e)\n",
+		dep.Victim.Meter.Bytes, fmtBps(eff), eff/(*rate))
+	fmt.Printf("escalation rounds %d\n", 1+dep.Log.Count(aitf.EvEscalated))
+	fmt.Printf("disconnections    %d\n", dep.Log.Count(aitf.EvDisconnected))
+	for i, g := range dep.VictimGWs {
+		st := g.Stats()
+		fmt.Printf("v_gw%d: reqs=%d policed=%d invalid=%d filters(peak)=%d drops=%d\n",
+			i+1, st.ReqReceived, st.ReqPoliced, st.ReqInvalid,
+			g.Filters().Stats().PeakOccupancy, st.FilterDrops)
+	}
+	for i, g := range dep.AttackGWs {
+		st := g.Stats()
+		fmt.Printf("a_gw%d: handshakes=%d/%d stop-orders=%d filters(peak)=%d drops=%d\n",
+			i+1, st.HandshakesOK, st.HandshakesStarted, st.StopOrders,
+			g.Filters().Stats().PeakOccupancy, st.FilterDrops)
+	}
+	if fl.Suppressed > 0 {
+		fmt.Printf("attacker complied: %d sends suppressed\n", fl.Suppressed)
+	}
+	os.Exit(0)
+}
+
+func fmtBps(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f MB/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2f KB/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", v)
+	}
+}

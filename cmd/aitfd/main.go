@@ -1,0 +1,98 @@
+// Command aitfd runs one AITF node (border router or end-host) over
+// UDP, speaking the AITF wire format. A small JSON file describes the
+// node, its neighbors, and its filtering contracts; a set of aitfd
+// processes on one machine (or several) forms a live AITF deployment.
+//
+// Usage:
+//
+//	aitfd -config node.json
+//
+// Configuration example (a victim's gateway):
+//
+//	{
+//	  "role":   "gateway",
+//	  "addr":   "10.0.0.1",
+//	  "name":   "v_gw",
+//	  "listen": "127.0.0.1:7001",
+//	  "book":   {"10.0.0.2": "127.0.0.1:7002", "10.9.0.1": "127.0.0.1:7003"},
+//	  "routes": {"10.0.0.2": "10.0.0.2", "10.9.0.1": "10.9.0.1", "10.9.0.2": "10.9.0.1"},
+//	  "gateway": {
+//	    "clients": ["10.0.0.2"],
+//	    "secret":  "vgw-secret",
+//	    "t_ms":    60000,
+//	    "ttmp_ms": 600
+//	  }
+//	}
+//
+// A host node instead carries a "host" object:
+//
+//	"host": {"gateway": "10.0.0.1", "detect_bps": 20000, "compliant": true}
+//
+// See internal/wire.FileConfig for the full schema.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aitf/internal/wire"
+)
+
+func main() {
+	log.SetFlags(log.Lmicroseconds)
+	cfgPath := flag.String("config", "", "path to the node's JSON configuration")
+	flag.Parse()
+	if *cfgPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*cfgPath); err != nil {
+		log.Fatalf("aitfd: %v", err)
+	}
+}
+
+func run(cfgPath string) error {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := wire.ParseFileConfig(raw)
+	if err != nil {
+		return err
+	}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+
+	switch cfg.Role {
+	case "gateway":
+		gcfg, err := cfg.GatewayConfig(log.Printf)
+		if err != nil {
+			return err
+		}
+		g, err := wire.NewGateway(gcfg)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		g.Run()
+		log.Printf("[%s] gateway %s listening on %v", cfg.Name, cfg.Addr, g.Node().UDPAddr())
+	case "host":
+		hcfg, err := cfg.HostConfig(log.Printf)
+		if err != nil {
+			return err
+		}
+		h, err := wire.NewHost(hcfg)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		h.Run()
+		log.Printf("[%s] host %s listening on %v", cfg.Name, cfg.Addr, h.Node().UDPAddr())
+	}
+	<-done
+	return nil
+}

@@ -1,0 +1,241 @@
+package aitf
+
+import (
+	"aitf/internal/contract"
+	"aitf/internal/core"
+	"aitf/internal/flow"
+	"aitf/internal/topology"
+)
+
+// ChainDeployment is a running Figure-1-style chain: a victim and an
+// attacker, each behind `depth` border routers.
+type ChainDeployment struct {
+	*Deployment
+	IDs      topology.ChainNodes
+	Victim   *Host
+	Attacker *Host
+	// VictimGWs[0] is the victim's gateway; higher indexes sit closer
+	// to the core. AttackGWs mirrors this on the attacker side.
+	VictimGWs []*Gateway
+	AttackGWs []*Gateway
+}
+
+// ChainOptions extends Options with chain-specific knobs.
+type ChainOptions struct {
+	Options
+	// Depth is the number of border routers on each side (Figure 1 has
+	// three).
+	Depth int
+	// NonCooperative marks attacker-side gateways (by index, 0 =
+	// closest to the attacker) that ignore filtering requests.
+	NonCooperative map[int]bool
+	// AttackerCompliant makes the attacking host obey stop orders.
+	AttackerCompliant bool
+}
+
+// DeployChain builds and wires a chain of the given depth.
+func DeployChain(opt ChainOptions) *ChainDeployment {
+	if opt.Depth <= 0 {
+		opt.Depth = 3
+	}
+	topo, ids := topology.Chain(opt.Depth, opt.Params)
+	d := newDeployment(opt.Options, topo)
+	c := &ChainDeployment{Deployment: d, IDs: ids}
+
+	addrOf := d.addrOf
+	client := opt.ClientContract
+	peer := opt.PeerContract
+
+	// Victim-side gateways: v_gw1 serves the victim; each serves the
+	// gateway below as a client and escalates to the one above.
+	for i := 0; i < opt.Depth; i++ {
+		cfg := opt.gatewayConfig()
+		cfg.Clients = map[flow.Addr]contract.Contract{}
+		cfg.Peers = map[flow.Addr]contract.Contract{}
+		if i == 0 {
+			cfg.Clients[addrOf(ids.Victim)] = client
+			if opt.IngressFiltering {
+				cfg.IngressValidSrc = map[flow.Addr][]flow.Addr{
+					addrOf(ids.Victim): {addrOf(ids.Victim)},
+				}
+			}
+		} else {
+			cfg.Clients[addrOf(ids.VictimGW[i-1])] = peer
+		}
+		if i+1 < opt.Depth {
+			cfg.Provider = addrOf(ids.VictimGW[i+1])
+		} else {
+			cfg.Peers[addrOf(ids.AttackGW[opt.Depth-1])] = peer
+		}
+		c.VictimGWs = append(c.VictimGWs, d.addGateway(ids.VictimGW[i], cfg))
+	}
+
+	// Attacker-side gateways mirror the victim side.
+	for i := 0; i < opt.Depth; i++ {
+		cfg := opt.gatewayConfig()
+		cfg.Cooperative = !opt.NonCooperative[i]
+		cfg.Clients = map[flow.Addr]contract.Contract{}
+		cfg.Peers = map[flow.Addr]contract.Contract{}
+		if i == 0 {
+			cfg.Clients[addrOf(ids.Attacker)] = client
+			if opt.IngressFiltering {
+				cfg.IngressValidSrc = map[flow.Addr][]flow.Addr{
+					addrOf(ids.Attacker): {addrOf(ids.Attacker)},
+				}
+			}
+		} else {
+			cfg.Clients[addrOf(ids.AttackGW[i-1])] = peer
+		}
+		if i+1 < opt.Depth {
+			cfg.Provider = addrOf(ids.AttackGW[i+1])
+		} else {
+			cfg.Peers[addrOf(ids.VictimGW[opt.Depth-1])] = peer
+		}
+		c.AttackGWs = append(c.AttackGWs, d.addGateway(ids.AttackGW[i], cfg))
+	}
+
+	c.Victim = d.addHost(ids.Victim, d.hostConfig(addrOf(ids.VictimGW[0]), true))
+	acfg := d.hostConfig(addrOf(ids.AttackGW[0]), false)
+	acfg.Compliant = opt.AttackerCompliant
+	c.Attacker = d.addHost(ids.Attacker, acfg)
+	return c
+}
+
+// Figure1Deployment is the canonical 8-node deployment of the paper's
+// Figure 1 (a depth-3 chain with the paper's node names).
+type Figure1Deployment = ChainDeployment
+
+// DeployFigure1 deploys the paper's Figure 1 example: G_host behind
+// G_gw1..G_gw3 and B_host behind B_gw1..B_gw3. All gateways cooperate;
+// use DeployChain with NonCooperative for the escalation scenarios.
+func DeployFigure1(opt Options) *Figure1Deployment {
+	return DeployChain(ChainOptions{Options: opt, Depth: 3})
+}
+
+// ManyToOneDeployment is a running many-attackers/one-victim network.
+type ManyToOneDeployment struct {
+	*Deployment
+	IDs       topology.ManyToOneNodes
+	Victim    *Host
+	VictimGW  *Gateway
+	Attackers []*Host
+	AttackGWs []*Gateway
+	Legit     []*Host
+	LegitGWs  []*Gateway
+}
+
+// ManyToOneOptions extends Options for the many-to-one topology.
+type ManyToOneOptions struct {
+	Options
+	// Attackers and Legit count the hosts of each kind, each behind
+	// its own gateway.
+	Attackers, Legit int
+	// AttackersCompliant makes attacking hosts obey stop orders.
+	AttackersCompliant bool
+}
+
+// DeployManyToOne builds the resource-experiment topology: every host
+// behind its own AITF gateway, all joined by a non-AITF core router,
+// with the victim's access link as the bottleneck tail circuit.
+func DeployManyToOne(opt ManyToOneOptions) *ManyToOneDeployment {
+	topo, ids := topology.ManyToOne(opt.Attackers, opt.Legit, opt.Params)
+	d := newDeployment(opt.Options, topo)
+	m := &ManyToOneDeployment{Deployment: d, IDs: ids}
+	addrOf := d.addrOf
+
+	vcfg := opt.gatewayConfig()
+	vcfg.Clients = map[flow.Addr]contract.Contract{addrOf(ids.Victim): opt.ClientContract}
+	m.VictimGW = d.addGateway(ids.VictimGW, vcfg)
+	m.Victim = d.addHost(ids.Victim, d.hostConfig(addrOf(ids.VictimGW), true))
+
+	site := func(hostID, gwID topology.NodeID, compliant, detect bool) (*Host, *Gateway) {
+		gcfg := opt.gatewayConfig()
+		gcfg.Clients = map[flow.Addr]contract.Contract{addrOf(hostID): opt.ClientContract}
+		if opt.IngressFiltering {
+			gcfg.IngressValidSrc = map[flow.Addr][]flow.Addr{
+				addrOf(hostID): {addrOf(hostID)},
+			}
+		}
+		g := d.addGateway(gwID, gcfg)
+		hcfg := d.hostConfig(addrOf(gwID), detect)
+		hcfg.Compliant = compliant
+		h := d.addHost(hostID, hcfg)
+		return h, g
+	}
+	for i := range ids.Attackers {
+		h, g := site(ids.Attackers[i], ids.AttackGWs[i], opt.AttackersCompliant, false)
+		m.Attackers = append(m.Attackers, h)
+		m.AttackGWs = append(m.AttackGWs, g)
+	}
+	for i := range ids.Legit {
+		h, g := site(ids.Legit[i], ids.LegitGWs[i], true, false)
+		m.Legit = append(m.Legit, h)
+		m.LegitGWs = append(m.LegitGWs, g)
+	}
+	return m
+}
+
+// SharedGatewayDeployment hosts many attackers behind one gateway.
+type SharedGatewayDeployment struct {
+	*Deployment
+	IDs       topology.SharedGatewayNodes
+	Victims   []*Host
+	VictimGW  *Gateway
+	AttackGW  *Gateway
+	Attackers []*Host
+}
+
+// Victim returns the first victim host.
+func (s *SharedGatewayDeployment) Victim() *Host { return s.Victims[0] }
+
+// SharedGatewayOptions extends Options for the shared-gateway topology.
+type SharedGatewayOptions struct {
+	Options
+	Attackers          int
+	Victims            int
+	AttackersCompliant bool
+}
+
+// DeploySharedGateway builds the §IV-C topology: one provider gateway
+// responsible for a whole network of (mis)behaving clients, peered
+// directly with the victims' gateway.
+func DeploySharedGateway(opt SharedGatewayOptions) *SharedGatewayDeployment {
+	if opt.Attackers <= 0 {
+		opt.Attackers = 1
+	}
+	if opt.Victims <= 0 {
+		opt.Victims = 1
+	}
+	topo, ids := topology.SharedGateway(opt.Attackers, opt.Victims, opt.Params)
+	d := newDeployment(opt.Options, topo)
+	s := &SharedGatewayDeployment{Deployment: d, IDs: ids}
+	addrOf := d.addrOf
+
+	vcfg := opt.gatewayConfig()
+	vcfg.Clients = map[flow.Addr]contract.Contract{}
+	for _, hid := range ids.Victims {
+		vcfg.Clients[addrOf(hid)] = opt.ClientContract
+	}
+	vcfg.Peers = map[flow.Addr]contract.Contract{addrOf(ids.AttackGW): opt.PeerContract}
+	s.VictimGW = d.addGateway(ids.VictimGW, vcfg)
+	for _, hid := range ids.Victims {
+		s.Victims = append(s.Victims, d.addHost(hid, d.hostConfig(addrOf(ids.VictimGW), true)))
+	}
+
+	acfg := opt.gatewayConfig()
+	acfg.Peers = map[flow.Addr]contract.Contract{addrOf(ids.VictimGW): opt.PeerContract}
+	acfg.Clients = map[flow.Addr]contract.Contract{}
+	for _, hid := range ids.Attackers {
+		acfg.Clients[addrOf(hid)] = opt.ClientContract
+	}
+	s.AttackGW = d.addGateway(ids.AttackGW, acfg)
+
+	for _, hid := range ids.Attackers {
+		hcfg := d.hostConfig(addrOf(ids.AttackGW), false)
+		hcfg.Compliant = opt.AttackersCompliant
+		s.Attackers = append(s.Attackers, d.addHost(hid, hcfg))
+	}
+	return s
+}
+
+var _ = core.DefaultGatewayConfig // keep core imported for docs links

@@ -1,0 +1,47 @@
+// Provisioning: the paper's Section IV arithmetic as an ISP would use
+// it — how many wire-speed filters and DRAM shadow entries a filtering
+// contract commits you to, and what protection the client buys.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"aitf"
+)
+
+func main() {
+	tm := aitf.DefaultTimers()
+	fmt.Printf("protocol timers: T=%v (filter lifetime), Ttmp=%v (temporary filter)\n\n", tm.T, tm.Ttmp)
+
+	fmt.Println("per-client provisioning for candidate contracts (paper §IV):")
+	fmt.Printf("%-28s %10s %12s %12s %10s\n",
+		"contract", "Nv flows", "nv filters", "mv shadows", "na filters")
+	for _, c := range []struct {
+		name string
+		ct   aitf.Contract
+	}{
+		{"end-host (R1=100, R2=1)", aitf.DefaultEndHostContract()},
+		{"small client (R1=10, R2=1)", aitf.Contract{R1: 10, R1Burst: 5, R2: 1, R2Burst: 5}},
+		{"big peer (R1=1000, R2=100)", aitf.Contract{R1: 1000, R1Burst: 50, R2: 100, R2Burst: 20}},
+	} {
+		p := aitf.Provision(c.ct, tm)
+		fmt.Printf("%-28s %10d %12d %12d %10d\n", c.name,
+			p.ProtectedFlows, p.VictimGatewayFilters, p.VictimGatewayShadows,
+			p.AttackerGatewayFilters)
+	}
+
+	fmt.Println("\neffective bandwidth of one undesired flow after AITF engages")
+	fmt.Println("(r = n(Td+Tr)/T, fraction of the raw attack the victim still sees):")
+	fmt.Printf("%-24s %12s %12s %12s\n", "", "T=30s", "T=60s", "T=120s")
+	td, tr := 50*time.Millisecond, 50*time.Millisecond
+	for n := 1; n <= 4; n++ {
+		fmt.Printf("n=%d non-cooperating     ", n)
+		for _, T := range []time.Duration{30 * time.Second, time.Minute, 2 * time.Minute} {
+			fmt.Printf(" %12.2e", aitf.BandwidthReduction(n, td, tr, T))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper's worked example: R1=100/s and T=1min protect a client against")
+	fmt.Println("6000 simultaneous undesired flows with only 60 wire-speed filters.")
+}

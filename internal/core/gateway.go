@@ -1,0 +1,822 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aitf/internal/contract"
+	"aitf/internal/filter"
+	"aitf/internal/flow"
+	"aitf/internal/netsim"
+	"aitf/internal/packet"
+	"aitf/internal/sim"
+	"aitf/internal/traceback"
+)
+
+// ShadowMode selects how a victim's gateway reacts when an "on-off"
+// flow reappears while its shadow entry is live (§II-B footnote 2/3).
+type ShadowMode uint8
+
+const (
+	// VictimDriven is the paper's model: the reappearing flow reaches
+	// the victim, which re-detects it (by matching the packet header to
+	// its own log — footnote 8) and re-sends a filtering request; the
+	// per-round leak is ≈ (Td_re + Tr)·B.
+	VictimDriven ShadowMode = iota
+	// GatewayAuto re-installs the temporary filter the moment the
+	// gateway's data path sees a shadow-logged flow reappear; the
+	// per-round leak shrinks to the packets already in flight. Ablated
+	// against VictimDriven in experiment E6.
+	GatewayAuto
+	// ShadowOff disables the DRAM cache entirely (ablation): every
+	// reappearance is a brand-new attack and escalation never engages.
+	ShadowOff
+)
+
+func (m ShadowMode) String() string {
+	switch m {
+	case VictimDriven:
+		return "victim-driven"
+	case GatewayAuto:
+		return "gateway-auto"
+	case ShadowOff:
+		return "shadow-off"
+	default:
+		return "mode?"
+	}
+}
+
+// GatewayConfig configures one AITF border router.
+type GatewayConfig struct {
+	// Timers are the protocol time constants (T, Ttmp, Grace, Penalty).
+	Timers contract.Timers
+	// FilterCapacity bounds the wire-speed filter table.
+	FilterCapacity int
+	// ShadowCapacity bounds the DRAM request log.
+	ShadowCapacity int
+	// Evict selects the filter table's full-table policy.
+	Evict filter.EvictPolicy
+	// ShadowMode selects on-off reappearance handling.
+	ShadowMode ShadowMode
+	// Cooperative is false for a gateway that ignores filtering
+	// requests addressed to it as the attacker's gateway (the
+	// non-cooperating node of §IV-A.1).
+	Cooperative bool
+	// Provider is the address of this gateway's own AITF gateway, used
+	// for escalation; zero means this is a top-level border router.
+	Provider flow.Addr
+	// Secret keys the route-record authenticator.
+	Secret []byte
+	// HandshakeTimeout bounds the 3-way handshake; a verification query
+	// unanswered for this long rejects the request.
+	HandshakeTimeout time.Duration
+	// Clients maps each directly attached client (end-host or
+	// downstream gateway) to its filtering contract.
+	Clients map[flow.Addr]contract.Contract
+	// Peers maps peering border routers to their contracts.
+	Peers map[flow.Addr]contract.Contract
+	// Default is the contract applied to filtering requests arriving
+	// through neighbors with no explicit contract (e.g. via a non-AITF
+	// core); a zero rate drops all such requests.
+	Default contract.Contract
+	// IngressValidSrc optionally lists, per client neighbor address,
+	// the source addresses allowed on packets entering through that
+	// client (ingress filtering, §III-A). Empty slice or missing key
+	// means no check for that neighbor.
+	IngressValidSrc map[flow.Addr][]flow.Addr
+}
+
+// DefaultGatewayConfig returns a cooperative gateway provisioned per
+// the paper's worked examples.
+func DefaultGatewayConfig() GatewayConfig {
+	tm := contract.DefaultTimers()
+	eh := contract.DefaultEndHost()
+	return GatewayConfig{
+		Timers:           tm,
+		FilterCapacity:   contract.VictimGatewayFilters(eh.R1, tm.Ttmp) + contract.AttackerGatewayFilters(eh.R2, tm.T),
+		ShadowCapacity:   contract.VictimGatewayShadows(eh.R1, tm.T),
+		Evict:            filter.RejectNew,
+		ShadowMode:       VictimDriven,
+		Cooperative:      true,
+		HandshakeTimeout: time.Second,
+		Clients:          map[flow.Addr]contract.Contract{},
+		Peers:            map[flow.Addr]contract.Contract{},
+		Default:          contract.DefaultPeer(),
+	}
+}
+
+// GatewayStats aggregates protocol counters for experiments.
+type GatewayStats struct {
+	DataForwarded   uint64
+	FilterDrops     uint64
+	DisconnectDrops uint64
+	SpoofDrops      uint64
+
+	ReqReceived  uint64
+	ReqPoliced   uint64
+	ReqInvalid   uint64
+	ReqAccepted  uint64
+	MsgProcessed uint64 // control messages handled: the CPU-cost proxy
+
+	HandshakesStarted uint64
+	HandshakesOK      uint64
+	HandshakesFailed  uint64
+
+	StopOrders     uint64
+	Escalations    uint64
+	Disconnects    uint64
+	LongBlocks     uint64
+	ShadowReblocks uint64
+}
+
+// vwatch tracks one undesired flow for which this gateway acts (or
+// acted) as a victim-side gateway.
+type vwatch struct {
+	label       flow.Label
+	victim      flow.Addr // requester this round's handshake is answered for
+	evidence    traceback.AttackPath
+	ingress     flow.Addr // neighbor the flow last arrived through
+	round       int
+	lastSeen    sim.Time
+	haveSeen    bool
+	tempUntil   sim.Time
+	installedAt sim.Time
+	check       *sim.Event
+}
+
+// pending is an attacker-gateway handshake awaiting its reply.
+type pending struct {
+	req   *packet.FilterReq
+	nonce uint64
+	timer *sim.Event
+}
+
+// compliance tracks a stop order sent to a client, pending verification
+// that the client actually stopped.
+type compliance struct {
+	label    flow.Label
+	client   flow.Addr
+	deadline sim.Time
+	lastSeen sim.Time
+	haveSeen bool
+	check    *sim.Event
+}
+
+// Gateway is an AITF border router: it records routes on transit data
+// packets, polices and serves filtering requests, runs handshakes, and
+// escalates or disconnects when the attacker side does not cooperate.
+type Gateway struct {
+	cfg GatewayConfig
+
+	rec     *traceback.Recorder
+	filters *filter.Table
+	shadows *filter.ShadowCache
+
+	inPolicers  map[flow.Addr]*filter.Policer // keyed by ingress neighbor
+	outPolicers map[flow.Addr]*filter.Policer // keyed by client (R2)
+
+	watches    map[flow.Label]*vwatch
+	pendings   map[flow.Label]*pending
+	compliance map[flow.Label]*compliance
+
+	disconnected map[flow.Addr]sim.Time // neighbor -> blocked until
+
+	stats  GatewayStats
+	tracer Tracer
+	node   *netsim.Node
+}
+
+// NewGateway builds a gateway handler; call Attach (or Node.SetHandler
+// via Attach) to bind it to a netsim node.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = time.Second
+	}
+	return &Gateway{
+		cfg:          cfg,
+		filters:      filter.NewTable(cfg.FilterCapacity, cfg.Evict),
+		shadows:      filter.NewShadowCache(cfg.ShadowCapacity),
+		inPolicers:   make(map[flow.Addr]*filter.Policer),
+		outPolicers:  make(map[flow.Addr]*filter.Policer),
+		watches:      make(map[flow.Label]*vwatch),
+		pendings:     make(map[flow.Label]*pending),
+		compliance:   make(map[flow.Label]*compliance),
+		disconnected: make(map[flow.Addr]sim.Time),
+	}
+}
+
+// Attach binds the gateway to a node and installs it as the node's
+// packet handler.
+func (g *Gateway) Attach(n *netsim.Node, tr Tracer) {
+	g.node = n
+	g.tracer = tr
+	g.rec = traceback.NewRecorder(n.Addr(), g.cfg.Secret)
+	n.SetHandler(g)
+}
+
+// Node returns the bound netsim node.
+func (g *Gateway) Node() *netsim.Node { return g.node }
+
+// Filters exposes the wire-speed filter table (for experiments).
+func (g *Gateway) Filters() *filter.Table { return g.filters }
+
+// Shadows exposes the DRAM shadow cache (for experiments).
+func (g *Gateway) Shadows() *filter.ShadowCache { return g.shadows }
+
+// Stats returns a copy of the gateway counters.
+func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+// Config returns the gateway's configuration.
+func (g *Gateway) Config() GatewayConfig { return g.cfg }
+
+// Disconnected reports whether traffic from neighbor is currently
+// being refused.
+func (g *Gateway) Disconnected(neighbor flow.Addr) bool {
+	return g.disconnected[neighbor] > g.now()
+}
+
+func (g *Gateway) now() sim.Time { return g.node.Engine().Now() }
+
+func (g *Gateway) trace(k EventKind, f flow.Label, detail string) {
+	if g.tracer != nil {
+		g.tracer(Event{T: g.now(), Node: g.node.Name(), Kind: k, Flow: f, Detail: detail})
+	}
+}
+
+// rrTuple masks a packet tuple down to the (src, dst) pair that
+// route-record nonces bind, matching the pair-granularity of AITF
+// filtering requests.
+func rrTuple(src, dst flow.Addr) flow.Tuple {
+	return flow.Tuple{Src: src, Dst: dst}
+}
+
+// contractFor returns the contract governing requests arriving through
+// the given neighbor.
+func (g *Gateway) contractFor(neighbor flow.Addr) contract.Contract {
+	if c, ok := g.cfg.Clients[neighbor]; ok {
+		return c
+	}
+	if c, ok := g.cfg.Peers[neighbor]; ok {
+		return c
+	}
+	return g.cfg.Default
+}
+
+func (g *Gateway) inPolicer(neighbor flow.Addr) *filter.Policer {
+	p, ok := g.inPolicers[neighbor]
+	if !ok {
+		c := g.contractFor(neighbor)
+		p = filter.NewPolicer(c.R1, c.R1Burst)
+		g.inPolicers[neighbor] = p
+	}
+	return p
+}
+
+func (g *Gateway) outPolicer(client flow.Addr) *filter.Policer {
+	p, ok := g.outPolicers[client]
+	if !ok {
+		c := g.contractFor(client)
+		p = filter.NewPolicer(c.R2, c.R2Burst)
+		g.outPolicers[client] = p
+	}
+	return p
+}
+
+// Receive implements netsim.Handler.
+func (g *Gateway) Receive(n *netsim.Node, p *packet.Packet, from *netsim.Iface) {
+	now := g.now()
+	if from != nil {
+		peer := from.Neighbor().Addr()
+		if g.disconnected[peer] > now {
+			g.stats.DisconnectDrops++
+			return
+		}
+	}
+	if p.IsControl() {
+		if p.Dst == n.Addr() {
+			g.handleControl(p, from)
+			return
+		}
+		n.Forward(p)
+		return
+	}
+	g.handleData(p, from)
+}
+
+func (g *Gateway) handleData(p *packet.Packet, from *netsim.Iface) {
+	now := g.now()
+	tup := p.Tuple()
+
+	// Ingress filtering (§III-A): drop spoofed sources from clients
+	// whose legitimate addresses are known.
+	if from != nil {
+		if valid, ok := g.cfg.IngressValidSrc[from.Neighbor().Addr()]; ok && len(valid) > 0 {
+			legit := false
+			for _, a := range valid {
+				if p.Src == a {
+					legit = true
+					break
+				}
+			}
+			if !legit {
+				g.stats.SpoofDrops++
+				return
+			}
+		}
+	}
+
+	key := flow.PairLabel(tup.Src, tup.Dst).Key()
+
+	// Track liveness for takeover and compliance decisions before any
+	// filtering: a blocked flow must still prove its sender is active.
+	if w, ok := g.watches[key]; ok {
+		w.lastSeen = now
+		w.haveSeen = true
+		if from != nil {
+			w.ingress = from.Neighbor().Addr()
+		}
+	}
+	if c, ok := g.compliance[key]; ok {
+		if from != nil && from.Neighbor().Addr() == c.client {
+			c.lastSeen = now
+			c.haveSeen = true
+		}
+	}
+
+	if g.filters.Match(tup, int(p.PayloadLen), now) {
+		g.stats.FilterDrops++
+		return
+	}
+
+	// Shadow reappearance handling (§II-B): the flow was requested
+	// blocked within the last T but no filter is currently installed.
+	if g.cfg.ShadowMode != ShadowOff {
+		if se, ok := g.shadows.Lookup(tup, now); ok {
+			g.shadows.Hit(se)
+			g.trace(EvShadowHit, se.Label, fmt.Sprintf("reappearance %d", se.Reappearances))
+			if g.cfg.ShadowMode == GatewayAuto {
+				if w, ok := g.watches[se.Label.Key()]; ok {
+					g.stats.ShadowReblocks++
+					g.reblockAndEscalate(w)
+					return // the triggering packet is dropped too
+				}
+			}
+		}
+	}
+
+	if p.Dst == g.node.Addr() {
+		return // traffic addressed to the router itself is absorbed
+	}
+
+	// AITF border routers record the route on transit data packets.
+	if len(p.Path) < packet.MaxPathLen {
+		p.RecordRoute(g.node.Addr(), g.rec.Nonce(rrTuple(p.Src, p.Dst)))
+	}
+	if g.node.Forward(p) {
+		g.stats.DataForwarded++
+	}
+}
+
+func (g *Gateway) handleControl(p *packet.Packet, from *netsim.Iface) {
+	g.stats.MsgProcessed++
+	switch m := p.Msg.(type) {
+	case *packet.FilterReq:
+		g.handleFilterReq(p, m, from)
+	case *packet.VerifyQuery:
+		g.handleVerifyQuery(p, m)
+	case *packet.VerifyReply:
+		g.handleVerifyReply(m)
+	case *packet.Disconnect:
+		// Informational: our provider cut somebody off.
+	}
+}
+
+// ── Victim-side behaviour ─────────────────────────────────────────────
+
+func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from *netsim.Iface) {
+	now := g.now()
+	g.stats.ReqReceived++
+	g.trace(EvRequestReceived, m.Flow, fmt.Sprintf("stage %v round %d from %v", m.Stage, m.Round, p.Src))
+
+	// Contract policing per ingress neighbor (§II-B).
+	if from == nil || !g.inPolicer(from.Neighbor().Addr()).Allow(now) {
+		g.stats.ReqPoliced++
+		g.trace(EvRequestPoliced, m.Flow, "over contract rate")
+		return
+	}
+
+	switch m.Stage {
+	case packet.StageToVictimGW:
+		g.handleVictimSideRequest(p, m, from)
+	case packet.StageToAttackerGW:
+		g.handleAttackerSideRequest(p, m, from)
+	case packet.StageToAttacker:
+		// A provider is ordering this gateway (as a client network) to
+		// stop a flow: cooperate by filtering it ourselves and pushing
+		// the order further toward the source (§II-D).
+		g.handleStopOrder(p, m)
+	}
+}
+
+// handleVictimSideRequest serves a filtering request from our own
+// client: the victim itself, or a downstream gateway escalating.
+func (g *Gateway) handleVictimSideRequest(p *packet.Packet, m *packet.FilterReq, from *netsim.Iface) {
+	now := g.now()
+	label := m.Flow.Canonical()
+
+	// Trivial verification (§II-E): the requester must be the node we
+	// route the flow's destination through — i.e. the flow's target is
+	// the requester or sits behind it.
+	hop := g.node.NextHop(label.Dst)
+	if hop == nil || from == nil || hop.Neighbor() != from.Neighbor() {
+		g.stats.ReqInvalid++
+		g.trace(EvRequestInvalid, label, "requester not on path to flow destination")
+		return
+	}
+	if _, isClient := g.cfg.Clients[from.Neighbor().Addr()]; !isClient {
+		g.stats.ReqInvalid++
+		g.trace(EvRequestInvalid, label, "requester is not a client")
+		return
+	}
+
+	if w, ok := g.watches[label.Key()]; ok {
+		if w.tempUntil > now {
+			// Duplicate while the temporary filter is still up.
+			return
+		}
+		se, live := g.shadows.Get(label, now)
+		if g.cfg.ShadowMode == ShadowOff || !live {
+			// No shadow memory (disabled, or the T window lapsed):
+			// the request is brand new, not a caught reappearance.
+			delete(g.watches, label.Key())
+		} else {
+			// Reappearance reported by the victim (VictimDriven mode).
+			g.shadows.Hit(se)
+			g.stats.ShadowReblocks++
+			g.trace(EvShadowHit, label, "victim re-request")
+			if len(m.Evidence) > 0 {
+				w.evidence = traceback.AttackPath(m.Evidence)
+			}
+			g.reblockAndEscalate(w)
+			return
+		}
+	}
+
+	// The evidence must carry this gateway's own route-record stamp: a
+	// genuine attack packet that reached our client necessarily crossed
+	// (and was stamped by) us. This kills fabricated-evidence request
+	// floods before they consume any filter.
+	evidence := traceback.AttackPath(m.Evidence)
+	if !g.rec.Verify(evidence, rrTuple(label.Src, label.Dst)) {
+		g.stats.ReqInvalid++
+		g.trace(EvRequestInvalid, label, "evidence lacks our route-record stamp")
+		return
+	}
+	g.stats.ReqAccepted++
+
+	w := &vwatch{
+		label:    label,
+		victim:   m.Victim,
+		evidence: evidence,
+		round:    1,
+	}
+	g.watches[label.Key()] = w
+	g.installTemp(w)
+	if g.cfg.ShadowMode != ShadowOff {
+		if g.shadows.Log(label, m.Victim, now, now+sim.Time(g.cfg.Timers.T)) {
+			g.trace(EvShadowLogged, label, "")
+		}
+	}
+	g.sendToAttackerGateway(w)
+	g.scheduleTakeoverCheck(w)
+	g.scheduleWatchGC(w)
+}
+
+// scheduleWatchGC arms the periodic reclamation of a watch once both
+// its filter and its shadow entry have lapsed and the flow is gone.
+func (g *Gateway) scheduleWatchGC(w *vwatch) {
+	g.node.Engine().Schedule(
+		sim.Time(g.cfg.Timers.T)+sim.Time(g.cfg.Timers.Ttmp),
+		func() { g.watchGC(w) })
+}
+
+func (g *Gateway) watchGC(w *vwatch) {
+	now := g.now()
+	if g.watches[w.label.Key()] != w {
+		return
+	}
+	_, live := g.shadows.Get(w.label, now)
+	recentlySeen := w.haveSeen && now-w.lastSeen < sim.Time(g.cfg.Timers.T)
+	if w.tempUntil > now || live || recentlySeen {
+		g.scheduleWatchGC(w)
+		return
+	}
+	delete(g.watches, w.label.Key())
+	g.shadows.ExpireOld(now)
+	g.filters.Expire(now)
+}
+
+// installTemp (re)installs the temporary filter for Ttmp (§II-C i).
+func (g *Gateway) installTemp(w *vwatch) {
+	now := g.now()
+	exp := now + sim.Time(g.cfg.Timers.Ttmp)
+	if err := g.filters.Install(w.label, now, exp); err != nil {
+		g.trace(EvFilterRejected, w.label, err.Error())
+		return
+	}
+	w.tempUntil = exp
+	w.installedAt = now
+	g.trace(EvTempFilterInstalled, w.label, fmt.Sprintf("until %v", exp))
+}
+
+// sendToAttackerGateway propagates the request to the attack-path node
+// this gateway is responsible for (§II-C iii), determined by mirroring
+// the gateway's own position on the recorded path.
+func (g *Gateway) sendToAttackerGateway(w *vwatch) {
+	target, err := g.roundTarget(w)
+	if err != nil {
+		// No attacker-side node left for us; resolve locally.
+		g.resolveExhausted(w)
+		return
+	}
+	req := &packet.FilterReq{
+		Stage:    packet.StageToAttackerGW,
+		Flow:     w.label,
+		Duration: g.cfg.Timers.T,
+		Round:    uint8(min(w.round, 255)),
+		Victim:   w.victim,
+		Evidence: append([]packet.RREntry(nil), w.evidence...),
+	}
+	g.trace(EvRequestSent, w.label, fmt.Sprintf("to attacker-gw %v round %d", target, w.round))
+	g.node.Originate(packet.NewControl(g.node.Addr(), target, req))
+}
+
+// roundTarget computes the attacker-side node this gateway addresses:
+// the mirror of its own position on the recorded path. The victim's
+// gateway (last on the path) targets the attacker's gateway (first);
+// the k-th victim-side router targets the k-th attacker-side router.
+func (g *Gateway) roundTarget(w *vwatch) (flow.Addr, error) {
+	idx := w.evidence.IndexOf(g.node.Addr())
+	if idx < 0 {
+		return 0, traceback.ErrNotOnPath
+	}
+	i := len(w.evidence) - 1 - idx
+	if i >= idx {
+		return 0, traceback.ErrRoundTooHigh
+	}
+	return w.evidence[i].Router, nil
+}
+
+// scheduleTakeoverCheck arms the Ttmp deadline: if the flow is still
+// arriving when the temporary filter is about to lapse, the attacker's
+// gateway did not take over and we escalate (§II-C iii).
+func (g *Gateway) scheduleTakeoverCheck(w *vwatch) {
+	if w.check != nil {
+		w.check.Cancel()
+	}
+	installedAt := w.installedAt
+	w.check = g.node.Engine().Schedule(sim.Time(g.cfg.Timers.Ttmp), func() {
+		g.takeoverCheck(w, installedAt)
+	})
+}
+
+func (g *Gateway) takeoverCheck(w *vwatch, installedAt sim.Time) {
+	if w.installedAt != installedAt {
+		return // superseded by a re-install
+	}
+	quiet := installedAt + sim.Time(g.cfg.Timers.Ttmp) - sim.Time(g.cfg.Timers.Grace)
+	if !w.haveSeen || w.lastSeen <= quiet {
+		// Flow went quiet: the attacker side (apparently) took over.
+		// The temporary filter lapses; the shadow keeps watching.
+		g.trace(EvTakeoverOK, w.label, "flow stopped before Ttmp")
+		return
+	}
+	// Still flowing through us: this round failed.
+	g.reblockAndEscalate(w)
+}
+
+// reblockAndEscalate re-installs the temporary filter and moves the
+// mechanism one round onward: via our provider when we have one,
+// directly to the next attack-path node when we are the top gateway.
+func (g *Gateway) reblockAndEscalate(w *vwatch) {
+	w.round++
+	g.stats.Escalations++
+	g.trace(EvEscalated, w.label, fmt.Sprintf("round %d", w.round))
+	g.installTemp(w)
+	g.scheduleTakeoverCheck(w)
+	// Refresh the shadow for another T from now.
+	if g.cfg.ShadowMode != ShadowOff {
+		now := g.now()
+		g.shadows.Log(w.label, w.victim, now, now+sim.Time(g.cfg.Timers.T))
+	}
+	if g.cfg.Provider != 0 {
+		req := &packet.FilterReq{
+			Stage:    packet.StageToVictimGW,
+			Flow:     w.label,
+			Duration: g.cfg.Timers.T,
+			Round:    uint8(min(w.round, 255)),
+			Victim:   g.node.Addr(), // we now play the victim (§II-B)
+			Evidence: append([]packet.RREntry(nil), w.evidence...),
+		}
+		g.trace(EvRequestSent, w.label, fmt.Sprintf("escalate to provider %v round %d", g.cfg.Provider, w.round))
+		g.node.Originate(packet.NewControl(g.node.Addr(), g.cfg.Provider, req))
+		return
+	}
+	g.resolveExhausted(w)
+}
+
+// resolveExhausted handles the end of the escalation ladder at a
+// top-level gateway: disconnect the peer the flow arrives through if
+// it is an AITF peer (§II-D worst case), otherwise hold a long-lived
+// filter ourselves.
+func (g *Gateway) resolveExhausted(w *vwatch) {
+	now := g.now()
+	if !w.haveSeen {
+		// We have never observed this flow; do not spend a long-lived
+		// filter (or a disconnection) on hearsay.
+		return
+	}
+	if w.ingress != 0 {
+		if _, isPeer := g.cfg.Peers[w.ingress]; isPeer {
+			g.disconnect(w.ingress, w.label)
+			return
+		}
+	}
+	exp := now + sim.Time(g.cfg.Timers.T)
+	if err := g.filters.Install(w.label, now, exp); err != nil {
+		g.trace(EvFilterRejected, w.label, err.Error())
+		return
+	}
+	w.tempUntil = exp
+	w.installedAt = now
+	g.stats.LongBlocks++
+	g.trace(EvLongBlock, w.label, "no cooperative attacker-side gateway; filtering locally for T")
+}
+
+func (g *Gateway) disconnect(neighbor flow.Addr, label flow.Label) {
+	now := g.now()
+	g.disconnected[neighbor] = now + sim.Time(g.cfg.Timers.Penalty)
+	g.stats.Disconnects++
+	g.trace(EvDisconnected, label, fmt.Sprintf("neighbor %v for %v", neighbor, g.cfg.Timers.Penalty))
+	g.node.Originate(packet.NewControl(g.node.Addr(), neighbor, &packet.Disconnect{
+		Client:  neighbor,
+		Flow:    label,
+		Penalty: g.cfg.Timers.Penalty,
+	}))
+}
+
+// ── Attacker-side behaviour ───────────────────────────────────────────
+
+// handleAttackerSideRequest serves a request claiming we are the
+// attacker's gateway: verify with the 3-way handshake, then filter.
+func (g *Gateway) handleAttackerSideRequest(p *packet.Packet, m *packet.FilterReq, from *netsim.Iface) {
+	label := m.Flow.Canonical()
+	if !g.cfg.Cooperative {
+		// The non-cooperating gateway of §IV-A.1: silently ignores.
+		return
+	}
+	// The evidence must prove the flow really crossed this router: our
+	// own route-record stamp with a valid authenticator (DESIGN.md
+	// traceback substitution).
+	if !g.rec.Verify(m.Evidence, rrTuple(label.Src, label.Dst)) {
+		g.stats.ReqInvalid++
+		g.trace(EvRequestInvalid, label, "no valid route-record stamp for this router")
+		return
+	}
+	if prev, ok := g.pendings[label.Key()]; ok {
+		prev.timer.Cancel()
+	}
+	nonce := g.node.Engine().Rand().Uint64()
+	pend := &pending{req: m, nonce: nonce}
+	g.pendings[label.Key()] = pend
+	g.stats.HandshakesStarted++
+	g.trace(EvHandshakeQuery, label, fmt.Sprintf("to victim %v", m.Victim))
+	g.node.Originate(packet.NewControl(g.node.Addr(), m.Victim,
+		&packet.VerifyQuery{Flow: m.Flow, Nonce: nonce}))
+	pend.timer = g.node.Engine().Schedule(sim.Time(g.cfg.HandshakeTimeout), func() {
+		if g.pendings[label.Key()] == pend {
+			delete(g.pendings, label.Key())
+			g.stats.HandshakesFailed++
+			g.trace(EvHandshakeFailed, label, "verification query timed out")
+		}
+	})
+}
+
+// handleVerifyQuery answers handshakes addressed to this gateway when
+// it is itself the (escalating) victim of the flow in question.
+func (g *Gateway) handleVerifyQuery(p *packet.Packet, m *packet.VerifyQuery) {
+	label := m.Flow.Canonical()
+	w, ok := g.watches[label.Key()]
+	if !ok {
+		if _, ok := g.shadows.Get(label, g.now()); !ok {
+			return // we never asked for this flow to be blocked
+		}
+	}
+	_ = w
+	g.trace(EvHandshakeReply, label, fmt.Sprintf("to %v", p.Src))
+	g.node.Originate(packet.NewControl(g.node.Addr(), p.Src,
+		&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce}))
+}
+
+// handleVerifyReply completes the handshake: install the T filter and
+// order the client to stop (§II-C, attacker's gateway).
+func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
+	now := g.now()
+	label := m.Flow.Canonical()
+	pend, ok := g.pendings[label.Key()]
+	if !ok || pend.nonce != m.Nonce {
+		return // stale, unsolicited, or forged reply
+	}
+	pend.timer.Cancel()
+	delete(g.pendings, label.Key())
+	g.stats.HandshakesOK++
+	g.stats.ReqAccepted++
+	g.trace(EvHandshakeOK, label, "")
+
+	exp := now + sim.Time(g.cfg.Timers.T)
+	if err := g.filters.Install(label, now, exp); err != nil {
+		g.trace(EvFilterRejected, label, err.Error())
+		return
+	}
+	g.trace(EvFilterInstalled, label, fmt.Sprintf("for %v", g.cfg.Timers.T))
+	g.node.Engine().Schedule(sim.Time(g.cfg.Timers.T), func() { g.filters.Expire(g.now()) })
+
+	g.orderClientToStop(label)
+}
+
+// orderClientToStop propagates the request toward the attacker: to the
+// attacking host when it is our client, or to the downstream client
+// network it sits behind (§II-C ii, §II-D).
+func (g *Gateway) orderClientToStop(label flow.Label) {
+	now := g.now()
+	hop := g.node.NextHop(label.Src)
+	if hop == nil {
+		return // source unroutable (e.g. spoofed): our filter suffices
+	}
+	client := hop.Neighbor().Addr()
+	if !g.outPolicer(client).Allow(now) {
+		// Beyond the R2 contract rate we may not burden the client;
+		// our own filter keeps blocking regardless (§IV-C).
+		return
+	}
+	g.stats.StopOrders++
+	g.trace(EvStopOrder, label, fmt.Sprintf("to %v", client))
+	g.node.Originate(packet.NewControl(g.node.Addr(), client, &packet.FilterReq{
+		Stage:    packet.StageToAttacker,
+		Flow:     label,
+		Duration: g.cfg.Timers.T,
+		Victim:   g.node.Addr(),
+	}))
+
+	comp := &compliance{
+		label:    label,
+		client:   client,
+		deadline: now + sim.Time(g.cfg.Timers.Grace),
+	}
+	g.compliance[label.Key()] = comp
+	comp.check = g.node.Engine().Schedule(
+		2*sim.Time(g.cfg.Timers.Grace), func() { g.complianceCheck(comp) })
+}
+
+func (g *Gateway) complianceCheck(c *compliance) {
+	if g.compliance[c.label.Key()] != c {
+		return
+	}
+	delete(g.compliance, c.label.Key())
+	if c.haveSeen && c.lastSeen > c.deadline {
+		// Client kept sending past the grace period: disconnect (§II-C).
+		g.disconnect(c.client, c.label)
+		return
+	}
+	g.trace(EvFlowStopped, c.label, fmt.Sprintf("client %v complied", c.client))
+}
+
+// handleStopOrder handles a provider's order to stop a flow sourced in
+// our network: filter it and push the order toward the source.
+func (g *Gateway) handleStopOrder(p *packet.Packet, m *packet.FilterReq) {
+	if !g.cfg.Cooperative {
+		return // non-cooperating networks ignore orders (§II-D) — and pay
+	}
+	// Only our own provider may order us around.
+	if g.cfg.Provider == 0 || p.Src != g.cfg.Provider {
+		g.stats.ReqInvalid++
+		g.trace(EvRequestInvalid, m.Flow, "stop order not from provider")
+		return
+	}
+	now := g.now()
+	label := m.Flow.Canonical()
+	exp := now + sim.Time(g.cfg.Timers.T)
+	if err := g.filters.Install(label, now, exp); err != nil {
+		g.trace(EvFilterRejected, label, err.Error())
+		return
+	}
+	g.trace(EvFilterInstalled, label, "stop order from provider")
+	g.orderClientToStop(label)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

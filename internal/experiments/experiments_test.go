@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"aitf"
+)
+
+// TestAllDriversRegistered pins the experiment registry to DESIGN.md.
+func TestAllDriversRegistered(t *testing.T) {
+	drivers, ids := All()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+		if drivers[id] == nil {
+			t.Fatalf("driver %s missing", id)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := E1Figure1()
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{"E1", "Figure-1 scenarios", "timeline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+// TestE2Shape asserts the §IV-A.1 reproduction: measured r grows with n
+// and shrinks with T, staying within a small constant of the analytic
+// bound.
+func TestE2Shape(t *testing.T) {
+	td, tr := 50*time.Millisecond, 50*time.Millisecond
+	r1 := E2Run(1, time.Minute, td, tr, aitf.VictimDriven)
+	r3 := E2Run(3, time.Minute, td, tr, aitf.VictimDriven)
+	if r3 <= r1 {
+		t.Fatalf("r not increasing in n: r(1)=%v r(3)=%v", r1, r3)
+	}
+	rShort := E2Run(2, 30*time.Second, td, tr, aitf.VictimDriven)
+	rLong := E2Run(2, 2*time.Minute, td, tr, aitf.VictimDriven)
+	if rLong >= rShort {
+		t.Fatalf("r not decreasing in T: r(30s)=%v r(120s)=%v", rShort, rLong)
+	}
+	// Within 3x of the analytic value (the paper's is a bound).
+	analytic := aitf.BandwidthReduction(1, td, tr, time.Minute)
+	if r1 > 3*analytic || r1 < analytic/3 {
+		t.Fatalf("measured r(1)=%v too far from analytic %v", r1, analytic)
+	}
+}
+
+// TestE8Shape asserts the §V comparison: AITF reaches relief, pushback
+// leaks more and recruits more routers as the chain deepens.
+func TestE8Shape(t *testing.T) {
+	horizon := 20 * time.Second
+	ar, as, _, aleak := runAITFChain(3, horizon)
+	pr, ps, _, pleak := runPushbackChain(3, horizon)
+	if ar < 0 {
+		t.Fatal("AITF never reached relief")
+	}
+	if pr >= 0 && pr <= ar {
+		t.Fatalf("pushback relief (%d) not slower than AITF (%d)", pr, ar)
+	}
+	if pleak <= aleak*2 {
+		t.Fatalf("pushback leak %v should far exceed AITF leak %v", pleak, aleak)
+	}
+	if as > 2 {
+		t.Fatalf("AITF holds state on %d routers, want ≤2", as)
+	}
+	if ps < 2 {
+		t.Fatalf("pushback recruited %d routers, want ≥2", ps)
+	}
+	// Depth scaling: pushback state grows with depth, AITF's does not.
+	_, as5, _, _ := runAITFChain(5, horizon)
+	_, ps5, _, _ := runPushbackChain(5, horizon)
+	if as5 != as {
+		t.Fatalf("AITF state depth-dependent: %d vs %d", as, as5)
+	}
+	if ps5 <= ps {
+		t.Fatalf("pushback state not growing with depth: %d vs %d", ps, ps5)
+	}
+}
+
+// TestE7NoForgedFilters asserts the security experiment's invariant.
+func TestE7NoForgedFilters(t *testing.T) {
+	res := E7HandshakeSecurity()
+	tbl := res.Tables[0]
+	for i, row := range tbl.Rows {
+		if i == len(tbl.Rows)-1 {
+			// Control row: the genuine request must succeed.
+			if row[1] == "0" {
+				t.Fatal("control produced no filter")
+			}
+			if row[4] != "true" {
+				t.Fatal("control flow not blocked")
+			}
+			continue
+		}
+		if row[1] != "0" {
+			t.Fatalf("vector %q created filters: %v", row[0], row)
+		}
+		if row[4] != "false" {
+			t.Fatalf("vector %q blocked the legit flow", row[0])
+		}
+	}
+}
+
+// TestE9Bound asserts processed requests never exceed the contract.
+func TestE9Bound(t *testing.T) {
+	res := E9ContractPolicing()
+	tbl := res.Tables[0]
+	for _, row := range tbl.Rows {
+		// columns: offered, received, dropped, processed, bound, filters
+		var processed, bound float64
+		if _, err := sscan(row[3], &processed); err != nil {
+			t.Fatalf("parse %q: %v", row[3], err)
+		}
+		if _, err := sscan(row[4], &bound); err != nil {
+			t.Fatalf("parse %q: %v", row[4], err)
+		}
+		if processed > bound {
+			t.Fatalf("processed %v exceeds bound %v", processed, bound)
+		}
+		if row[5] != "0" {
+			t.Fatalf("fabricated requests created filters: %v", row)
+		}
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+// TestE3Crossover asserts the protection boundary of §IV-A.2: the
+// silenced fraction at or below Nv materially exceeds the fraction at
+// 2×Nv.
+func TestE3Crossover(t *testing.T) {
+	res := E3ProtectedFlows()
+	tbl := res.Tables[0]
+	var atNv, at2Nv float64
+	for _, row := range tbl.Rows {
+		var ratio, pct float64
+		if _, err := fmt.Sscan(row[1], &ratio); err != nil {
+			t.Fatalf("parse ratio %q: %v", row[1], err)
+		}
+		if _, err := fmt.Sscan(row[4], &pct); err != nil {
+			t.Fatalf("parse pct %q: %v", row[4], err)
+		}
+		switch ratio {
+		case 1:
+			atNv = pct
+		case 2:
+			at2Nv = pct
+		}
+	}
+	if atNv < 90 {
+		t.Fatalf("silenced%% at Nv = %v, want ≥90", atNv)
+	}
+	if at2Nv >= atNv-15 {
+		t.Fatalf("no degradation beyond Nv: atNv=%v at2Nv=%v", atNv, at2Nv)
+	}
+}
+
+// TestE4FilterPeaksTrackTtmp asserts nv ≈ R1·Ttmp for well-provisioned
+// Ttmp values (rows 2 and 3; row 1 is the deliberate misprovisioning
+// ablation).
+func TestE4FilterPeaksTrackTtmp(t *testing.T) {
+	res := E4VictimGatewayResources()
+	tbl := res.Tables[0]
+	for i, row := range tbl.Rows {
+		if i == 0 {
+			continue // Ttmp < handshake: documented fallback regime
+		}
+		var nv, peak float64
+		if _, err := fmt.Sscan(row[1], &nv); err != nil {
+			t.Fatalf("parse %q: %v", row[1], err)
+		}
+		if _, err := fmt.Sscan(row[2], &peak); err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		if peak > nv*1.5+4 {
+			t.Fatalf("peak filters %v far above analytic nv %v (row %v)", peak, nv, row)
+		}
+	}
+	// Shadows must peak at exactly mv.
+	for _, row := range tbl.Rows {
+		if row[3] != row[4] {
+			t.Fatalf("shadow peak %s != analytic mv %s", row[4], row[3])
+		}
+	}
+}
+
+// TestE5StopOrderCap asserts the per-client R2 cap of §IV-C/D.
+func TestE5StopOrderCap(t *testing.T) {
+	res := E5AttackerGatewayResources()
+	tbl := res.Tables[0]
+	for _, row := range tbl.Rows {
+		var na, held float64
+		if _, err := fmt.Sscan(row[1], &na); err != nil {
+			t.Fatalf("parse %q: %v", row[1], err)
+		}
+		if _, err := fmt.Sscan(row[2], &held); err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		if held > na+2 { // +burst slack
+			t.Fatalf("client holds %v stop orders, cap na=%v", held, na)
+		}
+	}
+}
+
+// TestE6ShadowOffLeaksMost asserts the ablation ordering.
+func TestE6ShadowOffLeaksMost(t *testing.T) {
+	res := E6OnOffAblation()
+	tbl := res.Tables[0]
+	leak := map[string]float64{}
+	for _, row := range tbl.Rows {
+		var v float64
+		if _, err := fmt.Sscan(row[1], &v); err != nil {
+			t.Fatalf("parse %q: %v", row[1], err)
+		}
+		leak[row[0]] = v
+	}
+	if leak["shadow-off"] <= 2*leak["victim-driven"] {
+		t.Fatalf("shadow-off leak %v not much above victim-driven %v", leak["shadow-off"], leak["victim-driven"])
+	}
+	if leak["gateway-auto"] > leak["victim-driven"] {
+		t.Fatalf("gateway-auto leak %v exceeds victim-driven %v", leak["gateway-auto"], leak["victim-driven"])
+	}
+}
+
+// TestE2DriverRuns smoke-runs the full E2 driver (table generation).
+func TestE2DriverRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full E2 sweep in -short mode")
+	}
+	res := E2EffectiveBandwidth()
+	if len(res.Tables) != 2 {
+		t.Fatalf("E2 produced %d tables", len(res.Tables))
+	}
+	if len(res.Tables[0].Rows) != 4 || len(res.Tables[1].Rows) != 3 {
+		t.Fatal("E2 sweep sizes wrong")
+	}
+}
+
+// TestE8DriverRuns smoke-runs the full E8 driver.
+func TestE8DriverRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full E8 sweep in -short mode")
+	}
+	res := E8AITFvsPushback()
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 6 {
+		t.Fatalf("E8 shape wrong: %+v", res.Tables)
+	}
+}

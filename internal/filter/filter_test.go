@@ -1,0 +1,445 @@
+package filter
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+var (
+	a1 = flow.MakeAddr(10, 0, 0, 1)
+	a2 = flow.MakeAddr(10, 0, 0, 2)
+	a3 = flow.MakeAddr(10, 0, 0, 3)
+	v1 = flow.MakeAddr(10, 9, 0, 1)
+)
+
+func pair(i byte) flow.Label {
+	return flow.PairLabel(flow.MakeAddr(10, 0, 1, i), v1)
+}
+
+func TestInstallAndMatch(t *testing.T) {
+	tb := NewTable(4, RejectNew)
+	l := flow.PairLabel(a1, v1)
+	if err := tb.Install(l, 0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	tup := flow.TupleOf(a1, v1, flow.ProtoUDP, 5, 80)
+	if !tb.Match(tup, 100, time.Second) {
+		t.Fatal("installed filter did not match")
+	}
+	if tb.Match(flow.TupleOf(a2, v1, flow.ProtoUDP, 5, 80), 100, time.Second) {
+		t.Fatal("unrelated tuple matched")
+	}
+	st := tb.Stats()
+	if st.Drops != 1 || st.DroppedBytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	e, ok := tb.Lookup(l, time.Second)
+	if !ok || e.Drops != 1 {
+		t.Fatalf("Lookup entry = %+v ok=%v", e, ok)
+	}
+}
+
+func TestMatchExpired(t *testing.T) {
+	tb := NewTable(4, RejectNew)
+	tb.Install(flow.PairLabel(a1, v1), 0, time.Second)
+	tup := flow.TupleOf(a1, v1, flow.ProtoUDP, 5, 80)
+	if tb.Match(tup, 10, 2*time.Second) {
+		t.Fatal("expired filter matched")
+	}
+	if _, ok := tb.Lookup(flow.PairLabel(a1, v1), 2*time.Second); ok {
+		t.Fatal("expired filter returned by Lookup")
+	}
+}
+
+func TestCapacityRejectNew(t *testing.T) {
+	tb := NewTable(2, RejectNew)
+	if err := tb.Install(pair(1), 0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Install(pair(2), 0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Install(pair(3), 0, time.Minute)
+	if !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+	if tb.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d", tb.Stats().Rejected)
+	}
+	// Re-installing an existing label must succeed even when full.
+	if err := tb.Install(pair(1), time.Second, 2*time.Minute); err != nil {
+		t.Fatalf("refresh failed: %v", err)
+	}
+}
+
+func TestCapacityEvictSoonest(t *testing.T) {
+	tb := NewTable(2, EvictSoonest)
+	tb.Install(pair(1), 0, 10*time.Second) // soonest expiry
+	tb.Install(pair(2), 0, time.Minute)
+	if err := tb.Install(pair(3), 0, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if _, ok := tb.Lookup(pair(1), time.Second); ok {
+		t.Fatal("soonest-expiring entry not evicted")
+	}
+	if tb.Stats().Evicted != 1 {
+		t.Fatalf("Evicted = %d", tb.Stats().Evicted)
+	}
+}
+
+func TestInstallMakesRoomByExpiring(t *testing.T) {
+	tb := NewTable(1, RejectNew)
+	tb.Install(pair(1), 0, time.Second)
+	// At t=2s the first filter is dead; Install must GC and succeed.
+	if err := tb.Install(pair(2), 2*time.Second, time.Minute); err != nil {
+		t.Fatalf("Install after expiry: %v", err)
+	}
+}
+
+func TestRefreshExtendsOnly(t *testing.T) {
+	tb := NewTable(2, RejectNew)
+	tb.Install(pair(1), 0, time.Minute)
+	tb.Install(pair(1), 0, 30*time.Second) // shorter: must not shrink
+	e, ok := tb.Lookup(pair(1), 0)
+	if !ok || e.ExpiresAt != time.Minute {
+		t.Fatalf("expiry = %v, want 1m", e.ExpiresAt)
+	}
+	if tb.Stats().Installed != 1 {
+		t.Fatalf("Installed = %d, want 1 (refresh is not a new install)", tb.Stats().Installed)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tb := NewTable(2, RejectNew)
+	tb.Install(pair(1), 0, time.Minute)
+	if !tb.Remove(pair(1)) {
+		t.Fatal("Remove returned false")
+	}
+	if tb.Remove(pair(1)) {
+		t.Fatal("second Remove returned true")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestExpireAndNextExpiry(t *testing.T) {
+	tb := NewTable(8, RejectNew)
+	tb.Install(pair(1), 0, 10*time.Second)
+	tb.Install(pair(2), 0, 20*time.Second)
+	tb.Install(pair(3), 0, 30*time.Second)
+	next, ok := tb.NextExpiry()
+	if !ok || next != 10*time.Second {
+		t.Fatalf("NextExpiry = %v ok=%v", next, ok)
+	}
+	if n := tb.Expire(15 * time.Second); n != 1 {
+		t.Fatalf("Expire removed %d, want 1", n)
+	}
+	next, _ = tb.NextExpiry()
+	if next != 20*time.Second {
+		t.Fatalf("NextExpiry after GC = %v", next)
+	}
+	tb.Expire(time.Hour)
+	if _, ok := tb.NextExpiry(); ok {
+		t.Fatal("NextExpiry ok on empty table")
+	}
+}
+
+func TestPeakOccupancy(t *testing.T) {
+	tb := NewTable(10, RejectNew)
+	for i := byte(0); i < 7; i++ {
+		tb.Install(pair(i), 0, time.Minute)
+	}
+	tb.Remove(pair(0))
+	tb.Remove(pair(1))
+	if tb.Stats().PeakOccupancy != 7 {
+		t.Fatalf("PeakOccupancy = %d, want 7", tb.Stats().PeakOccupancy)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	tb := NewTable(8, RejectNew)
+	tb.Install(pair(3), 0, 30*time.Second)
+	tb.Install(pair(1), 0, 10*time.Second)
+	tb.Install(pair(2), 0, 20*time.Second)
+	es := tb.Entries()
+	if len(es) != 3 {
+		t.Fatalf("len = %d", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].ExpiresAt < es[i-1].ExpiresAt {
+			t.Fatal("Entries not sorted by expiry")
+		}
+	}
+}
+
+func TestZeroCapacityTable(t *testing.T) {
+	tb := NewTable(0, EvictSoonest)
+	if err := tb.Install(pair(1), 0, time.Minute); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("zero-capacity Install err = %v", err)
+	}
+	tb2 := NewTable(-5, RejectNew)
+	if tb2.Capacity() != 0 {
+		t.Fatalf("negative capacity clamped to %d", tb2.Capacity())
+	}
+}
+
+func TestWildcardScanMatch(t *testing.T) {
+	tb := NewTable(4, RejectNew)
+	tb.Install(flow.FromSource(a1), 0, time.Minute)
+	// FromSource is neither exact nor pair shaped: exercises the scan.
+	if !tb.Match(flow.TupleOf(a1, v1, flow.ProtoTCP, 9, 9), 10, time.Second) {
+		t.Fatal("FromSource filter did not match")
+	}
+	if tb.Match(flow.TupleOf(a2, v1, flow.ProtoTCP, 9, 9), 10, time.Second) {
+		t.Fatal("FromSource filter matched wrong source")
+	}
+}
+
+// Property: occupancy never exceeds capacity regardless of operations.
+func TestPropertyOccupancyBounded(t *testing.T) {
+	f := func(ops []byte, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		policy := RejectNew
+		if capRaw%2 == 0 {
+			policy = EvictSoonest
+		}
+		tb := NewTable(capacity, policy)
+		now := Time(0)
+		for _, op := range ops {
+			now += Time(op) * time.Millisecond
+			l := pair(op % 32)
+			switch op % 3 {
+			case 0:
+				tb.Install(l, now, now+Time(op)*time.Second)
+			case 1:
+				tb.Remove(l)
+			case 2:
+				tb.Expire(now)
+			}
+			if tb.Len() > capacity {
+				return false
+			}
+		}
+		return tb.Stats().PeakOccupancy <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowLogLookupHit(t *testing.T) {
+	c := NewShadowCache(10)
+	l := flow.PairLabel(a1, v1)
+	if !c.Log(l, v1, 0, time.Minute) {
+		t.Fatal("Log failed")
+	}
+	e, ok := c.Lookup(flow.TupleOf(a1, v1, flow.ProtoUDP, 1, 2), time.Second)
+	if !ok {
+		t.Fatal("Lookup missed")
+	}
+	c.Hit(e)
+	if e.Reappearances != 1 {
+		t.Fatalf("Reappearances = %d", e.Reappearances)
+	}
+	if c.Stats().Hits != 1 {
+		t.Fatalf("Hits = %d", c.Stats().Hits)
+	}
+	if e.Victim != v1 {
+		t.Fatalf("Victim = %v", e.Victim)
+	}
+}
+
+func TestShadowExpiry(t *testing.T) {
+	c := NewShadowCache(10)
+	c.Log(flow.PairLabel(a1, v1), v1, 0, time.Second)
+	if _, ok := c.Lookup(flow.TupleOf(a1, v1, flow.ProtoUDP, 1, 2), 2*time.Second); ok {
+		t.Fatal("expired shadow entry returned")
+	}
+	if n := c.ExpireOld(2 * time.Second); n != 1 {
+		t.Fatalf("ExpireOld = %d", n)
+	}
+}
+
+func TestShadowCapacity(t *testing.T) {
+	c := NewShadowCache(2)
+	c.Log(pair(1), v1, 0, time.Minute)
+	c.Log(pair(2), v1, 0, time.Minute)
+	if c.Log(pair(3), v1, 0, time.Minute) {
+		t.Fatal("over-capacity Log succeeded")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d", c.Stats().Rejected)
+	}
+	// Refresh of existing entry succeeds even at capacity.
+	if !c.Log(pair(1), v1, time.Second, 2*time.Minute) {
+		t.Fatal("refresh failed at capacity")
+	}
+	e, _ := c.Get(pair(1), time.Second)
+	if e.ExpiresAt != 2*time.Minute {
+		t.Fatalf("refresh expiry = %v", e.ExpiresAt)
+	}
+}
+
+func TestShadowDisabled(t *testing.T) {
+	c := NewShadowCache(0)
+	if c.Log(pair(1), v1, 0, time.Minute) {
+		t.Fatal("disabled cache accepted entry")
+	}
+	if _, ok := c.Lookup(flow.TupleOf(a1, v1, flow.ProtoUDP, 1, 2), 0); ok {
+		t.Fatal("disabled cache returned entry")
+	}
+}
+
+func TestShadowRemoveAndEntries(t *testing.T) {
+	c := NewShadowCache(4)
+	c.Log(pair(1), v1, 0, 30*time.Second)
+	c.Log(pair(2), v1, 0, 10*time.Second)
+	es := c.Entries()
+	if len(es) != 2 || es[0].ExpiresAt != 10*time.Second {
+		t.Fatalf("Entries = %+v", es)
+	}
+	if !c.Remove(pair(1)) || c.Remove(pair(1)) {
+		t.Fatal("Remove semantics wrong")
+	}
+}
+
+func TestShadowPeakSize(t *testing.T) {
+	c := NewShadowCache(100)
+	for i := byte(0); i < 50; i++ {
+		c.Log(pair(i), v1, 0, time.Minute)
+	}
+	if c.Stats().PeakSize != 50 {
+		t.Fatalf("PeakSize = %d", c.Stats().PeakSize)
+	}
+}
+
+func TestPolicerSteadyRate(t *testing.T) {
+	p := NewPolicer(10, 1) // 10/s, burst 1
+	admitted := 0
+	// Offer 100 requests over 5 seconds (20/s): expect ~50 admitted.
+	for i := 0; i < 100; i++ {
+		now := Time(i) * 50 * time.Millisecond
+		if p.Allow(now) {
+			admitted++
+		}
+	}
+	if admitted < 45 || admitted > 55 {
+		t.Fatalf("admitted = %d, want ≈50", admitted)
+	}
+}
+
+func TestPolicerBurst(t *testing.T) {
+	p := NewPolicer(1, 5)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if p.Allow(0) { // all at t=0: only the burst passes
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("burst admitted = %d, want 5", admitted)
+	}
+}
+
+func TestPolicerRefill(t *testing.T) {
+	p := NewPolicer(2, 2)
+	p.Allow(0)
+	p.Allow(0) // bucket empty
+	if p.Allow(0) {
+		t.Fatal("empty bucket admitted")
+	}
+	if !p.Allow(time.Second) { // 2 tokens accrued
+		t.Fatal("refilled bucket rejected")
+	}
+	if got := p.Tokens(time.Second); got < 0.9 || got > 1.1 {
+		t.Fatalf("Tokens = %v, want ≈1", got)
+	}
+}
+
+func TestPolicerZeroRate(t *testing.T) {
+	p := NewPolicer(0, 10)
+	// Initial burst tokens exist but rate 0 admits nothing.
+	if p.Allow(time.Hour) {
+		t.Fatal("zero-rate policer admitted")
+	}
+	if p.Dropped != 1 {
+		t.Fatalf("Dropped = %d", p.Dropped)
+	}
+}
+
+func TestPolicerClockRegression(t *testing.T) {
+	p := NewPolicer(1, 1)
+	p.Allow(10 * time.Second)
+	// Regressed clock must not mint tokens or panic.
+	before := p.Tokens(10 * time.Second)
+	p.Allow(5 * time.Second)
+	if p.Tokens(10*time.Second) > before {
+		t.Fatal("clock regression minted tokens")
+	}
+}
+
+// Property: over any horizon, admissions never exceed burst + rate·time.
+func TestPropertyPolicerNeverExceedsContract(t *testing.T) {
+	f := func(gaps []uint8, rateRaw, burstRaw uint8) bool {
+		rate := float64(rateRaw%50) + 1
+		burst := float64(burstRaw%20) + 1
+		p := NewPolicer(rate, burst)
+		now := Time(0)
+		admitted := 0
+		for _, g := range gaps {
+			now += Time(g) * time.Millisecond
+			if p.Allow(now) {
+				admitted++
+			}
+		}
+		bound := burst + rate*now.Seconds() + 1e-6
+		return float64(admitted) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTableMatchHit(b *testing.B) {
+	tb := NewTable(1000, RejectNew)
+	for i := 0; i < 1000; i++ {
+		tb.Install(flow.PairLabel(flow.Addr(i), v1), 0, time.Hour)
+	}
+	tup := flow.TupleOf(flow.Addr(500), v1, flow.ProtoUDP, 1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !tb.Match(tup, 100, time.Second) {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTableMatchMiss(b *testing.B) {
+	tb := NewTable(1000, RejectNew)
+	for i := 0; i < 999; i++ {
+		tb.Install(flow.Exact(flow.Addr(i), v1, flow.ProtoUDP, 1, 2), 0, time.Hour)
+	}
+	tup := flow.TupleOf(flow.Addr(5000), v1, flow.ProtoUDP, 1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tb.Match(tup, 100, time.Second) {
+			b.Fatal("hit")
+		}
+	}
+}
+
+func BenchmarkPolicerAllow(b *testing.B) {
+	p := NewPolicer(1000, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Allow(Time(i) * time.Microsecond)
+	}
+}

@@ -1,0 +1,68 @@
+package filter
+
+// Policer is a token bucket enforcing a filtering contract's request
+// rate (§II-A): "the limited rates allow the receiving router to police
+// the requests ... and indiscriminately drop requests when the rate is
+// in excess of the agreed rate."
+//
+// Tokens accrue continuously at Rate per second up to Burst; each
+// admitted request consumes one token.
+type Policer struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   Time
+
+	// Admitted and Dropped count policing decisions.
+	Admitted uint64
+	Dropped  uint64
+}
+
+// NewPolicer builds a policer admitting ratePerSec requests per second
+// with the given burst. A non-positive rate admits nothing; a
+// non-positive burst is raised to 1 so a conforming slow sender is
+// never starved.
+func NewPolicer(ratePerSec float64, burst float64) *Policer {
+	if ratePerSec < 0 {
+		ratePerSec = 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Policer{rate: ratePerSec, burst: burst, tokens: burst}
+}
+
+// Rate returns the contracted requests/second.
+func (p *Policer) Rate() float64 { return p.rate }
+
+// Allow consumes a token if available, advancing the bucket to now.
+// Calls must pass nondecreasing times; regressions are clamped.
+func (p *Policer) Allow(now Time) bool {
+	if now > p.last {
+		p.tokens += p.rate * now.Seconds()
+		p.tokens -= p.rate * p.last.Seconds()
+		if p.tokens > p.burst {
+			p.tokens = p.burst
+		}
+		p.last = now
+	}
+	if p.rate <= 0 || p.tokens < 1 {
+		p.Dropped++
+		return false
+	}
+	p.tokens--
+	p.Admitted++
+	return true
+}
+
+// Tokens reports the tokens available at time now without consuming.
+func (p *Policer) Tokens(now Time) float64 {
+	t := p.tokens
+	if now > p.last {
+		t += p.rate * (now - p.last).Seconds()
+		if t > p.burst {
+			t = p.burst
+		}
+	}
+	return t
+}

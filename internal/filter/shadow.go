@@ -1,0 +1,168 @@
+package filter
+
+import (
+	"sort"
+
+	"aitf/internal/flow"
+)
+
+// ShadowEntry is the DRAM record of a filtering request, kept for the
+// full request lifetime T even though the wire-speed filter only stays
+// installed for Ttmp ≪ T (§II-B). It is what lets the victim's gateway
+// recognise "on-off" flows instantly when they reappear.
+type ShadowEntry struct {
+	Label     flow.Label
+	LoggedAt  Time
+	ExpiresAt Time
+	// Reappearances counts shadow hits after the temporary filter was
+	// removed — each one is an "on-off" resumption of the flow.
+	Reappearances int
+	// Round is the highest escalation round reached for this flow.
+	Round int
+	// Victim is the original requester, needed to re-verify and to
+	// address escalations.
+	Victim flow.Addr
+}
+
+// ShadowStats aggregates shadow-cache counters.
+type ShadowStats struct {
+	Logged   uint64
+	Hits     uint64
+	Expired  uint64
+	Rejected uint64 // log attempts over capacity
+	PeakSize int
+}
+
+// ShadowCache models the DRAM request log. Capacity is large (mv = R1·T
+// entries suffice per §IV-B) but still enforced, because the contract
+// math depends on it being bounded.
+type ShadowCache struct {
+	capacity int
+	entries  map[flow.Label]*ShadowEntry
+	scanable int // entries needing a linear scan (see table.go)
+	stats    ShadowStats
+}
+
+// NewShadowCache returns a cache holding at most capacity entries;
+// capacity <= 0 disables the cache entirely (used for the E6 ablation).
+func NewShadowCache(capacity int) *ShadowCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &ShadowCache{capacity: capacity, entries: make(map[flow.Label]*ShadowEntry)}
+}
+
+// Capacity returns the maximum number of entries.
+func (c *ShadowCache) Capacity() int { return c.capacity }
+
+// Len returns the number of entries currently logged.
+func (c *ShadowCache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the cache counters.
+func (c *ShadowCache) Stats() ShadowStats { return c.stats }
+
+// Log records a filtering request for label until exp. Logging an
+// existing label refreshes its expiry and victim but keeps counters.
+// It returns false when the cache is full (or disabled).
+func (c *ShadowCache) Log(label flow.Label, victim flow.Addr, now, exp Time) bool {
+	key := label.Key()
+	if e, ok := c.entries[key]; ok {
+		if exp > e.ExpiresAt {
+			e.ExpiresAt = exp
+		}
+		e.Victim = victim
+		return true
+	}
+	c.ExpireOld(now)
+	if len(c.entries) >= c.capacity {
+		c.stats.Rejected++
+		return false
+	}
+	c.entries[key] = &ShadowEntry{Label: label, LoggedAt: now, ExpiresAt: exp, Victim: victim}
+	if needsScan(key) {
+		c.scanable++
+	}
+	c.stats.Logged++
+	if len(c.entries) > c.stats.PeakSize {
+		c.stats.PeakSize = len(c.entries)
+	}
+	return true
+}
+
+// Lookup finds the live shadow entry covering the tuple. Exact and pair
+// labels are checked O(1); other wildcard shapes are scanned.
+func (c *ShadowCache) Lookup(tup flow.Tuple, now Time) (*ShadowEntry, bool) {
+	if e, ok := c.entries[tup.ExactLabel().Key()]; ok && e.ExpiresAt > now {
+		return e, true
+	}
+	if e, ok := c.entries[flow.PairLabel(tup.Src, tup.Dst).Key()]; ok && e.ExpiresAt > now {
+		return e, true
+	}
+	if c.scanable > 0 {
+		for _, e := range c.entries {
+			if e.ExpiresAt > now && e.Label.Matches(tup) {
+				return e, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Get returns the live entry for the exact label, if any.
+func (c *ShadowCache) Get(label flow.Label, now Time) (*ShadowEntry, bool) {
+	e, ok := c.entries[label.Key()]
+	if !ok || e.ExpiresAt <= now {
+		return nil, false
+	}
+	return e, true
+}
+
+// Hit records a reappearance of the flow covered by entry.
+func (c *ShadowCache) Hit(e *ShadowEntry) {
+	e.Reappearances++
+	c.stats.Hits++
+}
+
+// ExpireOld garbage-collects entries past their deadline.
+func (c *ShadowCache) ExpireOld(now Time) int {
+	n := 0
+	for k, e := range c.entries {
+		if e.ExpiresAt <= now {
+			delete(c.entries, k)
+			if needsScan(k) {
+				c.scanable--
+			}
+			c.stats.Expired++
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes the entry for label, reporting whether it existed.
+func (c *ShadowCache) Remove(label flow.Label) bool {
+	key := label.Key()
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	delete(c.entries, key)
+	if needsScan(key) {
+		c.scanable--
+	}
+	return true
+}
+
+// Entries returns a snapshot sorted by expiry (soonest first).
+func (c *ShadowCache) Entries() []ShadowEntry {
+	out := make([]ShadowEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpiresAt != out[j].ExpiresAt {
+			return out[i].ExpiresAt < out[j].ExpiresAt
+		}
+		return out[i].Label.String() < out[j].Label.String()
+	})
+	return out
+}

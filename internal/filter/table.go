@@ -1,0 +1,263 @@
+// Package filter implements the router-resource substrate of AITF: the
+// bounded wire-speed filter table, the DRAM shadow cache that remembers
+// filtering requests for their full lifetime T, and the token-bucket
+// policers that enforce filtering contracts.
+//
+// The paper's central resource argument (§II-B, §IV-B) is that a router
+// can afford gigabytes of DRAM but only a few thousand wire-speed
+// filters; this package keeps the two pools separate and strictly
+// accounts for both.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+// Time mirrors sim.Time (a virtual duration since the epoch) without
+// importing the engine, keeping this package reusable in wire mode.
+type Time = time.Duration
+
+// ErrTableFull is returned by Install when the table is at capacity and
+// the eviction policy declines to make room.
+var ErrTableFull = errors.New("filter: table full")
+
+// EvictPolicy says what Install does when the table is full.
+type EvictPolicy uint8
+
+const (
+	// RejectNew refuses new filters when full (hardware-faithful).
+	RejectNew EvictPolicy = iota
+	// EvictSoonest replaces the entry closest to expiry with the new
+	// one. Ablated in the bench suite.
+	EvictSoonest
+)
+
+func (p EvictPolicy) String() string {
+	switch p {
+	case RejectNew:
+		return "reject-new"
+	case EvictSoonest:
+		return "evict-soonest"
+	default:
+		return "policy?"
+	}
+}
+
+// Entry is one installed filter.
+type Entry struct {
+	Label       flow.Label
+	InstalledAt Time
+	ExpiresAt   Time
+	// Drops counts packets this filter has dropped.
+	Drops uint64
+	// DroppedBytes counts payload bytes this filter has dropped.
+	DroppedBytes uint64
+}
+
+// Stats aggregates table counters for experiments.
+type Stats struct {
+	Installed     uint64 // successful Install calls
+	Rejected      uint64 // Install calls that returned ErrTableFull
+	Evicted       uint64 // entries displaced by EvictSoonest
+	Expired       uint64 // entries removed because their TTL passed
+	Removed       uint64 // entries removed explicitly
+	Drops         uint64 // packets dropped by any filter
+	DroppedBytes  uint64
+	PeakOccupancy int // high-water mark of simultaneous filters
+}
+
+// Table is a bounded filter table. It models a hardware router's
+// wire-speed filter bank: Match is O(active filters) worst case but
+// keyed exact-match lookups are O(1); capacity is a hard limit.
+//
+// Table is not safe for concurrent use; in the simulator all calls
+// happen on the event loop, and the wire daemon wraps it in a mutex.
+type Table struct {
+	capacity int
+	policy   EvictPolicy
+	entries  map[flow.Label]*Entry // keyed by canonical label
+	// scanable counts entries whose shape is neither exact nor the
+	// canonical pair label; only those require a linear scan in Match.
+	scanable int
+	stats    Stats
+}
+
+// pairWild is the wildcard pattern of flow.PairLabel.
+const pairWild = flow.WildProto | flow.WildSrcPort | flow.WildDstPort
+
+// needsScan reports whether a label can only be matched by scanning.
+func needsScan(l flow.Label) bool {
+	return l.Wildcards != 0 && l.Wildcards != pairWild
+}
+
+// NewTable returns a table that holds at most capacity filters.
+// capacity <= 0 means "no filters at all" (a router that cannot block),
+// which is valid and useful for modelling non-AITF routers.
+func NewTable(capacity int, policy EvictPolicy) *Table {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Table{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[flow.Label]*Entry),
+	}
+}
+
+// Capacity returns the maximum number of simultaneous filters.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Len returns the number of filters currently installed (including any
+// that have expired but not yet been garbage-collected by Expire).
+func (t *Table) Len() int { return len(t.entries) }
+
+// Stats returns a copy of the table's counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Install adds a filter for label until deadline exp. Installing a
+// label that is already present refreshes its expiry (keeping drop
+// counters), consumes no extra capacity, and always succeeds.
+func (t *Table) Install(label flow.Label, now, exp Time) error {
+	key := label.Key()
+	if e, ok := t.entries[key]; ok {
+		if exp > e.ExpiresAt {
+			e.ExpiresAt = exp
+		}
+		return nil
+	}
+	t.Expire(now)
+	if len(t.entries) >= t.capacity {
+		if t.policy == RejectNew || t.capacity == 0 {
+			t.stats.Rejected++
+			return fmt.Errorf("%w (capacity %d)", ErrTableFull, t.capacity)
+		}
+		// EvictSoonest: displace the entry nearest to expiry.
+		var victim *Entry
+		for _, e := range t.entries {
+			if victim == nil || e.ExpiresAt < victim.ExpiresAt {
+				victim = e
+			}
+		}
+		delete(t.entries, victim.Label.Key())
+		if needsScan(victim.Label) {
+			t.scanable--
+		}
+		t.stats.Evicted++
+	}
+	t.entries[key] = &Entry{Label: label, InstalledAt: now, ExpiresAt: exp}
+	if needsScan(label) {
+		t.scanable++
+	}
+	t.stats.Installed++
+	if len(t.entries) > t.stats.PeakOccupancy {
+		t.stats.PeakOccupancy = len(t.entries)
+	}
+	return nil
+}
+
+// Remove deletes the filter for label, reporting whether it existed.
+func (t *Table) Remove(label flow.Label) bool {
+	key := label.Key()
+	if _, ok := t.entries[key]; !ok {
+		return false
+	}
+	delete(t.entries, key)
+	if needsScan(key) {
+		t.scanable--
+	}
+	t.stats.Removed++
+	return true
+}
+
+// Lookup returns the live entry for the exact label, if any.
+func (t *Table) Lookup(label flow.Label, now Time) (*Entry, bool) {
+	e, ok := t.entries[label.Key()]
+	if !ok || e.ExpiresAt <= now {
+		return nil, false
+	}
+	return e, true
+}
+
+// Match reports whether any live filter covers the tuple, charging the
+// drop to the matching filter. It first tries the exact label (O(1)),
+// then the canonical AITF pair label, then scans wildcards.
+func (t *Table) Match(tup flow.Tuple, payloadBytes int, now Time) bool {
+	if e, ok := t.entries[tup.ExactLabel().Key()]; ok && e.ExpiresAt > now {
+		e.Drops++
+		e.DroppedBytes += uint64(payloadBytes)
+		t.stats.Drops++
+		t.stats.DroppedBytes += uint64(payloadBytes)
+		return true
+	}
+	if e, ok := t.entries[flow.PairLabel(tup.Src, tup.Dst).Key()]; ok && e.ExpiresAt > now {
+		e.Drops++
+		e.DroppedBytes += uint64(payloadBytes)
+		t.stats.Drops++
+		t.stats.DroppedBytes += uint64(payloadBytes)
+		return true
+	}
+	if t.scanable > 0 {
+		for _, e := range t.entries {
+			if e.ExpiresAt > now && e.Label.Matches(tup) {
+				e.Drops++
+				e.DroppedBytes += uint64(payloadBytes)
+				t.stats.Drops++
+				t.stats.DroppedBytes += uint64(payloadBytes)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Expire garbage-collects entries whose deadline has passed, returning
+// how many were removed.
+func (t *Table) Expire(now Time) int {
+	n := 0
+	for k, e := range t.entries {
+		if e.ExpiresAt <= now {
+			delete(t.entries, k)
+			if needsScan(k) {
+				t.scanable--
+			}
+			t.stats.Expired++
+			n++
+		}
+	}
+	return n
+}
+
+// NextExpiry returns the earliest deadline among live entries and false
+// if the table is empty. The protocol engine uses it to schedule GC.
+func (t *Table) NextExpiry() (Time, bool) {
+	var min Time
+	found := false
+	for _, e := range t.entries {
+		if !found || e.ExpiresAt < min {
+			min = e.ExpiresAt
+			found = true
+		}
+	}
+	return min, found
+}
+
+// Entries returns a snapshot of installed filters sorted by expiry
+// (soonest first), for inspection and tests.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpiresAt != out[j].ExpiresAt {
+			return out[i].ExpiresAt < out[j].ExpiresAt
+		}
+		return out[i].Label.String() < out[j].Label.String()
+	})
+	return out
+}

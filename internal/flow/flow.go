@@ -1,0 +1,348 @@
+// Package flow defines wildcardable flow labels.
+//
+// A flow label captures "the common characteristics of a traffic flow"
+// (AITF §II-A), e.g. "all packets with IP source address S and IP
+// destination address D". Labels support per-field wildcards so a single
+// filtering request can cover a protocol, a port, or an entire source
+// prefix.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is a 32-bit network address in the simulated address space. It is
+// formatted like an IPv4 dotted quad but carries no global meaning.
+type Addr uint32
+
+// MakeAddr assembles an address from four octets.
+func MakeAddr(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses a dotted-quad address such as "10.0.3.1".
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("flow: address %q: want four octets", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("flow: address %q: %v", s, err)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return Addr(v), nil
+}
+
+// String renders the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octets returns the four octets of the address, most significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// Proto identifies a transport protocol in the simulated stack.
+type Proto uint8
+
+// Transport protocols understood by the simulator. ProtoAITF carries
+// AITF control messages; everything else is data-plane traffic.
+const (
+	ProtoAny  Proto = 0 // wildcard in labels; never appears on the wire
+	ProtoUDP  Proto = 17
+	ProtoTCP  Proto = 6
+	ProtoICMP Proto = 1
+	ProtoAITF Proto = 253
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoAny:
+		return "any"
+	case ProtoUDP:
+		return "udp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoICMP:
+		return "icmp"
+	case ProtoAITF:
+		return "aitf"
+	default:
+		return "proto" + strconv.Itoa(int(p))
+	}
+}
+
+// Wild flags mark which label fields are wildcards. A set bit means
+// "match anything" for that field.
+type Wild uint8
+
+// Wildcard bits for each Label field.
+const (
+	WildSrc Wild = 1 << iota
+	WildDst
+	WildProto
+	WildSrcPort
+	WildDstPort
+
+	// WildAll matches every packet.
+	WildAll = WildSrc | WildDst | WildProto | WildSrcPort | WildDstPort
+)
+
+// Label is a wildcardable 5-tuple. The zero Label with Wildcards ==
+// WildAll matches every packet; the zero Label with no wildcards matches
+// only the all-zero tuple.
+type Label struct {
+	Src, Dst         Addr
+	Proto            Proto
+	SrcPort, DstPort uint16
+	Wildcards        Wild
+}
+
+// Exact returns a fully specified (no wildcard) label.
+func Exact(src, dst Addr, proto Proto, sport, dport uint16) Label {
+	return Label{Src: src, Dst: dst, Proto: proto, SrcPort: sport, DstPort: dport}
+}
+
+// PairLabel is the canonical AITF label used throughout the paper: all
+// packets from src to dst, any protocol, any ports.
+func PairLabel(src, dst Addr) Label {
+	return Label{Src: src, Dst: dst, Wildcards: WildProto | WildSrcPort | WildDstPort}
+}
+
+// FromSource matches all traffic from src regardless of destination.
+func FromSource(src Addr) Label {
+	return Label{Src: src, Wildcards: WildDst | WildProto | WildSrcPort | WildDstPort}
+}
+
+// ToDestination matches all traffic addressed to dst.
+func ToDestination(dst Addr) Label {
+	return Label{Dst: dst, Wildcards: WildSrc | WildProto | WildSrcPort | WildDstPort}
+}
+
+// Tuple is a concrete packet 5-tuple to be matched against labels.
+type Tuple struct {
+	Src, Dst         Addr
+	Proto            Proto
+	SrcPort, DstPort uint16
+}
+
+// TupleOf builds a Tuple; it exists for symmetry with Exact.
+func TupleOf(src, dst Addr, proto Proto, sport, dport uint16) Tuple {
+	return Tuple{Src: src, Dst: dst, Proto: proto, SrcPort: sport, DstPort: dport}
+}
+
+// ExactLabel converts the tuple into a fully specified label.
+func (t Tuple) ExactLabel() Label {
+	return Exact(t.Src, t.Dst, t.Proto, t.SrcPort, t.DstPort)
+}
+
+// Matches reports whether the tuple is covered by the label.
+func (l Label) Matches(t Tuple) bool {
+	if l.Wildcards&WildSrc == 0 && l.Src != t.Src {
+		return false
+	}
+	if l.Wildcards&WildDst == 0 && l.Dst != t.Dst {
+		return false
+	}
+	if l.Wildcards&WildProto == 0 && l.Proto != t.Proto {
+		return false
+	}
+	if l.Wildcards&WildSrcPort == 0 && l.SrcPort != t.SrcPort {
+		return false
+	}
+	if l.Wildcards&WildDstPort == 0 && l.DstPort != t.DstPort {
+		return false
+	}
+	return true
+}
+
+// Covers reports whether every tuple matched by other is also matched by
+// l (label subsumption). Used to avoid installing redundant filters.
+func (l Label) Covers(other Label) bool {
+	check := func(bit Wild, lv, ov uint32) bool {
+		if l.Wildcards&bit != 0 {
+			return true // l matches anything here
+		}
+		if other.Wildcards&bit != 0 {
+			return false // other is broader on this field
+		}
+		return lv == ov
+	}
+	return check(WildSrc, uint32(l.Src), uint32(other.Src)) &&
+		check(WildDst, uint32(l.Dst), uint32(other.Dst)) &&
+		check(WildProto, uint32(l.Proto), uint32(other.Proto)) &&
+		check(WildSrcPort, uint32(l.SrcPort), uint32(other.SrcPort)) &&
+		check(WildDstPort, uint32(l.DstPort), uint32(other.DstPort))
+}
+
+// Canonical zeroes every wildcarded field so that equal-meaning labels
+// compare equal and hash identically as map keys.
+func (l Label) Canonical() Label {
+	if l.Wildcards&WildSrc != 0 {
+		l.Src = 0
+	}
+	if l.Wildcards&WildDst != 0 {
+		l.Dst = 0
+	}
+	if l.Wildcards&WildProto != 0 {
+		l.Proto = 0
+	}
+	if l.Wildcards&WildSrcPort != 0 {
+		l.SrcPort = 0
+	}
+	if l.Wildcards&WildDstPort != 0 {
+		l.DstPort = 0
+	}
+	return l
+}
+
+// Key returns a canonical map key for the label.
+func (l Label) Key() Label { return l.Canonical() }
+
+// String renders the label in a compact, parseable form such as
+// "10.0.0.2->10.1.0.9 proto=any sport=* dport=80".
+func (l Label) String() string {
+	var b strings.Builder
+	if l.Wildcards&WildSrc != 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(l.Src.String())
+	}
+	b.WriteString("->")
+	if l.Wildcards&WildDst != 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(l.Dst.String())
+	}
+	b.WriteString(" proto=")
+	if l.Wildcards&WildProto != 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(l.Proto.String())
+	}
+	b.WriteString(" sport=")
+	if l.Wildcards&WildSrcPort != 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strconv.Itoa(int(l.SrcPort)))
+	}
+	b.WriteString(" dport=")
+	if l.Wildcards&WildDstPort != 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strconv.Itoa(int(l.DstPort)))
+	}
+	return b.String()
+}
+
+// ErrBadLabel reports an unparseable label string.
+var ErrBadLabel = errors.New("flow: malformed label")
+
+// ParseLabel parses the format produced by Label.String.
+func ParseLabel(s string) (Label, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 4 {
+		return Label{}, fmt.Errorf("%w: %q", ErrBadLabel, s)
+	}
+	var l Label
+	ends := strings.Split(fields[0], "->")
+	if len(ends) != 2 {
+		return Label{}, fmt.Errorf("%w: %q", ErrBadLabel, s)
+	}
+	if ends[0] == "*" {
+		l.Wildcards |= WildSrc
+	} else {
+		a, err := ParseAddr(ends[0])
+		if err != nil {
+			return Label{}, fmt.Errorf("%w: %v", ErrBadLabel, err)
+		}
+		l.Src = a
+	}
+	if ends[1] == "*" {
+		l.Wildcards |= WildDst
+	} else {
+		a, err := ParseAddr(ends[1])
+		if err != nil {
+			return Label{}, fmt.Errorf("%w: %v", ErrBadLabel, err)
+		}
+		l.Dst = a
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Label{}, fmt.Errorf("%w: field %q", ErrBadLabel, f)
+		}
+		switch k {
+		case "proto":
+			switch v {
+			case "*", "any":
+				l.Wildcards |= WildProto
+			case "udp":
+				l.Proto = ProtoUDP
+			case "tcp":
+				l.Proto = ProtoTCP
+			case "icmp":
+				l.Proto = ProtoICMP
+			case "aitf":
+				l.Proto = ProtoAITF
+			default:
+				n, err := strconv.ParseUint(strings.TrimPrefix(v, "proto"), 10, 8)
+				if err != nil {
+					return Label{}, fmt.Errorf("%w: proto %q", ErrBadLabel, v)
+				}
+				l.Proto = Proto(n)
+			}
+		case "sport", "dport":
+			if v == "*" {
+				if k == "sport" {
+					l.Wildcards |= WildSrcPort
+				} else {
+					l.Wildcards |= WildDstPort
+				}
+				continue
+			}
+			n, err := strconv.ParseUint(v, 10, 16)
+			if err != nil {
+				return Label{}, fmt.Errorf("%w: port %q", ErrBadLabel, v)
+			}
+			if k == "sport" {
+				l.SrcPort = uint16(n)
+			} else {
+				l.DstPort = uint16(n)
+			}
+		default:
+			return Label{}, fmt.Errorf("%w: unknown field %q", ErrBadLabel, k)
+		}
+	}
+	return l, nil
+}
+
+// Reverse swaps source and destination (addresses, ports, and their
+// wildcard bits). Useful for addressing replies.
+func (l Label) Reverse() Label {
+	r := l
+	r.Src, r.Dst = l.Dst, l.Src
+	r.SrcPort, r.DstPort = l.DstPort, l.SrcPort
+	r.Wildcards = l.Wildcards &^ (WildSrc | WildDst | WildSrcPort | WildDstPort)
+	if l.Wildcards&WildSrc != 0 {
+		r.Wildcards |= WildDst
+	}
+	if l.Wildcards&WildDst != 0 {
+		r.Wildcards |= WildSrc
+	}
+	if l.Wildcards&WildSrcPort != 0 {
+		r.Wildcards |= WildDstPort
+	}
+	if l.Wildcards&WildDstPort != 0 {
+		r.Wildcards |= WildSrcPort
+	}
+	return r
+}

@@ -1,0 +1,268 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "10.0.3.1", "255.255.255.255", "192.168.1.77"}
+	for _, s := range cases {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Fatalf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMakeAddrOctets(t *testing.T) {
+	a := MakeAddr(10, 20, 30, 40)
+	if got := a.Octets(); got != [4]byte{10, 20, 30, 40} {
+		t.Fatalf("Octets = %v", got)
+	}
+	if a.String() != "10.20.30.40" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	l := Exact(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 80)
+	hit := TupleOf(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 80)
+	if !l.Matches(hit) {
+		t.Fatal("exact label should match identical tuple")
+	}
+	misses := []Tuple{
+		TupleOf(MakeAddr(1, 0, 0, 9), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 80),
+		TupleOf(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 9), ProtoUDP, 1000, 80),
+		TupleOf(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoTCP, 1000, 80),
+		TupleOf(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1001, 80),
+		TupleOf(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 81),
+	}
+	for i, m := range misses {
+		if l.Matches(m) {
+			t.Errorf("miss %d matched: %v", i, m)
+		}
+	}
+}
+
+func TestPairLabelMatchesAnyProtoAndPorts(t *testing.T) {
+	src, dst := MakeAddr(1, 1, 1, 1), MakeAddr(2, 2, 2, 2)
+	l := PairLabel(src, dst)
+	for _, p := range []Proto{ProtoUDP, ProtoTCP, ProtoICMP} {
+		if !l.Matches(TupleOf(src, dst, p, 5, 6)) {
+			t.Errorf("pair label should match proto %v", p)
+		}
+	}
+	if l.Matches(TupleOf(dst, src, ProtoUDP, 5, 6)) {
+		t.Error("pair label matched reversed tuple")
+	}
+}
+
+func TestFromSourceToDestination(t *testing.T) {
+	src, dst := MakeAddr(9, 9, 9, 9), MakeAddr(8, 8, 8, 8)
+	if !FromSource(src).Matches(TupleOf(src, dst, ProtoTCP, 1, 2)) {
+		t.Error("FromSource should match any destination")
+	}
+	if FromSource(src).Matches(TupleOf(dst, src, ProtoTCP, 1, 2)) {
+		t.Error("FromSource matched wrong source")
+	}
+	if !ToDestination(dst).Matches(TupleOf(src, dst, ProtoTCP, 1, 2)) {
+		t.Error("ToDestination should match any source")
+	}
+	if ToDestination(dst).Matches(TupleOf(dst, src, ProtoTCP, 1, 2)) {
+		t.Error("ToDestination matched wrong destination")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	src, dst := MakeAddr(1, 1, 1, 1), MakeAddr(2, 2, 2, 2)
+	pair := PairLabel(src, dst)
+	exact := Exact(src, dst, ProtoUDP, 1000, 80)
+	if !pair.Covers(exact) {
+		t.Error("pair should cover exact")
+	}
+	if exact.Covers(pair) {
+		t.Error("exact should not cover pair")
+	}
+	if !pair.Covers(pair) {
+		t.Error("label should cover itself")
+	}
+	all := Label{Wildcards: WildAll}
+	if !all.Covers(pair) || !all.Covers(exact) {
+		t.Error("WildAll should cover everything")
+	}
+	if pair.Covers(all) {
+		t.Error("pair should not cover WildAll")
+	}
+	other := PairLabel(src, MakeAddr(3, 3, 3, 3))
+	if pair.Covers(other) || other.Covers(pair) {
+		t.Error("disjoint pairs should not cover each other")
+	}
+}
+
+func TestCanonicalZeroesWildFields(t *testing.T) {
+	l := Label{
+		Src: MakeAddr(1, 2, 3, 4), Dst: MakeAddr(5, 6, 7, 8),
+		Proto: ProtoTCP, SrcPort: 99, DstPort: 100,
+		Wildcards: WildSrc | WildProto | WildDstPort,
+	}
+	c := l.Canonical()
+	if c.Src != 0 || c.Proto != 0 || c.DstPort != 0 {
+		t.Fatalf("wild fields not zeroed: %+v", c)
+	}
+	if c.Dst != l.Dst || c.SrcPort != l.SrcPort {
+		t.Fatalf("concrete fields changed: %+v", c)
+	}
+	// Two labels differing only in wildcarded payload must share a key.
+	l2 := l
+	l2.Src = MakeAddr(9, 9, 9, 9)
+	if l.Key() != l2.Key() {
+		t.Fatal("keys differ for equal-meaning labels")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	labels := []Label{
+		Exact(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 80),
+		PairLabel(MakeAddr(10, 0, 0, 1), MakeAddr(10, 0, 0, 2)),
+		FromSource(MakeAddr(172, 16, 0, 1)),
+		ToDestination(MakeAddr(10, 9, 8, 7)),
+		{Wildcards: WildAll},
+		Exact(MakeAddr(1, 1, 1, 1), MakeAddr(2, 2, 2, 2), ProtoICMP, 0, 0),
+		Exact(MakeAddr(1, 1, 1, 1), MakeAddr(2, 2, 2, 2), Proto(42), 1, 2),
+	}
+	for _, l := range labels {
+		s := l.String()
+		got, err := ParseLabel(s)
+		if err != nil {
+			t.Fatalf("ParseLabel(%q): %v", s, err)
+		}
+		if got.Canonical() != l.Canonical() {
+			t.Fatalf("round trip %q: got %+v want %+v", s, got, l)
+		}
+	}
+}
+
+func TestParseLabelErrors(t *testing.T) {
+	bad := []string{
+		"", "nonsense", "1.2.3.4 proto=udp sport=1 dport=2",
+		"1.2.3.4->bad proto=udp sport=1 dport=2",
+		"bad->1.2.3.4 proto=udp sport=1 dport=2",
+		"1.2.3.4->5.6.7.8 proto=warp sport=1 dport=2",
+		"1.2.3.4->5.6.7.8 proto=udp sport=huge dport=2",
+		"1.2.3.4->5.6.7.8 proto=udp sport=1 dport=70000",
+		"1.2.3.4->5.6.7.8 proto=udp sport=1 zort=2",
+		"1.2.3.4->5.6.7.8 proto=udp sport=1 dport",
+	}
+	for _, s := range bad {
+		if _, err := ParseLabel(s); err == nil {
+			t.Errorf("ParseLabel(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	l := Exact(MakeAddr(1, 1, 1, 1), MakeAddr(2, 2, 2, 2), ProtoUDP, 10, 20)
+	r := l.Reverse()
+	if r.Src != l.Dst || r.Dst != l.Src || r.SrcPort != 20 || r.DstPort != 10 {
+		t.Fatalf("Reverse = %+v", r)
+	}
+	if rr := r.Reverse(); rr != l {
+		t.Fatalf("double Reverse = %+v, want original", rr)
+	}
+	// Wildcards follow their field.
+	f := FromSource(MakeAddr(3, 3, 3, 3))
+	fr := f.Reverse()
+	if fr.Wildcards&WildSrc == 0 || fr.Wildcards&WildDst != 0 {
+		t.Fatalf("Reverse wildcards = %v", fr.Wildcards)
+	}
+	if fr.Dst != MakeAddr(3, 3, 3, 3) {
+		t.Fatalf("Reverse Dst = %v", fr.Dst)
+	}
+}
+
+// Property: Matches is consistent with Covers — if a covers b then every
+// tuple matching b also matches a (checked on the tuple derived from b's
+// concrete fields).
+func TestPropertyCoversImpliesMatches(t *testing.T) {
+	f := func(src, dst uint32, proto uint8, sp, dp uint16, wildA, wildB uint8) bool {
+		a := Label{Src: Addr(src), Dst: Addr(dst), Proto: Proto(proto),
+			SrcPort: sp, DstPort: dp, Wildcards: Wild(wildA) & WildAll}
+		b := Label{Src: Addr(src), Dst: Addr(dst), Proto: Proto(proto),
+			SrcPort: sp, DstPort: dp, Wildcards: Wild(wildB) & WildAll}
+		tup := Tuple{Src: Addr(src), Dst: Addr(dst), Proto: Proto(proto), SrcPort: sp, DstPort: dp}
+		if a.Covers(b) && b.Matches(tup) && !a.Matches(tup) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonicalisation is idempotent and preserves matching.
+func TestPropertyCanonicalIdempotent(t *testing.T) {
+	f := func(src, dst uint32, proto uint8, sp, dp uint16, wild uint8, ts, td uint32, tp uint8, tsp, tdp uint16) bool {
+		l := Label{Src: Addr(src), Dst: Addr(dst), Proto: Proto(proto),
+			SrcPort: sp, DstPort: dp, Wildcards: Wild(wild) & WildAll}
+		c := l.Canonical()
+		if c.Canonical() != c {
+			return false
+		}
+		tup := Tuple{Src: Addr(ts), Dst: Addr(td), Proto: Proto(tp), SrcPort: tsp, DstPort: tdp}
+		return l.Matches(tup) == c.Matches(tup)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String/ParseLabel round-trips for canonical labels.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, wild uint8) bool {
+		l := Label{Src: Addr(src), Dst: Addr(dst), Proto: ProtoUDP,
+			SrcPort: sp, DstPort: dp, Wildcards: Wild(wild) & WildAll}.Canonical()
+		got, err := ParseLabel(l.String())
+		if err != nil {
+			return false
+		}
+		return got.Canonical() == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatchExact(b *testing.B) {
+	l := Exact(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 80)
+	tup := TupleOf(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 80)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !l.Matches(tup) {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkMatchWildcard(b *testing.B) {
+	l := PairLabel(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2))
+	tup := TupleOf(MakeAddr(1, 0, 0, 1), MakeAddr(2, 0, 0, 2), ProtoUDP, 1000, 80)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !l.Matches(tup) {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package metrics provides the measurement instruments used by the
+// experiment harness: byte/packet meters with virtual-time windows,
+// time series, and plain-text table rendering for experiment output.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Time aliases the virtual timestamp type used across the simulator.
+type Time = time.Duration
+
+// Meter accumulates a byte count and exposes average bandwidth over the
+// interval it was observed. It also keeps per-window buckets so tests
+// can examine the time profile of a flow (e.g. on-off bursts).
+type Meter struct {
+	start   Time
+	end     Time
+	started bool
+
+	Bytes   uint64
+	Packets uint64
+
+	window  Time
+	buckets map[int64]uint64
+}
+
+// NewMeter creates a meter that additionally tracks per-window byte
+// buckets of the given width; width 0 disables bucketing.
+func NewMeter(window Time) *Meter {
+	return &Meter{window: window, buckets: make(map[int64]uint64)}
+}
+
+// Add records n payload bytes observed at time now.
+func (m *Meter) Add(now Time, n int) {
+	if !m.started {
+		m.start = now
+		m.started = true
+	}
+	if now > m.end {
+		m.end = now
+	}
+	m.Bytes += uint64(n)
+	m.Packets++
+	if m.window > 0 {
+		m.buckets[int64(now/m.window)] += uint64(n)
+	}
+}
+
+// First returns the time of the first observation.
+func (m *Meter) First() Time { return m.start }
+
+// Last returns the time of the last observation.
+func (m *Meter) Last() Time { return m.end }
+
+// Idle reports whether the meter never saw traffic.
+func (m *Meter) Idle() bool { return !m.started }
+
+// BandwidthOver returns average bytes/second across an externally
+// chosen horizon (e.g. the whole experiment), which is the "effective
+// bandwidth ... actually experienced by the victim" of §IV-A.1.
+func (m *Meter) BandwidthOver(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / horizon.Seconds()
+}
+
+// Buckets returns (windowIndex, bytes) pairs sorted by window.
+func (m *Meter) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(m.buckets))
+	for k, v := range m.buckets {
+		out = append(out, Bucket{Index: k, Bytes: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// ActiveWindows counts windows with any traffic; for an on-off flow it
+// approximates the number of "on" bursts × burst length / window.
+func (m *Meter) ActiveWindows() int { return len(m.buckets) }
+
+// Bucket is one fixed-width measurement window.
+type Bucket struct {
+	Index int64
+	Bytes uint64
+}
+
+// Series is an append-only time series of (t, value) points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one sample.
+type Point struct {
+	T Time
+	V float64
+}
+
+// Append adds a sample; timestamps should be nondecreasing.
+func (s *Series) Append(t Time, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Max returns the maximum value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Last returns the final value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Table renders experiment rows as aligned plain text, the format every
+// harness driver and example binary prints.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatFloat renders floats compactly: integers without decimals,
+// small magnitudes with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v == float64(int64(v)) && v < 1e12 && v > -1e12:
+		return fmt.Sprintf("%d", int64(v))
+	case v < 0.01 && v > -0.01:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// FormatBps renders a bytes/second figure with a binary-free unit.
+func FormatBps(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f GB/s", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2f MB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.2f KB/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", bps)
+	}
+}

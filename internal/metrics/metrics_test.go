@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeterBasics(t *testing.T) {
+	m := NewMeter(time.Second)
+	if !m.Idle() {
+		t.Fatal("fresh meter not idle")
+	}
+	m.Add(100*time.Millisecond, 500)
+	m.Add(200*time.Millisecond, 500)
+	m.Add(2500*time.Millisecond, 1000)
+	if m.Idle() {
+		t.Fatal("meter idle after Add")
+	}
+	if m.Bytes != 2000 || m.Packets != 3 {
+		t.Fatalf("Bytes=%d Packets=%d", m.Bytes, m.Packets)
+	}
+	if m.First() != 100*time.Millisecond || m.Last() != 2500*time.Millisecond {
+		t.Fatalf("First=%v Last=%v", m.First(), m.Last())
+	}
+	// 2000 bytes over a 10s horizon = 200 B/s.
+	if bw := m.BandwidthOver(10 * time.Second); bw != 200 {
+		t.Fatalf("BandwidthOver = %v", bw)
+	}
+	if m.BandwidthOver(0) != 0 {
+		t.Fatal("zero horizon should give 0")
+	}
+}
+
+func TestMeterBuckets(t *testing.T) {
+	m := NewMeter(time.Second)
+	m.Add(100*time.Millisecond, 10) // window 0
+	m.Add(900*time.Millisecond, 10) // window 0
+	m.Add(2500*time.Millisecond, 7) // window 2
+	bs := m.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	if bs[0].Index != 0 || bs[0].Bytes != 20 {
+		t.Fatalf("bucket0 = %+v", bs[0])
+	}
+	if bs[1].Index != 2 || bs[1].Bytes != 7 {
+		t.Fatalf("bucket1 = %+v", bs[1])
+	}
+	if m.ActiveWindows() != 2 {
+		t.Fatalf("ActiveWindows = %d", m.ActiveWindows())
+	}
+}
+
+func TestMeterNoWindow(t *testing.T) {
+	m := NewMeter(0)
+	m.Add(time.Second, 10)
+	if m.ActiveWindows() != 0 {
+		t.Fatal("window disabled but buckets recorded")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Last() != 0 {
+		t.Fatal("empty series nonzero")
+	}
+	s.Append(time.Second, 3)
+	s.Append(2*time.Second, 9)
+	s.Append(3*time.Second, 1)
+	if s.Max() != 9 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if s.Last() != 1 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("E4: victim gateway resources", "R1", "Ttmp", "peak filters", "analytic nv")
+	tbl.AddRow(100.0, 600*time.Millisecond, 60, 60)
+	tbl.AddRow(50.0, 600*time.Millisecond, 31, 30)
+	tbl.AddNote("analytic nv = R1*Ttmp")
+	out := tbl.String()
+	for _, want := range []string{
+		"== E4: victim gateway resources ==",
+		"peak filters",
+		"600ms",
+		"note: analytic nv = R1*Ttmp",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows + note.
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and first row share the column start.
+	hdr, row := lines[1], lines[3]
+	if strings.Index(hdr, "Ttmp") != strings.Index(row, "600ms") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRagged(t *testing.T) {
+	tbl := NewTable("ragged", "a", "b")
+	tbl.AddRow(1, 2, 3) // extra cell must not panic
+	out := tbl.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		42:       "42",
+		0.000833: "8.33e-04",
+		1.5:      "1.500",
+		-3:       "-3",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatBps(t *testing.T) {
+	cases := map[float64]string{
+		500:    "500 B/s",
+		2048:   "2.05 KB/s",
+		3.2e6:  "3.20 MB/s",
+		1.25e9: "1.25 GB/s",
+	}
+	for in, want := range cases {
+		if got := FormatBps(in); got != want {
+			t.Errorf("FormatBps(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkMeterAdd(b *testing.B) {
+	m := NewMeter(time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Add(time.Duration(i)*time.Microsecond, 1000)
+	}
+}

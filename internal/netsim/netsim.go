@@ -1,0 +1,277 @@
+// Package netsim is the discrete-event network emulator: nodes joined
+// by links with propagation delay, serialization (bandwidth) delay, and
+// drop-tail output queues, all driven by the sim engine's virtual time.
+//
+// netsim knows nothing about AITF; protocol behaviour is injected per
+// node through the Handler interface (implemented by internal/core for
+// AITF nodes and by internal/pushback for the baseline).
+package netsim
+
+import (
+	"fmt"
+
+	"aitf/internal/flow"
+	"aitf/internal/packet"
+	"aitf/internal/sim"
+	"aitf/internal/topology"
+)
+
+// DefaultQueueLen is the output queue capacity used when a link spec
+// leaves QueueLen zero.
+const DefaultQueueLen = 64
+
+// Handler receives every packet delivered to a node. from is the
+// interface the packet arrived on; it is nil for packets the node
+// originates via Deliver (used only in tests).
+type Handler interface {
+	Receive(n *Node, p *packet.Packet, from *Iface)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(n *Node, p *packet.Packet, from *Iface)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(n *Node, p *packet.Packet, from *Iface) { f(n, p, from) }
+
+// IfaceStats counts per-direction link activity.
+type IfaceStats struct {
+	TxPackets uint64
+	TxBytes   uint64
+	RxPackets uint64
+	RxBytes   uint64
+	// QueueDrops counts packets dropped because the output queue was
+	// full — congestion losses, the thing a DoS attack manufactures.
+	QueueDrops uint64
+}
+
+// Iface is one node's attachment to one link, in one direction. Sending
+// on an Iface transmits toward its neighbor.
+type Iface struct {
+	owner    *Node
+	neighbor *Node
+
+	delay     sim.Time
+	bandwidth float64 // bytes/s; 0 = infinite
+	queueCap  int
+
+	busyUntil sim.Time
+	queued    int
+
+	stats IfaceStats
+}
+
+// Neighbor returns the node at the far end.
+func (i *Iface) Neighbor() *Node { return i.neighbor }
+
+// Owner returns the node this interface belongs to.
+func (i *Iface) Owner() *Node { return i.owner }
+
+// Stats returns a copy of the interface counters.
+func (i *Iface) Stats() IfaceStats { return i.stats }
+
+// QueueLen returns the packets currently waiting for transmission.
+func (i *Iface) QueueLen() int { return i.queued }
+
+// Send transmits p toward the neighbor, modelling serialization delay,
+// propagation delay, and a drop-tail queue. It reports whether the
+// packet was accepted (false = queue overflow).
+func (i *Iface) Send(p *packet.Packet) bool {
+	eng := i.owner.net.eng
+	now := eng.Now()
+	size := p.WireSize()
+
+	var txdur sim.Time
+	if i.bandwidth > 0 {
+		txdur = sim.Time(float64(size) / i.bandwidth * 1e9)
+	}
+	start := now
+	if i.busyUntil > now {
+		// Link busy: the packet must queue.
+		if i.queued >= i.queueCap {
+			i.stats.QueueDrops++
+			return false
+		}
+		start = i.busyUntil
+		i.queued++
+		eng.ScheduleAt(start, func() { i.queued-- })
+	}
+	i.busyUntil = start + txdur
+	i.stats.TxPackets++
+	i.stats.TxBytes += uint64(size)
+
+	dst := i.neighbor
+	back := dst.IfaceTo(i.owner.Addr())
+	arrive := start + txdur + i.delay
+	eng.ScheduleAt(arrive, func() {
+		if back != nil {
+			back.stats.RxPackets++
+			back.stats.RxBytes += uint64(size)
+		}
+		dst.handler.Receive(dst, p, back)
+	})
+	return true
+}
+
+// Node is a running network element.
+type Node struct {
+	net  *Network
+	info topology.Node
+
+	ifaces  []*Iface
+	byPeer  map[flow.Addr]*Iface
+	routes  map[flow.Addr]*Iface
+	handler Handler
+
+	// RoutingDrops counts packets dropped for TTL expiry or no route.
+	RoutingDrops uint64
+}
+
+// ID returns the node's topology ID.
+func (n *Node) ID() topology.NodeID { return n.info.ID }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() flow.Addr { return n.info.Addr }
+
+// Name returns the node's topology name.
+func (n *Node) Name() string { return n.info.Name }
+
+// Kind returns the node's topology kind.
+func (n *Node) Kind() topology.Kind { return n.info.Kind }
+
+// AS returns the node's autonomous domain.
+func (n *Node) AS() int { return n.info.AS }
+
+// Net returns the owning network.
+func (n *Node) Net() *Network { return n.net }
+
+// Engine returns the simulation engine, for scheduling protocol timers.
+func (n *Node) Engine() *sim.Engine { return n.net.eng }
+
+// Ifaces lists the node's interfaces in topology order.
+func (n *Node) Ifaces() []*Iface { return n.ifaces }
+
+// IfaceTo returns the interface whose neighbor has the given address.
+func (n *Node) IfaceTo(neighbor flow.Addr) *Iface { return n.byPeer[neighbor] }
+
+// NextHop returns the interface on the shortest path toward dst, or nil
+// if dst is unknown or is the node itself.
+func (n *Node) NextHop(dst flow.Addr) *Iface { return n.routes[dst] }
+
+// SetHandler installs the node's packet handler.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Handler returns the node's current handler.
+func (n *Node) Handler() Handler { return n.handler }
+
+// Forward routes p toward its destination: decrements TTL, looks up the
+// next hop, and transmits. It reports whether the packet moved on.
+func (n *Node) Forward(p *packet.Packet) bool {
+	if p.TTL == 0 {
+		n.RoutingDrops++
+		return false
+	}
+	p.TTL--
+	hop := n.NextHop(p.Dst)
+	if hop == nil {
+		n.RoutingDrops++
+		return false
+	}
+	return hop.Send(p)
+}
+
+// Originate injects a packet generated by this node into the network,
+// stamping the source if unset.
+func (n *Node) Originate(p *packet.Packet) bool {
+	if p.Src == 0 {
+		p.Src = n.Addr()
+	}
+	hop := n.NextHop(p.Dst)
+	if hop == nil {
+		n.RoutingDrops++
+		return false
+	}
+	return hop.Send(p)
+}
+
+// Network is a set of running nodes built from a topology.
+type Network struct {
+	eng    *sim.Engine
+	topo   *topology.Topology
+	nodes  []*Node
+	byAddr map[flow.Addr]*Node
+}
+
+// Build instantiates a network over the engine. Every node starts with
+// a plain forwarding handler (hosts drop packets not addressed to
+// them); install protocol handlers with Node.SetHandler.
+func Build(eng *sim.Engine, topo *topology.Topology) (*Network, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	net := &Network{eng: eng, topo: topo, byAddr: make(map[flow.Addr]*Node)}
+	net.nodes = make([]*Node, len(topo.Nodes))
+	for _, tn := range topo.Nodes {
+		n := &Node{
+			net:    net,
+			info:   tn,
+			byPeer: make(map[flow.Addr]*Iface),
+			routes: make(map[flow.Addr]*Iface),
+		}
+		n.handler = HandlerFunc(defaultReceive)
+		net.nodes[tn.ID] = n
+		net.byAddr[tn.Addr] = n
+	}
+	for _, ls := range topo.Links {
+		qlen := ls.QueueLen
+		if qlen <= 0 {
+			qlen = DefaultQueueLen
+		}
+		a, b := net.nodes[ls.A], net.nodes[ls.B]
+		ab := &Iface{owner: a, neighbor: b, delay: ls.Delay, bandwidth: ls.Bandwidth, queueCap: qlen}
+		ba := &Iface{owner: b, neighbor: a, delay: ls.Delay, bandwidth: ls.Bandwidth, queueCap: qlen}
+		a.ifaces = append(a.ifaces, ab)
+		b.ifaces = append(b.ifaces, ba)
+		a.byPeer[b.Addr()] = ab
+		b.byPeer[a.Addr()] = ba
+	}
+	for from, hops := range topo.NextHops() {
+		n := net.nodes[from]
+		for dst, via := range hops {
+			n.routes[topo.Nodes[dst].Addr] = n.byPeer[topo.Nodes[via].Addr]
+		}
+	}
+	return net, nil
+}
+
+// MustBuild is Build for static topologies known to be valid.
+func MustBuild(eng *sim.Engine, topo *topology.Topology) *Network {
+	net, err := Build(eng, topo)
+	if err != nil {
+		panic(fmt.Sprintf("netsim: %v", err))
+	}
+	return net
+}
+
+// Engine returns the simulation engine.
+func (net *Network) Engine() *sim.Engine { return net.eng }
+
+// Topology returns the topology the network was built from.
+func (net *Network) Topology() *topology.Topology { return net.topo }
+
+// Node returns the node with the given topology ID.
+func (net *Network) Node(id topology.NodeID) *Node { return net.nodes[id] }
+
+// NodeByAddr returns the node with the given address, or nil.
+func (net *Network) NodeByAddr(a flow.Addr) *Node { return net.byAddr[a] }
+
+// Nodes lists all nodes in topology order.
+func (net *Network) Nodes() []*Node { return net.nodes }
+
+// defaultReceive is plain best-effort forwarding: routers relay,
+// endpoints silently absorb their own traffic and drop the rest.
+func defaultReceive(n *Node, p *packet.Packet, _ *Iface) {
+	if p.Dst == n.Addr() {
+		return
+	}
+	n.Forward(p)
+}

@@ -1,0 +1,269 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+// Wire format (big endian):
+//
+//	magic(2)=0xA17F  version(1)=1
+//	header: src(4) dst(4) proto(1) sport(2) dport(2) ttl(1) payloadLen(2)
+//	pathLen(1)  pathLen × { router(4) nonce(8) }
+//	msgKind(1)  0 = data packet, otherwise a Message body follows
+//
+// Label encoding: src(4) dst(4) proto(1) sport(2) dport(2) wildcards(1).
+
+const (
+	wireMagic   uint16 = 0xA17F
+	wireVersion byte   = 1
+	labelBytes         = 14
+
+	// MaxPathLen bounds the route-record shim; paths longer than any
+	// plausible AS-level route are rejected as malformed.
+	MaxPathLen = 64
+	// MaxEvidenceLen bounds the evidence path inside a FilterReq.
+	MaxEvidenceLen = MaxPathLen
+)
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadMagic    = errors.New("packet: bad magic or version")
+	ErrBadMessage  = errors.New("packet: malformed message")
+	ErrPathTooLong = errors.New("packet: route record too long")
+)
+
+// Marshal encodes the packet into a fresh byte slice.
+func Marshal(p *Packet) ([]byte, error) {
+	if len(p.Path) > MaxPathLen {
+		return nil, ErrPathTooLong
+	}
+	size := 3 + HeaderBytes + 1 + len(p.Path)*RREntryBytes + 1
+	if p.Msg != nil {
+		size += p.Msg.wireSize() - 1 // kind byte already counted
+	}
+	b := make([]byte, 0, size)
+	b = binary.BigEndian.AppendUint16(b, wireMagic)
+	b = append(b, wireVersion)
+	b = appendHeader(b, p.Header)
+	b = append(b, byte(len(p.Path)))
+	for _, e := range p.Path {
+		b = binary.BigEndian.AppendUint32(b, uint32(e.Router))
+		b = binary.BigEndian.AppendUint64(b, e.Nonce)
+	}
+	if p.Msg == nil {
+		b = append(b, 0)
+		return b, nil
+	}
+	b = append(b, byte(p.Msg.Kind()))
+	switch m := p.Msg.(type) {
+	case *FilterReq:
+		if len(m.Evidence) > MaxEvidenceLen {
+			return nil, ErrPathTooLong
+		}
+		b = append(b, byte(m.Stage), m.Round)
+		b = appendLabel(b, m.Flow)
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Duration))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Victim))
+		b = binary.BigEndian.AppendUint16(b, uint16(len(m.Evidence)))
+		for _, e := range m.Evidence {
+			b = binary.BigEndian.AppendUint32(b, uint32(e.Router))
+			b = binary.BigEndian.AppendUint64(b, e.Nonce)
+		}
+	case *VerifyQuery:
+		b = appendLabel(b, m.Flow)
+		b = binary.BigEndian.AppendUint64(b, m.Nonce)
+	case *VerifyReply:
+		b = appendLabel(b, m.Flow)
+		b = binary.BigEndian.AppendUint64(b, m.Nonce)
+	case *Disconnect:
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Client))
+		b = appendLabel(b, m.Flow)
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Penalty))
+	case *PushbackReq:
+		b = appendLabel(b, m.Aggregate)
+		b = binary.BigEndian.AppendUint64(b, m.LimitBps)
+		b = append(b, m.Depth)
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Duration))
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, p.Msg.Kind())
+	}
+	return b, nil
+}
+
+// Unmarshal decodes a packet previously encoded by Marshal.
+func Unmarshal(b []byte) (*Packet, error) {
+	r := reader{buf: b}
+	if r.u16() != wireMagic || r.u8() != wireVersion {
+		if r.err != nil {
+			return nil, ErrTruncated
+		}
+		return nil, ErrBadMagic
+	}
+	var p Packet
+	p.Header = r.header()
+	n := int(r.u8())
+	if n > MaxPathLen {
+		return nil, ErrPathTooLong
+	}
+	if n > 0 {
+		p.Path = make([]RREntry, n)
+		for i := 0; i < n; i++ {
+			p.Path[i] = RREntry{Router: flow.Addr(r.u32()), Nonce: r.u64()}
+		}
+	}
+	kind := MsgKind(r.u8())
+	if r.err != nil {
+		return nil, ErrTruncated
+	}
+	switch kind {
+	case 0:
+		// data packet
+	case KindFilterReq:
+		m := &FilterReq{}
+		m.Stage = Stage(r.u8())
+		m.Round = r.u8()
+		m.Flow = r.label()
+		m.Duration = time.Duration(r.u64())
+		m.Victim = flow.Addr(r.u32())
+		en := int(r.u16())
+		if en > MaxEvidenceLen {
+			return nil, ErrPathTooLong
+		}
+		if en > 0 {
+			m.Evidence = make([]RREntry, en)
+			for i := 0; i < en; i++ {
+				m.Evidence[i] = RREntry{Router: flow.Addr(r.u32()), Nonce: r.u64()}
+			}
+		}
+		if m.Stage < StageToVictimGW || m.Stage > StageToAttacker {
+			return nil, fmt.Errorf("%w: bad stage %d", ErrBadMessage, m.Stage)
+		}
+		p.Msg = m
+	case KindVerifyQuery:
+		p.Msg = &VerifyQuery{Flow: r.label(), Nonce: r.u64()}
+	case KindVerifyReply:
+		p.Msg = &VerifyReply{Flow: r.label(), Nonce: r.u64()}
+	case KindDisconnect:
+		p.Msg = &Disconnect{
+			Client:  flow.Addr(r.u32()),
+			Flow:    r.label(),
+			Penalty: time.Duration(r.u64()),
+		}
+	case KindPushback:
+		p.Msg = &PushbackReq{
+			Aggregate: r.label(),
+			LimitBps:  r.u64(),
+			Depth:     r.u8(),
+			Duration:  time.Duration(r.u64()),
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+	}
+	if r.err != nil {
+		return nil, ErrTruncated
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+	}
+	return &p, nil
+}
+
+func appendHeader(b []byte, h Header) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Dst))
+	b = append(b, byte(h.Proto))
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = append(b, h.TTL)
+	b = binary.BigEndian.AppendUint16(b, h.PayloadLen)
+	return b
+}
+
+func appendLabel(b []byte, l flow.Label) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(l.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(l.Dst))
+	b = append(b, byte(l.Proto))
+	b = binary.BigEndian.AppendUint16(b, l.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, l.DstPort)
+	b = append(b, byte(l.Wildcards))
+	return b
+}
+
+// reader is a bounds-checked big-endian cursor; after any failed read
+// err is set and subsequent reads return zero.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) header() Header {
+	return Header{
+		Src:        flow.Addr(r.u32()),
+		Dst:        flow.Addr(r.u32()),
+		Proto:      flow.Proto(r.u8()),
+		SrcPort:    r.u16(),
+		DstPort:    r.u16(),
+		TTL:        r.u8(),
+		PayloadLen: r.u16(),
+	}
+}
+
+func (r *reader) label() flow.Label {
+	return flow.Label{
+		Src:       flow.Addr(r.u32()),
+		Dst:       flow.Addr(r.u32()),
+		Proto:     flow.Proto(r.u8()),
+		SrcPort:   r.u16(),
+		DstPort:   r.u16(),
+		Wildcards: flow.Wild(r.u8()),
+	}
+}

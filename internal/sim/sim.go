@@ -1,0 +1,186 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock. Events are closures scheduled at
+// absolute virtual times; ties are broken by scheduling order so that a
+// run is fully reproducible for a given seed. All AITF protocol timing
+// experiments (Td, Tr, Ttmp, T interplay) run on this engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// Event is a scheduled closure. It is retained by the engine until it
+// fires or is cancelled.
+type Event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once removed
+	cancled bool
+}
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all protocol code runs inside event callbacks.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events that have fired since construction.
+	Processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// The same seed always yields the same event interleaving.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+// The returned Event may be used to cancel the callback.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to the present.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run/RunUntil return before dispatching the next event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events still queued (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// RunUntil dispatches events in timestamp order until the queue is
+// empty, Stop is called, or the next event is strictly after deadline.
+// The clock is left at min(deadline, time of last fired event); if the
+// queue empties early the clock still advances to deadline so that
+// measurements cover the full window.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancled {
+			continue
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run dispatches every queued event (including events scheduled by
+// other events) until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.cancled {
+			continue
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+}
+
+// Step fires exactly one event, returning false if the queue was empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.cancled {
+			continue
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d processed=%d}", e.now, len(e.queue), e.Processed)
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(2*time.Millisecond, func() { fired = true })
+	e.Schedule(time.Millisecond, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event fired despite cancellation by earlier event")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(time.Minute)
+	if e.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Fatalf("Now = %v, want 99ms", e.Now())
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {
+		ev := e.Schedule(-5*time.Second, func() {})
+		if ev.At() != e.Now() {
+			t.Fatalf("negative delay scheduled at %v, want %v", ev.At(), e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4 (Stop should halt dispatch)", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(time.Millisecond, func() { count++ })
+	e.Schedule(2*time.Millisecond, func() { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatalf("first Step: count = %d, want 1", count)
+	}
+	if !e.Step() || count != 2 {
+		t.Fatalf("second Step: count = %d, want 2", count)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(42), NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time
+// order and the engine visits every event exactly once.
+func TestPropertyFiringOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnNilCallback(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	NewEngine(1).Schedule(0, nil)
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

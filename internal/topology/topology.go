@@ -1,0 +1,190 @@
+// Package topology builds the multi-node network graphs the experiments
+// run on: the paper's Figure-1 chain, generalized chains for escalation
+// sweeps, and many-to-one attack topologies with a bottleneck tail
+// circuit. It also computes static shortest-path routing tables.
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+// NodeID indexes a node within one Topology.
+type NodeID int
+
+// Kind classifies nodes. Only hosts and border routers are AITF nodes
+// (§II-A); internal routers just forward.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindHost Kind = iota
+	KindBorderRouter
+	KindInternalRouter
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindBorderRouter:
+		return "border-router"
+	case KindInternalRouter:
+		return "internal-router"
+	default:
+		return "kind?"
+	}
+}
+
+// Node is a vertex in the topology.
+type Node struct {
+	ID   NodeID
+	Addr flow.Addr
+	Name string
+	Kind Kind
+	// AS is the autonomous domain the node belongs to. Border routers
+	// sit at the edge of their AS.
+	AS int
+}
+
+// LinkSpec is an undirected edge with transmission characteristics.
+type LinkSpec struct {
+	A, B NodeID
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Bandwidth is the link rate in bytes/second; 0 means unlimited
+	// (no serialization delay).
+	Bandwidth float64
+	// QueueLen is the output queue capacity in packets; 0 means the
+	// netsim default.
+	QueueLen int
+}
+
+// Topology is a static network graph.
+type Topology struct {
+	Nodes []Node
+	Links []LinkSpec
+
+	byAddr map[flow.Addr]NodeID
+	byName map[string]NodeID
+	adj    map[NodeID][]NodeID
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		byAddr: make(map[flow.Addr]NodeID),
+		byName: make(map[string]NodeID),
+		adj:    make(map[NodeID][]NodeID),
+	}
+}
+
+// AddNode adds a node and returns its ID. Names and addresses must be
+// unique; AddNode panics on duplicates (topologies are built by code,
+// not parsed from untrusted input).
+func (t *Topology) AddNode(name string, addr flow.Addr, kind Kind, as int) NodeID {
+	if _, dup := t.byAddr[addr]; dup {
+		panic(fmt.Sprintf("topology: duplicate address %v", addr))
+	}
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("topology: duplicate name %q", name))
+	}
+	id := NodeID(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{ID: id, Addr: addr, Name: name, Kind: kind, AS: as})
+	t.byAddr[addr] = id
+	t.byName[name] = id
+	return id
+}
+
+// AddLink connects a and b.
+func (t *Topology) AddLink(a, b NodeID, delay time.Duration, bandwidth float64, queueLen int) {
+	if a == b {
+		panic("topology: self link")
+	}
+	t.Links = append(t.Links, LinkSpec{A: a, B: b, Delay: delay, Bandwidth: bandwidth, QueueLen: queueLen})
+	t.adj[a] = append(t.adj[a], b)
+	t.adj[b] = append(t.adj[b], a)
+}
+
+// Lookup returns the node with the given address.
+func (t *Topology) Lookup(addr flow.Addr) (Node, bool) {
+	id, ok := t.byAddr[addr]
+	if !ok {
+		return Node{}, false
+	}
+	return t.Nodes[id], true
+}
+
+// ByName returns the node with the given name.
+func (t *Topology) ByName(name string) (Node, bool) {
+	id, ok := t.byName[name]
+	if !ok {
+		return Node{}, false
+	}
+	return t.Nodes[id], true
+}
+
+// Neighbors returns the IDs adjacent to id.
+func (t *Topology) Neighbors(id NodeID) []NodeID {
+	return t.adj[id]
+}
+
+// NextHops computes, for every node, the next hop toward every other
+// node by hop-count shortest path (BFS from each destination). Ties
+// break toward the lower neighbor ID, deterministically.
+func (t *Topology) NextHops() map[NodeID]map[NodeID]NodeID {
+	out := make(map[NodeID]map[NodeID]NodeID, len(t.Nodes))
+	for _, n := range t.Nodes {
+		out[n.ID] = make(map[NodeID]NodeID)
+	}
+	// BFS from each destination d; parent pointers give next hops.
+	for _, d := range t.Nodes {
+		visited := make([]bool, len(t.Nodes))
+		visited[d.ID] = true
+		frontier := []NodeID{d.ID}
+		parent := make([]NodeID, len(t.Nodes))
+		parent[d.ID] = d.ID
+		for len(frontier) > 0 {
+			var next []NodeID
+			for _, u := range frontier {
+				for _, v := range t.adj[u] {
+					if !visited[v] {
+						visited[v] = true
+						parent[v] = u
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		for _, n := range t.Nodes {
+			if n.ID == d.ID || !visited[n.ID] {
+				continue
+			}
+			out[n.ID][d.ID] = parent[n.ID]
+		}
+	}
+	return out
+}
+
+// Validate checks that the graph is connected and every node has at
+// least one link.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("topology: empty")
+	}
+	hops := t.NextHops()
+	for _, n := range t.Nodes {
+		for _, m := range t.Nodes {
+			if n.ID == m.ID {
+				continue
+			}
+			if _, ok := hops[n.ID][m.ID]; !ok {
+				return fmt.Errorf("topology: %s cannot reach %s", n.Name, m.Name)
+			}
+		}
+	}
+	return nil
+}

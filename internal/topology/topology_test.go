@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"testing"
+
+	"aitf/internal/flow"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	topo, n := Figure1(DefaultParams())
+	if len(topo.Nodes) != 8 {
+		t.Fatalf("nodes = %d, want 8", len(topo.Nodes))
+	}
+	if len(topo.Links) != 7 {
+		t.Fatalf("links = %d, want 7 (a chain)", len(topo.Links))
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The two hosts are AITF end-hosts; everything else border routers.
+	for _, id := range []NodeID{n.GHost, n.BHost} {
+		if topo.Nodes[id].Kind != KindHost {
+			t.Errorf("%s kind = %v", topo.Nodes[id].Name, topo.Nodes[id].Kind)
+		}
+	}
+	for _, id := range []NodeID{n.GGw1, n.GGw2, n.GGw3, n.BGw1, n.BGw2, n.BGw3} {
+		if topo.Nodes[id].Kind != KindBorderRouter {
+			t.Errorf("%s kind = %v", topo.Nodes[id].Name, topo.Nodes[id].Kind)
+		}
+	}
+	// Named lookup agrees with IDs.
+	if got, ok := topo.ByName("B_gw1"); !ok || got.ID != n.BGw1 {
+		t.Fatalf("ByName(B_gw1) = %+v, %v", got, ok)
+	}
+}
+
+func TestFigure1Routing(t *testing.T) {
+	topo, n := Figure1(DefaultParams())
+	hops := topo.NextHops()
+	// G_host's next hop to B_host is G_gw1, then the chain.
+	if hops[n.GHost][n.BHost] != n.GGw1 {
+		t.Fatal("G_host should route to B_host via G_gw1")
+	}
+	if hops[n.GGw1][n.BHost] != n.GGw2 {
+		t.Fatal("G_gw1 should route to B_host via G_gw2")
+	}
+	if hops[n.GGw3][n.BHost] != n.BGw3 {
+		t.Fatal("G_gw3 should route to B_host via B_gw3")
+	}
+	if hops[n.BGw1][n.BHost] != n.BHost {
+		t.Fatal("B_gw1 routes directly to its client")
+	}
+	// Reverse direction mirrors.
+	if hops[n.BHost][n.GHost] != n.BGw1 {
+		t.Fatal("B_host should route via B_gw1")
+	}
+}
+
+func TestChainMatchesFigure1(t *testing.T) {
+	topo, n := Chain(3, DefaultParams())
+	if len(topo.Nodes) != 8 || len(topo.Links) != 7 {
+		t.Fatalf("Chain(3) = %d nodes %d links", len(topo.Nodes), len(topo.Links))
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.VictimGW) != 3 || len(n.AttackGW) != 3 {
+		t.Fatalf("gateway slices = %d/%d", len(n.VictimGW), len(n.AttackGW))
+	}
+	// Path order: victim gw1..3, then attacker gw3..1, then attacker.
+	hops := topo.NextHops()
+	if hops[n.VictimGW[2]][n.Attacker] != n.AttackGW[2] {
+		t.Fatal("top victim gateway should peer with top attacker gateway")
+	}
+	if hops[n.AttackGW[0]][n.Attacker] != n.Attacker {
+		t.Fatal("bottom attacker gateway serves the attacker directly")
+	}
+}
+
+func TestChainDepthOne(t *testing.T) {
+	topo, n := Chain(1, DefaultParams())
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hops := topo.NextHops()
+	if hops[n.VictimGW[0]][n.Attacker] != n.AttackGW[0] {
+		t.Fatal("depth-1 chain: victim gw peers directly with attacker gw")
+	}
+}
+
+func TestChainPanicsOnBadDepth(t *testing.T) {
+	for _, d := range []int{0, -1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Chain(%d) did not panic", d)
+				}
+			}()
+			Chain(d, DefaultParams())
+		}()
+	}
+}
+
+func TestManyToOne(t *testing.T) {
+	topo, n := ManyToOne(5, 3, DefaultParams())
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Attackers) != 5 || len(n.AttackGWs) != 5 || len(n.Legit) != 3 {
+		t.Fatalf("site counts wrong: %+v", n)
+	}
+	// 3 base nodes + 2 per site.
+	if want := 3 + 2*(5+3); len(topo.Nodes) != want {
+		t.Fatalf("nodes = %d, want %d", len(topo.Nodes), want)
+	}
+	hops := topo.NextHops()
+	// Every attacker reaches the victim through its own gateway, the
+	// core, and the victim's gateway.
+	for i, a := range n.Attackers {
+		if hops[a][n.Victim] != n.AttackGWs[i] {
+			t.Fatalf("attacker %d first hop wrong", i)
+		}
+		if hops[n.AttackGWs[i]][n.Victim] != n.Core {
+			t.Fatalf("attacker gw %d should route via core", i)
+		}
+	}
+	if hops[n.Core][n.Victim] != n.VictimGW {
+		t.Fatal("core should route via victim gw")
+	}
+	// Core router is not an AITF node.
+	if topo.Nodes[n.Core].Kind != KindInternalRouter {
+		t.Fatal("core should be an internal router")
+	}
+}
+
+func TestManyToOneLargeAddressing(t *testing.T) {
+	// Crossing the /24-ish boundary (250 hosts per block) must not
+	// produce duplicate addresses; AddNode would panic.
+	topo, _ := ManyToOne(600, 0, DefaultParams())
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedGateway(t *testing.T) {
+	topo, n := SharedGateway(10, 3, DefaultParams())
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Victims) != 3 || len(n.Attackers) != 10 {
+		t.Fatalf("host counts: %d victims, %d attackers", len(n.Victims), len(n.Attackers))
+	}
+	hops := topo.NextHops()
+	for _, a := range n.Attackers {
+		for _, v := range n.Victims {
+			if hops[a][v] != n.AttackGW {
+				t.Fatal("all attackers share one gateway")
+			}
+		}
+	}
+	if hops[n.AttackGW][n.Victim()] != n.VictimGW {
+		t.Fatal("attack gw peers with victim gw")
+	}
+}
+
+func TestAddNodeDuplicatePanics(t *testing.T) {
+	topo := New()
+	topo.AddNode("a", flow.MakeAddr(1, 1, 1, 1), KindHost, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate addr did not panic")
+			}
+		}()
+		topo.AddNode("b", flow.MakeAddr(1, 1, 1, 1), KindHost, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate name did not panic")
+			}
+		}()
+		topo.AddNode("a", flow.MakeAddr(2, 2, 2, 2), KindHost, 1)
+	}()
+}
+
+func TestSelfLinkPanics(t *testing.T) {
+	topo := New()
+	a := topo.AddNode("a", flow.MakeAddr(1, 1, 1, 1), KindHost, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("self link did not panic")
+		}
+	}()
+	topo.AddLink(a, a, 0, 0, 0)
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	topo := New()
+	topo.AddNode("a", flow.MakeAddr(1, 1, 1, 1), KindHost, 1)
+	topo.AddNode("b", flow.MakeAddr(2, 2, 2, 2), KindHost, 2)
+	if err := topo.Validate(); err == nil {
+		t.Fatal("disconnected topology validated")
+	}
+	if err := New().Validate(); err == nil {
+		t.Fatal("empty topology validated")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	topo, n := Figure1(DefaultParams())
+	addr := topo.Nodes[n.BGw2].Addr
+	got, ok := topo.Lookup(addr)
+	if !ok || got.ID != n.BGw2 {
+		t.Fatalf("Lookup(%v) = %+v, %v", addr, got, ok)
+	}
+	if _, ok := topo.Lookup(flow.MakeAddr(9, 9, 9, 9)); ok {
+		t.Fatal("Lookup of unknown addr succeeded")
+	}
+	if _, ok := topo.ByName("nobody"); ok {
+		t.Fatal("ByName of unknown name succeeded")
+	}
+	if len(topo.Neighbors(n.GGw2)) != 2 {
+		t.Fatal("G_gw2 should have two neighbors")
+	}
+}

@@ -1,0 +1,152 @@
+// Package traceback implements AITF's path-identification substrate as
+// an in-packet route record (RR).
+//
+// AITF assumes "an efficient traceback technique" so the victim's
+// gateway can find the attacker's gateway and the next AITF node on the
+// attack path (§II-F). We use the variant with zero traceback latency
+// that the paper's nv example assumes (a TRIAD-like architecture where
+// "traceback is automatically provided inside each packet"): every AITF
+// border router appends its address to a shim carried by the packet.
+//
+// Each entry also carries a 64-bit authenticator: HMAC-SHA256 of the
+// packet's flow tuple under a router-local secret, truncated. A border
+// router receiving a filtering request can verify that the evidence path
+// really crossed it (it recomputes its own authenticator) — forged
+// requests naming routers that never saw the flow are detected without
+// any router-to-router key distribution.
+package traceback
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"aitf/internal/flow"
+	"aitf/internal/packet"
+)
+
+// Recorder stamps and verifies route-record entries for one border
+// router. The zero value is unusable; use NewRecorder.
+type Recorder struct {
+	addr   flow.Addr
+	secret []byte
+}
+
+// NewRecorder builds a Recorder for the router at addr. The secret is
+// local to the router and never shared; an empty secret is replaced by
+// a derivation from the address so that misconfigured routers still get
+// distinct (if weak) keys.
+func NewRecorder(addr flow.Addr, secret []byte) *Recorder {
+	if len(secret) == 0 {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(addr))
+		secret = b[:]
+	}
+	return &Recorder{addr: addr, secret: append([]byte(nil), secret...)}
+}
+
+// Addr returns the router address entries are stamped with.
+func (r *Recorder) Addr() flow.Addr { return r.addr }
+
+// Nonce computes the authenticator this router would stamp on a packet
+// with the given tuple.
+func (r *Recorder) Nonce(t flow.Tuple) uint64 {
+	mac := hmac.New(sha256.New, r.secret)
+	var buf [13]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(t.Src))
+	binary.BigEndian.PutUint32(buf[4:], uint32(t.Dst))
+	buf[8] = byte(t.Proto)
+	binary.BigEndian.PutUint16(buf[9:], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[11:], t.DstPort)
+	mac.Write(buf[:])
+	return binary.BigEndian.Uint64(mac.Sum(nil)[:8])
+}
+
+// Stamp appends this router's RR entry to the packet.
+func (r *Recorder) Stamp(p *packet.Packet) {
+	p.RecordRoute(r.addr, r.Nonce(p.Tuple()))
+}
+
+// Verify reports whether the path contains an entry for this router
+// whose authenticator matches the tuple — i.e. whether a packet of this
+// flow credibly crossed this router.
+func (r *Recorder) Verify(path []packet.RREntry, t flow.Tuple) bool {
+	want := r.Nonce(t)
+	for _, e := range path {
+		if e.Router == r.addr && e.Nonce == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Traceback errors.
+var (
+	ErrEmptyPath    = errors.New("traceback: empty path")
+	ErrNotOnPath    = errors.New("traceback: requester not on recorded path")
+	ErrRoundTooHigh = errors.New("traceback: escalation round beyond path end")
+)
+
+// AttackPath is the ordered list of AITF border routers a flow crossed,
+// index 0 being the attacker's gateway (appended first).
+type AttackPath []packet.RREntry
+
+// FromPacket extracts the attack path from a sample attack packet.
+func FromPacket(p *packet.Packet) (AttackPath, error) {
+	if len(p.Path) == 0 {
+		return nil, ErrEmptyPath
+	}
+	return AttackPath(append([]packet.RREntry(nil), p.Path...)), nil
+}
+
+// AttackerGateway returns the AITF node closest to the attacker.
+func (ap AttackPath) AttackerGateway() (flow.Addr, error) {
+	if len(ap) == 0 {
+		return 0, ErrEmptyPath
+	}
+	return ap[0].Router, nil
+}
+
+// GatewayForRound returns the attacker-side target of escalation round
+// r (1-based): round 1 is the attacker's gateway, round 2 the next
+// border router toward the core, and so on (§II-B "the mechanism
+// proceeds in rounds").
+func (ap AttackPath) GatewayForRound(round int) (flow.Addr, error) {
+	if len(ap) == 0 {
+		return 0, ErrEmptyPath
+	}
+	if round < 1 || round > len(ap) {
+		return 0, ErrRoundTooHigh
+	}
+	return ap[round-1].Router, nil
+}
+
+// Contains reports whether addr appears anywhere on the path.
+func (ap AttackPath) Contains(addr flow.Addr) bool {
+	for _, e := range ap {
+		if e.Router == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the position of addr on the path, or -1.
+func (ap AttackPath) IndexOf(addr flow.Addr) int {
+	for i, e := range ap {
+		if e.Router == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Routers returns the bare router addresses in order.
+func (ap AttackPath) Routers() []flow.Addr {
+	out := make([]flow.Addr, len(ap))
+	for i, e := range ap {
+		out[i] = e.Router
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package traceback
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aitf/internal/flow"
+	"aitf/internal/packet"
+)
+
+var (
+	host1 = flow.MakeAddr(10, 0, 0, 2)
+	host2 = flow.MakeAddr(10, 9, 0, 7)
+	rtrA  = flow.MakeAddr(10, 0, 0, 1)
+	rtrB  = flow.MakeAddr(10, 1, 0, 1)
+	rtrC  = flow.MakeAddr(10, 2, 0, 1)
+)
+
+func samplePacket() *packet.Packet {
+	return packet.NewData(host1, host2, flow.ProtoUDP, 4000, 80, 1000)
+}
+
+func TestStampAndVerify(t *testing.T) {
+	r := NewRecorder(rtrA, []byte("secret-a"))
+	p := samplePacket()
+	r.Stamp(p)
+	if len(p.Path) != 1 || p.Path[0].Router != rtrA {
+		t.Fatalf("path = %v", p.Path)
+	}
+	if !r.Verify(p.Path, p.Tuple()) {
+		t.Fatal("router failed to verify its own stamp")
+	}
+}
+
+func TestVerifyRejectsForgedNonce(t *testing.T) {
+	r := NewRecorder(rtrA, []byte("secret-a"))
+	p := samplePacket()
+	// A forger knows the router address but not its secret.
+	p.RecordRoute(rtrA, 0x1234567890abcdef)
+	if r.Verify(p.Path, p.Tuple()) {
+		t.Fatal("forged nonce verified")
+	}
+}
+
+func TestVerifyRejectsDifferentFlow(t *testing.T) {
+	r := NewRecorder(rtrA, []byte("secret-a"))
+	p := samplePacket()
+	r.Stamp(p)
+	// Same path entries claimed for a different flow must not verify:
+	// the nonce binds the path to the tuple.
+	other := flow.TupleOf(host2, host1, flow.ProtoUDP, 80, 4000)
+	if r.Verify(p.Path, other) {
+		t.Fatal("stamp verified for a different flow")
+	}
+}
+
+func TestVerifyRejectsWrongRouterEntries(t *testing.T) {
+	ra := NewRecorder(rtrA, []byte("secret-a"))
+	rb := NewRecorder(rtrB, []byte("secret-b"))
+	p := samplePacket()
+	rb.Stamp(p)
+	if ra.Verify(p.Path, p.Tuple()) {
+		t.Fatal("router A verified a path containing only router B")
+	}
+}
+
+func TestDistinctSecretsDistinctNonces(t *testing.T) {
+	tup := samplePacket().Tuple()
+	ra := NewRecorder(rtrA, []byte("secret-a"))
+	rb := NewRecorder(rtrA, []byte("secret-b"))
+	if ra.Nonce(tup) == rb.Nonce(tup) {
+		t.Fatal("different secrets produced the same nonce")
+	}
+}
+
+func TestEmptySecretDerivesFromAddr(t *testing.T) {
+	tup := samplePacket().Tuple()
+	ra := NewRecorder(rtrA, nil)
+	rb := NewRecorder(rtrB, nil)
+	if ra.Nonce(tup) == rb.Nonce(tup) {
+		t.Fatal("empty-secret recorders at different addrs collide")
+	}
+	// Deterministic per address.
+	if ra.Nonce(tup) != NewRecorder(rtrA, nil).Nonce(tup) {
+		t.Fatal("empty-secret nonce not deterministic")
+	}
+}
+
+func TestAttackPathExtraction(t *testing.T) {
+	p := samplePacket()
+	for _, r := range []*Recorder{
+		NewRecorder(rtrA, []byte("a")),
+		NewRecorder(rtrB, []byte("b")),
+		NewRecorder(rtrC, []byte("c")),
+	} {
+		r.Stamp(p)
+	}
+	ap, err := FromPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := ap.AttackerGateway()
+	if err != nil || gw != rtrA {
+		t.Fatalf("AttackerGateway = %v, %v", gw, err)
+	}
+	for round, want := range map[int]flow.Addr{1: rtrA, 2: rtrB, 3: rtrC} {
+		got, err := ap.GatewayForRound(round)
+		if err != nil || got != want {
+			t.Fatalf("round %d: got %v, %v; want %v", round, got, err, want)
+		}
+	}
+	if _, err := ap.GatewayForRound(4); !errors.Is(err, ErrRoundTooHigh) {
+		t.Fatalf("round 4 err = %v", err)
+	}
+	if _, err := ap.GatewayForRound(0); !errors.Is(err, ErrRoundTooHigh) {
+		t.Fatalf("round 0 err = %v", err)
+	}
+}
+
+func TestAttackPathHelpers(t *testing.T) {
+	p := samplePacket()
+	NewRecorder(rtrA, []byte("a")).Stamp(p)
+	NewRecorder(rtrB, []byte("b")).Stamp(p)
+	ap, _ := FromPacket(p)
+	if !ap.Contains(rtrA) || !ap.Contains(rtrB) || ap.Contains(rtrC) {
+		t.Fatal("Contains wrong")
+	}
+	if ap.IndexOf(rtrB) != 1 || ap.IndexOf(rtrC) != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	rs := ap.Routers()
+	if len(rs) != 2 || rs[0] != rtrA || rs[1] != rtrB {
+		t.Fatalf("Routers = %v", rs)
+	}
+}
+
+func TestFromPacketEmpty(t *testing.T) {
+	if _, err := FromPacket(samplePacket()); !errors.Is(err, ErrEmptyPath) {
+		t.Fatalf("err = %v, want ErrEmptyPath", err)
+	}
+	var ap AttackPath
+	if _, err := ap.AttackerGateway(); !errors.Is(err, ErrEmptyPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPathIsolatedFromPacketMutation(t *testing.T) {
+	p := samplePacket()
+	NewRecorder(rtrA, []byte("a")).Stamp(p)
+	ap, _ := FromPacket(p)
+	p.Path[0].Router = rtrC
+	if ap[0].Router != rtrA {
+		t.Fatal("AttackPath aliases packet path")
+	}
+}
+
+// Property: Stamp+Verify round-trips for arbitrary tuples, and a
+// verifier with a different secret rejects.
+func TestPropertyStampVerify(t *testing.T) {
+	f := func(src, dst uint32, proto uint8, sp, dp uint16, secret []byte) bool {
+		tup := flow.Tuple{Src: flow.Addr(src), Dst: flow.Addr(dst),
+			Proto: flow.Proto(proto), SrcPort: sp, DstPort: dp}
+		r := NewRecorder(rtrA, secret)
+		path := []packet.RREntry{{Router: rtrA, Nonce: r.Nonce(tup)}}
+		if !r.Verify(path, tup) {
+			return false
+		}
+		other := NewRecorder(rtrA, append([]byte("x"), secret...))
+		return !other.Verify(path, tup)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStamp(b *testing.B) {
+	r := NewRecorder(rtrA, []byte("bench-secret"))
+	p := samplePacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Path = p.Path[:0]
+		r.Stamp(p)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	r := NewRecorder(rtrA, []byte("bench-secret"))
+	p := samplePacket()
+	r.Stamp(p)
+	tup := p.Tuple()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Verify(p.Path, tup) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"aitf/internal/contract"
+	"aitf/internal/flow"
+)
+
+// FileConfig is the JSON configuration consumed by cmd/aitfd. One file
+// describes one node; a set of files describes a deployment.
+type FileConfig struct {
+	// Role is "gateway" or "host".
+	Role string `json:"role"`
+	// Addr is the node's protocol address (dotted quad).
+	Addr string `json:"addr"`
+	// Name labels log lines.
+	Name string `json:"name"`
+	// Listen is the UDP listen address.
+	Listen string `json:"listen"`
+	// Book maps protocol addresses to UDP endpoints.
+	Book map[string]string `json:"book"`
+	// Routes maps destination addresses to next-hop addresses.
+	Routes map[string]string `json:"routes"`
+	// Gateway is required when Role is "gateway".
+	Gateway *GatewayFileConfig `json:"gateway,omitempty"`
+	// Host is required when Role is "host".
+	Host *HostFileConfig `json:"host,omitempty"`
+}
+
+// GatewayFileConfig is the gateway-specific part of FileConfig.
+type GatewayFileConfig struct {
+	// Clients lists directly served client addresses.
+	Clients []string `json:"clients"`
+	// Secret keys the route-record authenticator.
+	Secret string `json:"secret"`
+	// TMs is the filter lifetime T in milliseconds (0 = default).
+	TMs int `json:"t_ms"`
+	// TtmpMs is the temporary-filter lifetime in milliseconds.
+	TtmpMs int `json:"ttmp_ms"`
+	// Capacity bounds the filter table (0 = default).
+	Capacity int `json:"filter_capacity"`
+}
+
+// HostFileConfig is the host-specific part of FileConfig.
+type HostFileConfig struct {
+	// Gateway is the host's AITF gateway address.
+	Gateway string `json:"gateway"`
+	// DetectBps flags sources above this rate (0 disables detection).
+	DetectBps float64 `json:"detect_bps"`
+	// Compliant hosts honour stop orders.
+	Compliant bool `json:"compliant"`
+}
+
+// ErrBadConfig reports an invalid daemon configuration.
+var ErrBadConfig = errors.New("wire: bad config")
+
+// ParseFileConfig parses and validates a JSON node configuration.
+func ParseFileConfig(raw []byte) (*FileConfig, error) {
+	var cfg FileConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	switch cfg.Role {
+	case "gateway":
+		if cfg.Gateway == nil {
+			return nil, fmt.Errorf("%w: role gateway needs a \"gateway\" object", ErrBadConfig)
+		}
+	case "host":
+		if cfg.Host == nil {
+			return nil, fmt.Errorf("%w: role host needs a \"host\" object", ErrBadConfig)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown role %q", ErrBadConfig, cfg.Role)
+	}
+	if _, err := flow.ParseAddr(cfg.Addr); err != nil {
+		return nil, fmt.Errorf("%w: addr: %v", ErrBadConfig, err)
+	}
+	return &cfg, nil
+}
+
+// NodeConfig materialises the transport part of the file config.
+func (c *FileConfig) NodeConfig() (NodeConfig, error) {
+	addr, err := flow.ParseAddr(c.Addr)
+	if err != nil {
+		return NodeConfig{}, fmt.Errorf("%w: addr %q: %v", ErrBadConfig, c.Addr, err)
+	}
+	book := Book{}
+	for a, ep := range c.Book {
+		fa, err := flow.ParseAddr(a)
+		if err != nil {
+			return NodeConfig{}, fmt.Errorf("%w: book key %q: %v", ErrBadConfig, a, err)
+		}
+		book[fa] = ep
+	}
+	routes := map[flow.Addr]flow.Addr{}
+	for dst, via := range c.Routes {
+		d, err := flow.ParseAddr(dst)
+		if err != nil {
+			return NodeConfig{}, fmt.Errorf("%w: route key %q: %v", ErrBadConfig, dst, err)
+		}
+		v, err := flow.ParseAddr(via)
+		if err != nil {
+			return NodeConfig{}, fmt.Errorf("%w: route value %q: %v", ErrBadConfig, via, err)
+		}
+		routes[d] = v
+	}
+	return NodeConfig{
+		Addr: addr, Name: c.Name, Listen: c.Listen,
+		Book: book, NextHop: routes,
+	}, nil
+}
+
+// GatewayConfig materialises a gateway from the file config.
+func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, error) {
+	node, err := c.NodeConfig()
+	if err != nil {
+		return GatewayConfig{}, err
+	}
+	if c.Gateway == nil {
+		return GatewayConfig{}, fmt.Errorf("%w: missing gateway object", ErrBadConfig)
+	}
+	tm := contract.DefaultTimers()
+	if c.Gateway.TMs > 0 {
+		tm.T = time.Duration(c.Gateway.TMs) * time.Millisecond
+	}
+	if c.Gateway.TtmpMs > 0 {
+		tm.Ttmp = time.Duration(c.Gateway.TtmpMs) * time.Millisecond
+	}
+	clients := map[flow.Addr]contract.Contract{}
+	for _, cl := range c.Gateway.Clients {
+		ca, err := flow.ParseAddr(cl)
+		if err != nil {
+			return GatewayConfig{}, fmt.Errorf("%w: client %q: %v", ErrBadConfig, cl, err)
+		}
+		clients[ca] = contract.DefaultEndHost()
+	}
+	return GatewayConfig{
+		Node:           node,
+		Timers:         tm,
+		FilterCapacity: c.Gateway.Capacity,
+		Clients:        clients,
+		Default:        contract.DefaultPeer(),
+		Secret:         []byte(c.Gateway.Secret),
+		Logf:           logf,
+	}, nil
+}
+
+// HostConfig materialises a host from the file config.
+func (c *FileConfig) HostConfig(logf func(string, ...any)) (HostConfig, error) {
+	node, err := c.NodeConfig()
+	if err != nil {
+		return HostConfig{}, err
+	}
+	if c.Host == nil {
+		return HostConfig{}, fmt.Errorf("%w: missing host object", ErrBadConfig)
+	}
+	gw, err := flow.ParseAddr(c.Host.Gateway)
+	if err != nil {
+		return HostConfig{}, fmt.Errorf("%w: gateway %q: %v", ErrBadConfig, c.Host.Gateway, err)
+	}
+	return HostConfig{
+		Node:      node,
+		Gateway:   gw,
+		Timers:    contract.DefaultTimers(),
+		DetectBps: c.Host.DetectBps,
+		Compliant: c.Host.Compliant,
+		Logf:      logf,
+	}, nil
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+const gatewayJSON = `{
+  "role":   "gateway",
+  "addr":   "10.0.0.1",
+  "name":   "v_gw",
+  "listen": "127.0.0.1:0",
+  "book":   {"10.0.0.2": "127.0.0.1:7002", "10.9.0.1": "127.0.0.1:7003"},
+  "routes": {"10.0.0.2": "10.0.0.2", "10.9.0.1": "10.9.0.1", "10.9.0.2": "10.9.0.1"},
+  "gateway": {
+    "clients": ["10.0.0.2"],
+    "secret":  "vgw-secret",
+    "t_ms":    5000,
+    "ttmp_ms": 500
+  }
+}`
+
+const hostJSON = `{
+  "role":   "host",
+  "addr":   "10.0.0.2",
+  "name":   "victim",
+  "listen": "127.0.0.1:0",
+  "book":   {"10.0.0.1": "127.0.0.1:7001"},
+  "routes": {"10.0.0.1": "10.0.0.1"},
+  "host":   {"gateway": "10.0.0.1", "detect_bps": 20000, "compliant": true}
+}`
+
+func TestParseGatewayConfig(t *testing.T) {
+	cfg, err := ParseFileConfig([]byte(gatewayJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Role != "gateway" || cfg.Name != "v_gw" {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	gcfg, err := cfg.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcfg.Timers.T != 5*time.Second || gcfg.Timers.Ttmp != 500*time.Millisecond {
+		t.Fatalf("timers = %+v", gcfg.Timers)
+	}
+	client := flow.MakeAddr(10, 0, 0, 2)
+	if _, ok := gcfg.Clients[client]; !ok {
+		t.Fatal("client contract missing")
+	}
+	if string(gcfg.Secret) != "vgw-secret" {
+		t.Fatal("secret not propagated")
+	}
+	if gcfg.Node.NextHop[flow.MakeAddr(10, 9, 0, 2)] != flow.MakeAddr(10, 9, 0, 1) {
+		t.Fatal("multi-hop route not parsed")
+	}
+	// And the config actually boots a gateway.
+	g, err := NewGateway(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+}
+
+func TestParseHostConfig(t *testing.T) {
+	cfg, err := ParseFileConfig([]byte(hostJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg, err := cfg.HostConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcfg.Gateway != flow.MakeAddr(10, 0, 0, 1) {
+		t.Fatalf("gateway = %v", hcfg.Gateway)
+	}
+	if hcfg.DetectBps != 20000 || !hcfg.Compliant {
+		t.Fatalf("host opts = %+v", hcfg)
+	}
+	h, err := NewHost(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"unknown role":    `{"role":"wizard","addr":"1.1.1.1"}`,
+		"gateway no body": `{"role":"gateway","addr":"1.1.1.1"}`,
+		"host no body":    `{"role":"host","addr":"1.1.1.1"}`,
+		"bad addr":        `{"role":"host","addr":"zzz","host":{"gateway":"1.1.1.1"}}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseFileConfig([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if name != "not json" && !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestNodeConfigErrors(t *testing.T) {
+	bad := []*FileConfig{
+		{Addr: "zz"},
+		{Addr: "1.1.1.1", Book: map[string]string{"zz": "x"}},
+		{Addr: "1.1.1.1", Routes: map[string]string{"zz": "1.1.1.1"}},
+		{Addr: "1.1.1.1", Routes: map[string]string{"1.1.1.2": "zz"}},
+	}
+	for i, c := range bad {
+		if _, err := c.NodeConfig(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Gateway/Host materialisation with bad sub-objects.
+	g := &FileConfig{Addr: "1.1.1.1", Gateway: &GatewayFileConfig{Clients: []string{"zz"}}}
+	if _, err := g.GatewayConfig(nil); err == nil {
+		t.Error("bad client accepted")
+	}
+	h := &FileConfig{Addr: "1.1.1.1", Host: &HostFileConfig{Gateway: "zz"}}
+	if _, err := h.HostConfig(nil); err == nil {
+		t.Error("bad host gateway accepted")
+	}
+	if _, err := (&FileConfig{Addr: "1.1.1.1"}).GatewayConfig(nil); err == nil {
+		t.Error("missing gateway object accepted")
+	}
+	if _, err := (&FileConfig{Addr: "1.1.1.1"}).HostConfig(nil); err == nil {
+		t.Error("missing host object accepted")
+	}
+}

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"aitf/internal/contract"
+	"aitf/internal/filter"
+	"aitf/internal/flow"
+	"aitf/internal/packet"
+	"aitf/internal/sim"
+	"aitf/internal/traceback"
+	crand "crypto/rand"
+	"encoding/binary"
+)
+
+// epoch anchors the wire runtime's monotonic clock; filter deadlines
+// are durations since process start, matching the simulator's types.
+var epoch = time.Now()
+
+func wallNow() sim.Time { return time.Since(epoch) }
+
+func randNonce() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for a security nonce.
+		panic("wire: crypto/rand: " + err.Error())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// GatewayConfig configures a wire-mode AITF border router.
+type GatewayConfig struct {
+	Node NodeConfig
+	// Timers are the protocol constants; wire demos use sub-second
+	// values so a round completes quickly.
+	Timers contract.Timers
+	// FilterCapacity and ShadowCapacity bound the two pools.
+	FilterCapacity, ShadowCapacity int
+	// Clients maps directly served client addresses to contracts.
+	Clients map[flow.Addr]contract.Contract
+	// Default is the contract for requests from unlisted peers.
+	Default contract.Contract
+	// Secret keys the route-record authenticator.
+	Secret []byte
+	// HandshakeTimeout bounds the verification handshake.
+	HandshakeTimeout time.Duration
+	// Logf, when set, receives human-readable protocol events.
+	Logf func(format string, args ...any)
+}
+
+// Gateway is the wire-mode border router: it stamps route records on
+// transit data, polices filtering requests, verifies them with the
+// 3-way handshake, filters, and orders attackers to stop (§II-C).
+type Gateway struct {
+	mu   sync.Mutex
+	cfg  GatewayConfig
+	node *Node
+	rec  *traceback.Recorder
+
+	filters  *filter.Table
+	shadows  *filter.ShadowCache
+	policers map[flow.Addr]*filter.Policer
+	pendings map[flow.Label]*wirePending
+	timers   *timerSet
+
+	// Stats mirror the simulator gateway's counters (subset).
+	ReqReceived, ReqPoliced, ReqInvalid uint64
+	HandshakesOK, HandshakesFailed      uint64
+	FilterDrops, StopOrders             uint64
+}
+
+type wirePending struct {
+	req    *packet.FilterReq
+	nonce  uint64
+	cancel func()
+}
+
+// NewGateway binds the gateway's socket.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = time.Second
+	}
+	if cfg.FilterCapacity <= 0 {
+		cfg.FilterCapacity = 1024
+	}
+	if cfg.ShadowCapacity <= 0 {
+		cfg.ShadowCapacity = 65536
+	}
+	n, err := NewNode(cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		node:     n,
+		rec:      traceback.NewRecorder(cfg.Node.Addr, cfg.Secret),
+		filters:  filter.NewTable(cfg.FilterCapacity, filter.RejectNew),
+		shadows:  filter.NewShadowCache(cfg.ShadowCapacity),
+		policers: make(map[flow.Addr]*filter.Policer),
+		pendings: make(map[flow.Label]*wirePending),
+		timers:   newTimerSet(),
+	}
+	n.SetHandler(g)
+	return g, nil
+}
+
+// Node exposes the transport (for books and addresses).
+func (g *Gateway) Node() *Node { return g.node }
+
+// Run starts the gateway.
+func (g *Gateway) Run() { g.node.Run() }
+
+// Close stops timers and the socket.
+func (g *Gateway) Close() error {
+	g.timers.stopAll()
+	return g.node.Close()
+}
+
+// Filters exposes the filter table for inspection.
+func (g *Gateway) Filters() *filter.Table { return g.filters }
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf("["+g.node.Name()+"] "+format, args...)
+	}
+}
+
+func (g *Gateway) policer(peer flow.Addr) *filter.Policer {
+	p, ok := g.policers[peer]
+	if !ok {
+		c, isClient := g.cfg.Clients[peer]
+		if !isClient {
+			c = g.cfg.Default
+		}
+		p = filter.NewPolicer(c.R1, c.R1Burst)
+		g.policers[peer] = p
+	}
+	return p
+}
+
+// Handle implements Handler.
+func (g *Gateway) Handle(n *Node, p *packet.Packet, from flow.Addr) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if p.IsControl() {
+		if p.Dst == n.Addr() {
+			g.handleControl(p, from)
+			return
+		}
+		if err := n.Forward(p); err != nil {
+			g.logf("forward control: %v", err)
+		}
+		return
+	}
+	now := wallNow()
+	if g.filters.Match(p.Tuple(), int(p.PayloadLen), now) {
+		g.FilterDrops++
+		return
+	}
+	if p.Dst == n.Addr() {
+		return
+	}
+	if len(p.Path) < packet.MaxPathLen {
+		p.RecordRoute(n.Addr(), g.rec.Nonce(flow.Tuple{Src: p.Src, Dst: p.Dst}))
+	}
+	if err := n.Forward(p); err != nil {
+		g.logf("forward: %v", err)
+	}
+}
+
+func (g *Gateway) handleControl(p *packet.Packet, from flow.Addr) {
+	switch m := p.Msg.(type) {
+	case *packet.FilterReq:
+		g.handleFilterReq(p, m, from)
+	case *packet.VerifyReply:
+		g.handleVerifyReply(m)
+	}
+}
+
+func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from flow.Addr) {
+	now := wallNow()
+	g.ReqReceived++
+	if !g.policer(from).Allow(now) {
+		g.ReqPoliced++
+		g.logf("policed request for %v", m.Flow)
+		return
+	}
+	label := m.Flow.Canonical()
+	switch m.Stage {
+	case packet.StageToVictimGW:
+		// Victim-side: verify our own stamp, block temporarily, log
+		// the shadow, and relay to the attacker's gateway.
+		evidence := traceback.AttackPath(m.Evidence)
+		if !g.rec.Verify(evidence, flow.Tuple{Src: label.Src, Dst: label.Dst}) {
+			g.ReqInvalid++
+			g.logf("invalid evidence for %v", label)
+			return
+		}
+		if err := g.filters.Install(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
+			g.logf("temp filter: %v", err)
+			return
+		}
+		g.shadows.Log(label, m.Victim, now, now+sim.Time(g.cfg.Timers.T))
+		target, err := evidence.AttackerGateway()
+		if err != nil {
+			return
+		}
+		g.logf("temp filter for %v; relaying to attacker gw %v", label, target)
+		req := *m
+		req.Stage = packet.StageToAttackerGW
+		if err := g.node.Originate(packet.NewControl(g.node.Addr(), target, &req)); err != nil {
+			g.logf("relay: %v", err)
+		}
+	case packet.StageToAttackerGW:
+		// Attacker-side: verify our stamp then handshake the victim.
+		if !g.rec.Verify(traceback.AttackPath(m.Evidence), flow.Tuple{Src: label.Src, Dst: label.Dst}) {
+			g.ReqInvalid++
+			g.logf("invalid evidence for %v", label)
+			return
+		}
+		if prev, ok := g.pendings[label.Key()]; ok {
+			prev.cancel()
+		}
+		pend := &wirePending{req: m, nonce: randNonce()}
+		g.pendings[label.Key()] = pend
+		g.logf("handshake query to %v for %v", m.Victim, label)
+		if err := g.node.Originate(packet.NewControl(g.node.Addr(), m.Victim,
+			&packet.VerifyQuery{Flow: m.Flow, Nonce: pend.nonce})); err != nil {
+			g.logf("query: %v", err)
+		}
+		pend.cancel = g.timers.after(g.cfg.HandshakeTimeout, func() {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			if g.pendings[label.Key()] == pend {
+				delete(g.pendings, label.Key())
+				g.HandshakesFailed++
+				g.logf("handshake timed out for %v", label)
+			}
+		})
+	}
+}
+
+func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
+	now := wallNow()
+	label := m.Flow.Canonical()
+	pend, ok := g.pendings[label.Key()]
+	if !ok || pend.nonce != m.Nonce {
+		return
+	}
+	pend.cancel()
+	delete(g.pendings, label.Key())
+	g.HandshakesOK++
+	if err := g.filters.Install(label, now, now+sim.Time(g.cfg.Timers.T)); err != nil {
+		g.logf("filter: %v", err)
+		return
+	}
+	g.logf("handshake OK; filtering %v for %v", label, g.cfg.Timers.T)
+	// Tell the attacking client to stop (§II-C ii).
+	g.StopOrders++
+	if err := g.node.Originate(packet.NewControl(g.node.Addr(), label.Src, &packet.FilterReq{
+		Stage:    packet.StageToAttacker,
+		Flow:     m.Flow,
+		Duration: g.cfg.Timers.T,
+		Victim:   g.node.Addr(),
+	})); err != nil {
+		g.logf("stop order: %v", err)
+	}
+}
+
+var _ Handler = (*Gateway)(nil)
+var _ = log.Printf // keep log imported for default Logf wiring in cmd

@@ -1,0 +1,255 @@
+// Package wire runs AITF nodes over real UDP sockets on real time — a
+// multi-process-style deployment of the same wire format the simulator
+// uses (internal/packet). Each node binds one UDP socket; data packets
+// hop node to node exactly as in the simulator, so border routers
+// stamp route records, police requests, run the 3-way handshake, and
+// install filters against genuine traffic.
+//
+// The wire runtime implements the complete basic protocol of §II-C and
+// the anti-spoofing handshake of §II-E for the canonical round
+// (victim → victim's gateway → attacker's gateway → attacker).
+// Multi-round escalation studies run on the deterministic simulator
+// (package aitf); see DESIGN.md.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aitf/internal/flow"
+	"aitf/internal/packet"
+)
+
+// Book maps protocol addresses to UDP endpoints; every node holds the
+// same book (a static "DNS" for the emulation).
+type Book map[flow.Addr]string
+
+// Resolve returns the UDP address for a protocol address.
+func (b Book) Resolve(a flow.Addr) (*net.UDPAddr, error) {
+	s, ok := b[a]
+	if !ok {
+		return nil, fmt.Errorf("wire: no endpoint for %v", a)
+	}
+	return net.ResolveUDPAddr("udp", s)
+}
+
+// Handler processes packets delivered to a node. from is the protocol
+// address of the sending hop (zero when unknown).
+type Handler interface {
+	Handle(n *Node, p *packet.Packet, from flow.Addr)
+}
+
+// NodeConfig configures the transport of one wire node.
+type NodeConfig struct {
+	// Addr is the node's protocol address.
+	Addr flow.Addr
+	// Name labels log lines.
+	Name string
+	// Listen is the UDP listen address, e.g. "127.0.0.1:0".
+	Listen string
+	// Book maps every node of the deployment to its UDP endpoint.
+	// When a node listens on a dynamic port, use SetBook after binding.
+	Book Book
+	// NextHop routes destinations to neighbor protocol addresses;
+	// destinations missing from the table are unroutable.
+	NextHop map[flow.Addr]flow.Addr
+}
+
+// Node is the shared UDP transport under a wire gateway or host.
+type Node struct {
+	mu      sync.Mutex
+	cfg     NodeConfig
+	conn    *net.UDPConn
+	handler Handler
+	closed  bool
+	wg      sync.WaitGroup
+
+	// Sent and Received count packets for tests and stats.
+	Sent, Received uint64
+}
+
+// NewNode binds the UDP socket. Call SetHandler then Run.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	la, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %q: %w", cfg.Listen, err)
+	}
+	if cfg.Book == nil {
+		cfg.Book = Book{}
+	}
+	n := &Node{cfg: cfg, conn: conn}
+	return n, nil
+}
+
+// Addr returns the node's protocol address.
+func (n *Node) Addr() flow.Addr { return n.cfg.Addr }
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// UDPAddr returns the bound socket address (useful with ":0" listens).
+func (n *Node) UDPAddr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetBook replaces the endpoint book (after all nodes have bound).
+func (n *Node) SetBook(b Book) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Book = b
+}
+
+// SetHandler installs the protocol logic.
+func (n *Node) SetHandler(h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// Run starts the receive loop; it returns immediately.
+func (n *Node) Run() {
+	n.wg.Add(1)
+	go n.readLoop()
+}
+
+// Close shuts the socket down and waits for the receive loop.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	err := n.conn.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		p, err := packet.Unmarshal(buf[:sz])
+		if err != nil {
+			continue // mangled datagram
+		}
+		n.mu.Lock()
+		n.Received++
+		h := n.handler
+		n.mu.Unlock()
+		if h != nil {
+			// The previous hop is the last route-record entry when
+			// present; the source otherwise.
+			from := p.Src
+			if len(p.Path) > 0 {
+				from = p.Path[len(p.Path)-1].Router
+			}
+			h.Handle(n, p, from)
+		}
+	}
+}
+
+// ErrNoRoute reports an unroutable destination.
+var ErrNoRoute = errors.New("wire: no route")
+
+// SendTo marshals p and sends it directly to the node owning addr.
+func (n *Node) SendTo(addr flow.Addr, p *packet.Packet) error {
+	ua, err := n.cfg.Book.Resolve(addr)
+	if err != nil {
+		return err
+	}
+	b, err := packet.Marshal(p)
+	if err != nil {
+		return err
+	}
+	if _, err := n.conn.WriteToUDP(b, ua); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.Sent++
+	n.mu.Unlock()
+	return nil
+}
+
+// Forward sends p one hop toward its destination using the routing
+// table, decrementing the TTL.
+func (n *Node) Forward(p *packet.Packet) error {
+	if p.TTL == 0 {
+		return fmt.Errorf("wire: TTL expired for %v", p.Dst)
+	}
+	p.TTL--
+	hop, ok := n.cfg.NextHop[p.Dst]
+	if !ok {
+		return fmt.Errorf("%w to %v", ErrNoRoute, p.Dst)
+	}
+	return n.SendTo(hop, p)
+}
+
+// Originate injects a locally generated packet, stamping the source.
+func (n *Node) Originate(p *packet.Packet) error {
+	if p.Src == 0 {
+		p.Src = n.cfg.Addr
+	}
+	hop, ok := n.cfg.NextHop[p.Dst]
+	if !ok {
+		return fmt.Errorf("%w to %v", ErrNoRoute, p.Dst)
+	}
+	return n.SendTo(hop, p)
+}
+
+// timerSet manages cancellable real-time timers under the owner's lock
+// discipline: callbacks run in their own goroutine and must take the
+// owner's mutex themselves.
+type timerSet struct {
+	mu     sync.Mutex
+	timers map[uint64]*time.Timer
+	next   uint64
+}
+
+func newTimerSet() *timerSet { return &timerSet{timers: make(map[uint64]*time.Timer)} }
+
+// after schedules fn once after d, returning a cancel func.
+func (ts *timerSet) after(d time.Duration, fn func()) (cancel func()) {
+	ts.mu.Lock()
+	id := ts.next
+	ts.next++
+	t := time.AfterFunc(d, func() {
+		ts.mu.Lock()
+		delete(ts.timers, id)
+		ts.mu.Unlock()
+		fn()
+	})
+	ts.timers[id] = t
+	ts.mu.Unlock()
+	return func() {
+		ts.mu.Lock()
+		if t, ok := ts.timers[id]; ok {
+			t.Stop()
+			delete(ts.timers, id)
+		}
+		ts.mu.Unlock()
+	}
+}
+
+// stopAll cancels every outstanding timer.
+func (ts *timerSet) stopAll() {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for id, t := range ts.timers {
+		t.Stop()
+		delete(ts.timers, id)
+	}
+}
