@@ -62,6 +62,8 @@ type (
 	Host = core.Host
 	// Event is a protocol trace record.
 	Event = core.Event
+	// EventKind labels protocol trace events.
+	EventKind = core.EventKind
 	// Log retains protocol events for inspection.
 	Log = core.Log
 	// ShadowMode selects on-off reappearance handling at gateways.

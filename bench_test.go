@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per table/figure of the paper's
-// evaluation (see DESIGN.md §4). Each benchmark runs the corresponding
+// evaluation (see EXPERIMENTS.md). Each benchmark runs the corresponding
 // experiment driver end to end — topology build, attack workload,
 // protocol, measurement — and reports domain metrics alongside ns/op.
 //
@@ -155,6 +155,24 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorThroughputBatched is BenchmarkSimulatorThroughput
+// with netsim batch delivery on: same-instant arrivals at gateways are
+// classified through the data plane's batch API (one lock round per
+// batch) instead of per packet.
+func BenchmarkSimulatorThroughputBatched(b *testing.B) {
+	opt := aitf.DefaultOptions()
+	opt.Detector = nil // pure forwarding
+	opt.BatchDelivery = true
+	dep := aitf.DeployFigure1(opt)
+	fl := dep.Flood(dep.Attacker, dep.Victim, 1.25e6)
+	fl.Launch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.Run(10 * time.Millisecond)
+	}
+}
+
 // BenchmarkArmyScale measures a many-to-one deployment under a zombie
 // army, by army size.
 func BenchmarkArmyScale(b *testing.B) {
@@ -182,7 +200,7 @@ func BenchmarkArmyScale(b *testing.B) {
 }
 
 // BenchmarkShadowModeAblation compares the three reappearance-handling
-// modes on the same on-off attack (DESIGN.md §5 ablation 1).
+// modes on the same on-off attack (EXPERIMENTS.md ablation 1).
 func BenchmarkShadowModeAblation(b *testing.B) {
 	for _, mode := range []aitf.ShadowMode{aitf.VictimDriven, aitf.GatewayAuto, aitf.ShadowOff} {
 		b.Run(mode.String(), func(b *testing.B) {
@@ -207,8 +225,8 @@ func BenchmarkShadowModeAblation(b *testing.B) {
 	}
 }
 
-// BenchmarkTtmpSweep ablates the temporary-filter lifetime (DESIGN.md
-// §5 ablation 2): too small causes escalation storms and long-block
+// BenchmarkTtmpSweep ablates the temporary-filter lifetime (EXPERIMENTS.md
+// ablation 2): too small causes escalation storms and long-block
 // fallbacks; larger is stable.
 func BenchmarkTtmpSweep(b *testing.B) {
 	for _, ttmp := range []time.Duration{300 * time.Millisecond, 600 * time.Millisecond, 1200 * time.Millisecond} {
@@ -232,7 +250,7 @@ func BenchmarkTtmpSweep(b *testing.B) {
 }
 
 // BenchmarkEvictionPolicy ablates the filter table's full-table policy
-// (DESIGN.md §5 ablation 4) under table pressure.
+// (EXPERIMENTS.md ablation 4) under table pressure.
 func BenchmarkEvictionPolicy(b *testing.B) {
 	for _, evict := range []bool{false, true} {
 		name := "reject-new"

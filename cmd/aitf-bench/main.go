@@ -1,21 +1,116 @@
 // Command aitf-bench regenerates every experiment table of the paper's
-// evaluation (see DESIGN.md §4 and EXPERIMENTS.md). With no arguments
-// it runs everything; pass experiment IDs (e.g. "E2 E8") to select.
+// evaluation (see EXPERIMENTS.md). With no arguments it runs
+// everything; pass experiment IDs (e.g. "E2 E8") to select.
+//
+// With -json, results — including a data-plane throughput sweep across
+// shard counts — are also written as machine-readable JSON (default
+// BENCH_dataplane.json) so successive revisions can track the
+// performance trajectory.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"aitf/internal/dataplane"
 	"aitf/internal/experiments"
 )
 
+// dataplaneResult is one cell of the throughput sweep.
+type dataplaneResult struct {
+	Shards     int     `json:"shards"`
+	Filters    int     `json:"filters"`
+	Mix        string  `json:"mix"`
+	Goroutines int     `json:"goroutines"`
+	PPS        float64 `json:"pps"`
+}
+
+// benchOutput is the schema of the -json file.
+type benchOutput struct {
+	GeneratedAt string               `json:"generated_at"`
+	GoMaxProcs  int                  `json:"gomaxprocs"`
+	Experiments []experiments.Result `json:"experiments"`
+	Dataplane   []dataplaneResult    `json:"dataplane"`
+}
+
+// measureDataplane runs concurrent batch classification against a
+// preloaded engine for the given duration and returns packets/sec. The
+// engine and batches come from the same dataplane.Workload* helpers the
+// BenchmarkDataplaneThroughput family uses, so the JSON trend tracks
+// exactly the benchmarked cells.
+func measureDataplane(shards, filters int, hitFrac float64, dur time.Duration) float64 {
+	e := dataplane.WorkloadEngine(shards, filters)
+	const batchSize = 64
+	workers := runtime.GOMAXPROCS(0)
+	var total atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			batch := dataplane.WorkloadBatch(rng, filters, batchSize, hitFrac)
+			var verdicts []dataplane.Verdict
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				verdicts = e.ClassifyInto(batch, verdicts)
+				total.Add(batchSize)
+			}
+		}(int64(w) + 1)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
+}
+
+func dataplaneSweep(dur time.Duration) []dataplaneResult {
+	mixes := []struct {
+		name string
+		frac float64
+	}{{"hit", 1}, {"miss", 0}, {"mixed", 0.5}}
+	var out []dataplaneResult
+	for _, shards := range []int{1, 4, 8} {
+		for _, filters := range []int{1024, 4096, 65536} {
+			for _, mix := range mixes {
+				out = append(out, dataplaneResult{
+					Shards:     shards,
+					Filters:    filters,
+					Mix:        mix.name,
+					Goroutines: runtime.GOMAXPROCS(0),
+					PPS:        measureDataplane(shards, filters, mix.frac, dur),
+				})
+			}
+		}
+	}
+	return out
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "also write machine-readable results to -o")
+	outPath := flag.String("o", "BENCH_dataplane.json", "output path for -json")
+	sweepDur := flag.Duration("sweep", 100*time.Millisecond, "measurement window per data-plane sweep cell")
+	flag.Parse()
+
 	drivers, ids := experiments.All()
-	want := os.Args[1:]
+	want := flag.Args()
 	if len(want) == 0 {
 		want = ids
 	}
+	var results []experiments.Result
 	for _, id := range want {
 		d, ok := drivers[id]
 		if !ok {
@@ -24,5 +119,27 @@ func main() {
 		}
 		res := d()
 		res.Render(os.Stdout)
+		results = append(results, res)
 	}
+
+	if !*jsonOut {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "aitf-bench: running data-plane throughput sweep (%v per cell)...\n", *sweepDur)
+	out := benchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Experiments: results,
+		Dataplane:   dataplaneSweep(*sweepDur),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aitf-bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "aitf-bench: write %s: %v\n", *outPath, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "aitf-bench: wrote %s\n", *outPath)
 }

@@ -49,6 +49,13 @@ type Options struct {
 	ReRequestGap time.Duration
 	// CollectTrace retains the protocol event log on the deployment.
 	CollectTrace bool
+	// BatchDelivery enables netsim arrival coalescing on gateway nodes:
+	// same-instant arrivals are classified through the data plane's
+	// batch API instead of one at a time.
+	BatchDelivery bool
+	// DataplaneShards partitions each gateway's classification engine;
+	// 0 keeps one shard (ideal for the single-threaded simulator).
+	DataplaneShards int
 }
 
 // DefaultOptions mirrors the paper's worked examples: T = 1 min,
@@ -144,8 +151,14 @@ func (d *Deployment) Now() time.Duration { return d.Engine.Now() }
 
 // addGateway installs an AITF gateway on node id.
 func (d *Deployment) addGateway(id topology.NodeID, cfg core.GatewayConfig) *Gateway {
+	if cfg.DataplaneShards == 0 {
+		cfg.DataplaneShards = d.opt.DataplaneShards
+	}
 	g := core.NewGateway(cfg)
 	g.Attach(d.Net.Node(id), d.tracer())
+	if d.opt.BatchDelivery {
+		d.Net.Node(id).SetBatchDelivery(true)
+	}
 	d.Gateways[id] = g
 	return g
 }

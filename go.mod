@@ -1,0 +1,3 @@
+module aitf
+
+go 1.24

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aitf/internal/contract"
+	"aitf/internal/dataplane"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
 	"aitf/internal/netsim"
@@ -84,6 +85,10 @@ type GatewayConfig struct {
 	// client (ingress filtering, §III-A). Empty slice or missing key
 	// means no check for that neighbor.
 	IngressValidSrc map[flow.Addr][]flow.Addr
+	// DataplaneShards sets the classification engine's partition count
+	// (0 or 1 keeps a single shard, which is ideal for the
+	// single-threaded simulator; the wire runtime uses more).
+	DataplaneShards int
 }
 
 // DefaultGatewayConfig returns a cooperative gateway provisioned per
@@ -168,9 +173,10 @@ type compliance struct {
 type Gateway struct {
 	cfg GatewayConfig
 
-	rec     *traceback.Recorder
-	filters *filter.Table
-	shadows *filter.ShadowCache
+	rec *traceback.Recorder
+	// dp is the sharded classification engine: the wire-speed filter
+	// bank plus the DRAM shadow cache, behind one concurrent fast path.
+	dp *dataplane.Engine
 
 	inPolicers  map[flow.Addr]*filter.Policer // keyed by ingress neighbor
 	outPolicers map[flow.Addr]*filter.Policer // keyed by client (R2)
@@ -184,6 +190,10 @@ type Gateway struct {
 	stats  GatewayStats
 	tracer Tracer
 	node   *netsim.Node
+
+	// batchRun / batchVerdicts are reusable buffers for ReceiveBatch.
+	batchRun      []*packet.Packet
+	batchVerdicts []dataplane.Verdict
 }
 
 // NewGateway builds a gateway handler; call Attach (or Node.SetHandler
@@ -192,10 +202,8 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = time.Second
 	}
-	return &Gateway{
+	g := &Gateway{
 		cfg:          cfg,
-		filters:      filter.NewTable(cfg.FilterCapacity, cfg.Evict),
-		shadows:      filter.NewShadowCache(cfg.ShadowCapacity),
 		inPolicers:   make(map[flow.Addr]*filter.Policer),
 		outPolicers:  make(map[flow.Addr]*filter.Policer),
 		watches:      make(map[flow.Label]*vwatch),
@@ -203,6 +211,18 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		compliance:   make(map[flow.Label]*compliance),
 		disconnected: make(map[flow.Addr]sim.Time),
 	}
+	// The clock closes over the gateway so the engine reads virtual
+	// time once the node is attached; classification never happens
+	// before Attach.
+	g.dp = dataplane.New(dataplane.Config{
+		Shards:         cfg.DataplaneShards,
+		FilterCapacity: cfg.FilterCapacity,
+		ShadowCapacity: cfg.ShadowCapacity,
+		Evict:          cfg.Evict,
+		ShadowLookup:   cfg.ShadowMode != ShadowOff,
+		Clock:          dataplane.ClockFunc(func() filter.Time { return g.now() }),
+	})
+	return g
 }
 
 // Attach binds the gateway to a node and installs it as the node's
@@ -217,11 +237,14 @@ func (g *Gateway) Attach(n *netsim.Node, tr Tracer) {
 // Node returns the bound netsim node.
 func (g *Gateway) Node() *netsim.Node { return g.node }
 
-// Filters exposes the wire-speed filter table (for experiments).
-func (g *Gateway) Filters() *filter.Table { return g.filters }
+// DataPlane exposes the sharded classification engine.
+func (g *Gateway) DataPlane() *dataplane.Engine { return g.dp }
+
+// Filters exposes the wire-speed filter bank (for experiments).
+func (g *Gateway) Filters() dataplane.TableView { return g.dp.Table() }
 
 // Shadows exposes the DRAM shadow cache (for experiments).
-func (g *Gateway) Shadows() *filter.ShadowCache { return g.shadows }
+func (g *Gateway) Shadows() dataplane.ShadowView { return g.dp.Shadow() }
 
 // Stats returns a copy of the gateway counters.
 func (g *Gateway) Stats() GatewayStats { return g.stats }
@@ -303,29 +326,39 @@ func (g *Gateway) Receive(n *netsim.Node, p *packet.Packet, from *netsim.Iface) 
 	g.handleData(p, from)
 }
 
-func (g *Gateway) handleData(p *packet.Packet, from *netsim.Iface) {
-	now := g.now()
-	tup := p.Tuple()
-
-	// Ingress filtering (§III-A): drop spoofed sources from clients
-	// whose legitimate addresses are known.
-	if from != nil {
-		if valid, ok := g.cfg.IngressValidSrc[from.Neighbor().Addr()]; ok && len(valid) > 0 {
-			legit := false
-			for _, a := range valid {
-				if p.Src == a {
-					legit = true
-					break
-				}
-			}
-			if !legit {
-				g.stats.SpoofDrops++
-				return
-			}
+// dropSpoofed applies ingress filtering (§III-A): spoofed sources from
+// clients whose legitimate addresses are known are dropped.
+func (g *Gateway) dropSpoofed(p *packet.Packet, from *netsim.Iface) bool {
+	if from == nil {
+		return false
+	}
+	valid, ok := g.cfg.IngressValidSrc[from.Neighbor().Addr()]
+	if !ok || len(valid) == 0 {
+		return false
+	}
+	for _, a := range valid {
+		if p.Src == a {
+			return false
 		}
 	}
+	g.stats.SpoofDrops++
+	return true
+}
 
-	key := flow.PairLabel(tup.Src, tup.Dst).Key()
+func (g *Gateway) handleData(p *packet.Packet, from *netsim.Iface) {
+	if g.dropSpoofed(p, from) {
+		return
+	}
+	g.applyData(p, from, g.dp.ClassifyTuple(p.Tuple(), int(p.PayloadLen)))
+}
+
+// applyData finishes data-path handling for a packet whose verdict the
+// data plane has already computed (either one at a time or as part of a
+// batch): protocol liveness bookkeeping, the drop, shadow reappearance
+// handling, and forwarding with route record.
+func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Verdict) {
+	now := g.now()
+	key := flow.PairLabel(p.Src, p.Dst).Key()
 
 	// Track liveness for takeover and compliance decisions before any
 	// filtering: a blocked flow must still prove its sender is active.
@@ -343,23 +376,21 @@ func (g *Gateway) handleData(p *packet.Packet, from *netsim.Iface) {
 		}
 	}
 
-	if g.filters.Match(tup, int(p.PayloadLen), now) {
+	if v.Drop {
 		g.stats.FilterDrops++
 		return
 	}
 
 	// Shadow reappearance handling (§II-B): the flow was requested
 	// blocked within the last T but no filter is currently installed.
-	if g.cfg.ShadowMode != ShadowOff {
-		if se, ok := g.shadows.Lookup(tup, now); ok {
-			g.shadows.Hit(se)
-			g.trace(EvShadowHit, se.Label, fmt.Sprintf("reappearance %d", se.Reappearances))
-			if g.cfg.ShadowMode == GatewayAuto {
-				if w, ok := g.watches[se.Label.Key()]; ok {
-					g.stats.ShadowReblocks++
-					g.reblockAndEscalate(w)
-					return // the triggering packet is dropped too
-				}
+	// The engine recorded the hit; react to it here.
+	if v.ShadowHit {
+		g.trace(EvShadowHit, v.Shadow.Label, fmt.Sprintf("reappearance %d", v.Shadow.Reappearances))
+		if g.cfg.ShadowMode == GatewayAuto {
+			if w, ok := g.watches[v.Shadow.Label.Key()]; ok {
+				g.stats.ShadowReblocks++
+				g.reblockAndEscalate(w)
+				return // the triggering packet is dropped too
 			}
 		}
 	}
@@ -375,6 +406,60 @@ func (g *Gateway) handleData(p *packet.Packet, from *netsim.Iface) {
 	if g.node.Forward(p) {
 		g.stats.DataForwarded++
 	}
+}
+
+// ReceiveBatch implements netsim.BatchHandler: data packets between
+// control packets are classified through the data plane's batch API,
+// then finished per packet in arrival order. Control packets flush the
+// pending run first, since serving one can install filters that must
+// apply to the data packets behind it.
+func (g *Gateway) ReceiveBatch(n *netsim.Node, ps []*packet.Packet, from *netsim.Iface) {
+	// GatewayAuto can install a filter from the data path itself (a
+	// shadow reappearance re-blocks instantly), which would stale the
+	// precomputed verdicts of later packets in the same run; take the
+	// exact per-packet path there.
+	if g.cfg.ShadowMode == GatewayAuto {
+		for _, p := range ps {
+			g.Receive(n, p, from)
+		}
+		return
+	}
+	now := g.now()
+	if from != nil {
+		peer := from.Neighbor().Addr()
+		if g.disconnected[peer] > now {
+			g.stats.DisconnectDrops += uint64(len(ps))
+			return
+		}
+	}
+	run := g.batchRun[:0]
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		g.batchVerdicts = g.dp.ClassifyInto(run, g.batchVerdicts)
+		for i, p := range run {
+			g.applyData(p, from, g.batchVerdicts[i])
+		}
+		run = run[:0]
+	}
+	for _, p := range ps {
+		if p.IsControl() {
+			flush()
+			if p.Dst == n.Addr() {
+				g.handleControl(p, from)
+			} else {
+				n.Forward(p)
+			}
+			continue
+		}
+		if g.dropSpoofed(p, from) {
+			continue
+		}
+		run = append(run, p)
+	}
+	flush()
+	g.batchRun = run[:0]
 }
 
 func (g *Gateway) handleControl(p *packet.Packet, from *netsim.Iface) {
@@ -444,14 +529,14 @@ func (g *Gateway) handleVictimSideRequest(p *packet.Packet, m *packet.FilterReq,
 			// Duplicate while the temporary filter is still up.
 			return
 		}
-		se, live := g.shadows.Get(label, now)
+		_, live := g.dp.ShadowGet(label, now)
 		if g.cfg.ShadowMode == ShadowOff || !live {
 			// No shadow memory (disabled, or the T window lapsed):
 			// the request is brand new, not a caught reappearance.
 			delete(g.watches, label.Key())
 		} else {
 			// Reappearance reported by the victim (VictimDriven mode).
-			g.shadows.Hit(se)
+			g.dp.ShadowHit(label)
 			g.stats.ShadowReblocks++
 			g.trace(EvShadowHit, label, "victim re-request")
 			if len(m.Evidence) > 0 {
@@ -483,7 +568,7 @@ func (g *Gateway) handleVictimSideRequest(p *packet.Packet, m *packet.FilterReq,
 	g.watches[label.Key()] = w
 	g.installTemp(w)
 	if g.cfg.ShadowMode != ShadowOff {
-		if g.shadows.Log(label, m.Victim, now, now+sim.Time(g.cfg.Timers.T)) {
+		if g.dp.LogShadow(label, m.Victim, now, now+sim.Time(g.cfg.Timers.T)) {
 			g.trace(EvShadowLogged, label, "")
 		}
 	}
@@ -505,22 +590,22 @@ func (g *Gateway) watchGC(w *vwatch) {
 	if g.watches[w.label.Key()] != w {
 		return
 	}
-	_, live := g.shadows.Get(w.label, now)
+	_, live := g.dp.ShadowGet(w.label, now)
 	recentlySeen := w.haveSeen && now-w.lastSeen < sim.Time(g.cfg.Timers.T)
 	if w.tempUntil > now || live || recentlySeen {
 		g.scheduleWatchGC(w)
 		return
 	}
 	delete(g.watches, w.label.Key())
-	g.shadows.ExpireOld(now)
-	g.filters.Expire(now)
+	g.dp.ExpireShadows(now)
+	g.dp.Expire(now)
 }
 
 // installTemp (re)installs the temporary filter for Ttmp (§II-C i).
 func (g *Gateway) installTemp(w *vwatch) {
 	now := g.now()
 	exp := now + sim.Time(g.cfg.Timers.Ttmp)
-	if err := g.filters.Install(w.label, now, exp); err != nil {
+	if err := g.dp.Install(w.label, now, exp); err != nil {
 		g.trace(EvFilterRejected, w.label, err.Error())
 		return
 	}
@@ -607,7 +692,7 @@ func (g *Gateway) reblockAndEscalate(w *vwatch) {
 	// Refresh the shadow for another T from now.
 	if g.cfg.ShadowMode != ShadowOff {
 		now := g.now()
-		g.shadows.Log(w.label, w.victim, now, now+sim.Time(g.cfg.Timers.T))
+		g.dp.LogShadow(w.label, w.victim, now, now+sim.Time(g.cfg.Timers.T))
 	}
 	if g.cfg.Provider != 0 {
 		req := &packet.FilterReq{
@@ -643,7 +728,7 @@ func (g *Gateway) resolveExhausted(w *vwatch) {
 		}
 	}
 	exp := now + sim.Time(g.cfg.Timers.T)
-	if err := g.filters.Install(w.label, now, exp); err != nil {
+	if err := g.dp.Install(w.label, now, exp); err != nil {
 		g.trace(EvFilterRejected, w.label, err.Error())
 		return
 	}
@@ -676,7 +761,7 @@ func (g *Gateway) handleAttackerSideRequest(p *packet.Packet, m *packet.FilterRe
 		return
 	}
 	// The evidence must prove the flow really crossed this router: our
-	// own route-record stamp with a valid authenticator (DESIGN.md
+	// own route-record stamp with a valid authenticator (the
 	// traceback substitution).
 	if !g.rec.Verify(m.Evidence, rrTuple(label.Src, label.Dst)) {
 		g.stats.ReqInvalid++
@@ -708,7 +793,7 @@ func (g *Gateway) handleVerifyQuery(p *packet.Packet, m *packet.VerifyQuery) {
 	label := m.Flow.Canonical()
 	w, ok := g.watches[label.Key()]
 	if !ok {
-		if _, ok := g.shadows.Get(label, g.now()); !ok {
+		if _, ok := g.dp.ShadowGet(label, g.now()); !ok {
 			return // we never asked for this flow to be blocked
 		}
 	}
@@ -734,12 +819,12 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 	g.trace(EvHandshakeOK, label, "")
 
 	exp := now + sim.Time(g.cfg.Timers.T)
-	if err := g.filters.Install(label, now, exp); err != nil {
+	if err := g.dp.Install(label, now, exp); err != nil {
 		g.trace(EvFilterRejected, label, err.Error())
 		return
 	}
 	g.trace(EvFilterInstalled, label, fmt.Sprintf("for %v", g.cfg.Timers.T))
-	g.node.Engine().Schedule(sim.Time(g.cfg.Timers.T), func() { g.filters.Expire(g.now()) })
+	g.node.Engine().Schedule(sim.Time(g.cfg.Timers.T), func() { g.dp.Expire(g.now()) })
 
 	g.orderClientToStop(label)
 }
@@ -806,7 +891,7 @@ func (g *Gateway) handleStopOrder(p *packet.Packet, m *packet.FilterReq) {
 	now := g.now()
 	label := m.Flow.Canonical()
 	exp := now + sim.Time(g.cfg.Timers.T)
-	if err := g.filters.Install(label, now, exp); err != nil {
+	if err := g.dp.Install(label, now, exp); err != nil {
 		g.trace(EvFilterRejected, label, err.Error())
 		return
 	}

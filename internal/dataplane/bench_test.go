@@ -1,0 +1,93 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+const benchBatchSize = 64
+
+// BenchmarkDataplaneThroughput is the acceptance family: concurrent
+// batch classification in packets/sec across shard counts, table sizes,
+// and hit/miss mixes. One benchmark op is one 64-packet batch; every
+// worker of b.RunParallel classifies its own private batches, so the
+// reported pps metric is the multi-core aggregate.
+func BenchmarkDataplaneThroughput(b *testing.B) {
+	mixes := []struct {
+		name string
+		frac float64
+	}{{"hit", 1}, {"miss", 0}, {"mixed", 0.5}}
+	for _, shards := range []int{1, 4, 8} {
+		for _, filters := range []int{1024, 4096, 65536} {
+			for _, mix := range mixes {
+				name := fmt.Sprintf("shards=%d/filters=%d/mix=%s", shards, filters, mix.name)
+				b.Run(name, func(b *testing.B) {
+					e := WorkloadEngine(shards, filters)
+					b.ReportAllocs()
+					b.ResetTimer()
+					var worker int64
+					b.RunParallel(func(pb *testing.PB) {
+						rng := rand.New(rand.NewSource(worker + 42))
+						worker++
+						batch := WorkloadBatch(rng, filters, benchBatchSize, mix.frac)
+						var verdicts []Verdict
+						for pb.Next() {
+							verdicts = e.ClassifyInto(batch, verdicts)
+						}
+					})
+					b.StopTimer()
+					if s := b.Elapsed().Seconds(); s > 0 {
+						b.ReportMetric(float64(b.N)*benchBatchSize/s, "pps")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkDataplaneSinglePacket compares the unbatched path, which is
+// what the simulator's per-packet delivery uses.
+func BenchmarkDataplaneSinglePacket(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := WorkloadEngine(shards, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var worker int64
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(worker + 7))
+				worker++
+				batch := WorkloadBatch(rng, 4096, 256, 0.5)
+				i := 0
+				for pb.Next() {
+					p := batch[i%len(batch)]
+					e.ClassifyTuple(p.Tuple(), int(p.PayloadLen))
+					i++
+				}
+			})
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "pps")
+			}
+		})
+	}
+}
+
+// BenchmarkDataplaneInstallChurn measures the control plane: installs
+// and expiry racing classification.
+func BenchmarkDataplaneInstallChurn(b *testing.B) {
+	e := WorkloadEngine(4, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := flow.MakeAddr(10, 99, byte(i>>8), byte(i))
+		dst := flow.MakeAddr(172, 99, byte(i>>8), byte(i))
+		label := flow.PairLabel(src, dst)
+		if err := e.Install(label, 0, time.Hour); err == nil {
+			e.Remove(label)
+		}
+	}
+}

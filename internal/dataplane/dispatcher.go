@@ -1,0 +1,143 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aitf/internal/packet"
+)
+
+// Dispatcher is the engine's worker-pool dispatch mode for runtimes
+// where packets genuinely arrive concurrently (the UDP wire runtime).
+// Producers Submit packets; a fixed pool of workers drains them in
+// micro-batches through Engine.ClassifyInto and hands each packet plus
+// its verdict to the sink. Batches form adaptively: a worker takes one
+// packet, then greedily drains whatever else is already queued (up to
+// MaxBatch), so batching amortizes lock traffic under load without
+// adding latency when traffic is sparse.
+type Dispatcher struct {
+	e        *Engine
+	sink     func(*packet.Packet, Verdict)
+	ch       chan *packet.Packet
+	wg       sync.WaitGroup
+	maxBatch int
+
+	// closeMu serializes Submit's channel send against Close's
+	// close(ch): a bare closed-flag check would leave a window where a
+	// preempted Submit sends on a just-closed channel and panics.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+	// Submitted, Dropped, and Batches count dispatcher activity.
+	submitted atomic.Uint64
+	dropped   atomic.Uint64
+	batches   atomic.Uint64
+}
+
+// DispatcherConfig parameterizes NewDispatcher.
+type DispatcherConfig struct {
+	// Workers is the pool size; <= 0 means 1.
+	Workers int
+	// Queue is the submission queue depth; <= 0 means 1024. When the
+	// queue is full Submit sheds load (returns false) rather than
+	// blocking the receive path — overload must not stall the socket.
+	Queue int
+	// MaxBatch caps one worker drain; <= 0 means 64.
+	MaxBatch int
+}
+
+// NewDispatcher starts the worker pool. sink is invoked concurrently
+// from multiple workers and must be safe for concurrent use.
+func NewDispatcher(e *Engine, cfg DispatcherConfig, sink func(*packet.Packet, Verdict)) *Dispatcher {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	d := &Dispatcher{
+		e:        e,
+		sink:     sink,
+		ch:       make(chan *packet.Packet, cfg.Queue),
+		maxBatch: cfg.MaxBatch,
+	}
+	d.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Submit hands a packet to the pool, reporting false when the queue is
+// full (the packet is shed) or the dispatcher is closed.
+func (d *Dispatcher) Submit(p *packet.Packet) bool {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed.Load() {
+		d.dropped.Add(1)
+		return false
+	}
+	select {
+	case d.ch <- p:
+		d.submitted.Add(1)
+		return true
+	default:
+		d.dropped.Add(1)
+		return false
+	}
+}
+
+// Close drains the queue, stops the workers, and waits for them.
+// Concurrent Submits either complete before the channel closes or
+// observe the closed flag; none can panic on the closed channel.
+func (d *Dispatcher) Close() {
+	d.closeMu.Lock()
+	if d.closed.Swap(true) {
+		d.closeMu.Unlock()
+		return
+	}
+	close(d.ch)
+	d.closeMu.Unlock()
+	d.wg.Wait()
+}
+
+// Submitted returns how many packets entered the queue.
+func (d *Dispatcher) Submitted() uint64 { return d.submitted.Load() }
+
+// Dropped returns how many packets were shed on a full queue.
+func (d *Dispatcher) Dropped() uint64 { return d.dropped.Load() }
+
+// Batches returns how many classification batches workers ran.
+func (d *Dispatcher) Batches() uint64 { return d.batches.Load() }
+
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	batch := make([]*packet.Packet, 0, d.maxBatch)
+	verdicts := make([]Verdict, 0, d.maxBatch)
+	for {
+		p, ok := <-d.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], p)
+	drain:
+		for len(batch) < d.maxBatch {
+			select {
+			case q, ok := <-d.ch:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, q)
+			default:
+				break drain
+			}
+		}
+		verdicts = d.e.ClassifyInto(batch, verdicts)
+		d.batches.Add(1)
+		for i, q := range batch {
+			d.sink(q, verdicts[i])
+		}
+	}
+}

@@ -1,0 +1,775 @@
+// Package dataplane is the concurrent fast path of an AITF border
+// router: a sharded, batch-oriented packet classification engine shared
+// by the discrete-event simulator (internal/core) and the UDP wire
+// runtime (internal/wire).
+//
+// The engine partitions the bounded wire-speed filter table and the
+// DRAM shadow cache (internal/filter's resource model, paper §II-B /
+// §IV-B) into N hash shards keyed by the (src, dst) pair of the flow
+// label — the pair is what AITF filtering requests name, so a tuple's
+// exact label, its canonical pair label, and every scannable label with
+// a concrete pair all land in the same shard as the tuple's lookup.
+// Labels that wildcard the source or destination address can match any
+// pair and live in a dedicated overflow segment consulted only while it
+// is non-empty.
+//
+// Classification takes only shared (read) locks and bumps atomic
+// counters, so packets classify concurrently across — and within —
+// shards; installs, removals, and expiry take a shard's exclusive lock.
+// Capacity is a single global budget across shards, mirroring the
+// hardware argument that the filter bank is one scarce resource: an
+// engine with N shards accepts exactly as many filters, and returns the
+// same verdicts, as an engine with one.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aitf/internal/filter"
+	"aitf/internal/flow"
+	"aitf/internal/packet"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of hash partitions; values <= 0 mean 1 and
+	// other values are rounded up to a power of two.
+	Shards int
+	// FilterCapacity bounds the wire-speed filter bank, summed across
+	// all shards (the hardware budget is global; shards only partition
+	// the lookup work).
+	FilterCapacity int
+	// ShadowCapacity bounds the DRAM shadow cache, likewise global.
+	ShadowCapacity int
+	// Evict selects the full-table policy, as in filter.Table.
+	Evict filter.EvictPolicy
+	// ShadowLookup makes classification consult the shadow segment on
+	// filter misses, reporting "on-off" flow reappearances (§II-B).
+	// Disabled it models the shadow-off ablation.
+	ShadowLookup bool
+	// Clock supplies "now" for classification; see SimClock / WallClock.
+	Clock Clock
+}
+
+// Verdict is the outcome of classifying one packet.
+type Verdict struct {
+	// Drop is true when a live wire-speed filter covers the packet; the
+	// drop has already been charged to that filter's counters.
+	Drop bool
+	// ShadowHit is true when the packet was not dropped but a live
+	// shadow record covers its flow — an "on-off" reappearance. The hit
+	// has already been recorded.
+	ShadowHit bool
+	// Shadow is a snapshot of the matched shadow record (valid only
+	// when ShadowHit), taken after recording the reappearance.
+	Shadow filter.ShadowEntry
+}
+
+// Engine is the sharded classification engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg   Config
+	mask  uint32
+	clock Clock
+
+	shards []*shard
+	wild   *shard // labels with a wildcard src or dst address
+
+	// wildFilters / wildShadows count live-ish entries in the wild
+	// segment so the hot path can skip it entirely when empty.
+	wildFilters atomic.Int64
+	wildShadows atomic.Int64
+
+	// Global occupancy and stats. Capacity is enforced on fUsed/sUsed;
+	// the remaining counters mirror filter.Stats / filter.ShadowStats.
+	fUsed, fPeak atomic.Int64
+	sUsed, sPeak atomic.Int64
+
+	installed, rejected, evicted, expired, removed atomic.Uint64
+
+	sLogged, sExpired, sRejected atomic.Uint64
+
+	scratch sync.Pool // *batchScratch, for ClassifyInto bucketing
+}
+
+// New builds an engine. The clock must be non-nil.
+func New(cfg Config) *Engine {
+	if cfg.Clock == nil {
+		panic("dataplane: Config.Clock is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	cfg.Shards = n
+	if cfg.FilterCapacity < 0 {
+		cfg.FilterCapacity = 0
+	}
+	if cfg.ShadowCapacity < 0 {
+		cfg.ShadowCapacity = 0
+	}
+	e := &Engine{cfg: cfg, mask: uint32(n - 1), clock: cfg.Clock, wild: newShard()}
+	e.shards = make([]*shard, n)
+	for i := range e.shards {
+		e.shards[i] = newShard()
+	}
+	e.scratch.New = func() any { return &batchScratch{} }
+	return e
+}
+
+// Shards returns the number of hash partitions.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Now returns the engine clock's current time.
+func (e *Engine) Now() filter.Time { return e.clock.Now() }
+
+// shardIdx hashes a (src, dst) pair to its partition.
+func (e *Engine) shardIdx(src, dst flow.Addr) uint32 {
+	h := uint64(src)<<32 | uint64(dst)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h) & e.mask
+}
+
+// segFor returns the segment that owns a canonical label: the wild
+// overflow segment when src or dst is wildcarded, the pair's hash shard
+// otherwise.
+func (e *Engine) segFor(label flow.Label) (*shard, bool) {
+	if label.Wildcards&(flow.WildSrc|flow.WildDst) != 0 {
+		return e.wild, true
+	}
+	return e.shards[e.shardIdx(label.Src, label.Dst)], false
+}
+
+// allSegs iterates every segment including the wild one.
+func (e *Engine) allSegs(fn func(*shard, bool)) {
+	for _, s := range e.shards {
+		fn(s, false)
+	}
+	fn(e.wild, true)
+}
+
+// ── Classification (hot path) ────────────────────────────────────────
+
+// ClassifyTuple classifies a single concrete tuple of payloadBytes
+// payload at the engine clock's current time.
+func (e *Engine) ClassifyTuple(tup flow.Tuple, payloadBytes int) Verdict {
+	return e.classifyAt(tup, payloadBytes, e.clock.Now())
+}
+
+func chargeDrop(s *shard, fe *fentry, payloadBytes int) {
+	fe.drops.Add(1)
+	fe.droppedBytes.Add(uint64(payloadBytes))
+	s.drops.Add(1)
+	s.droppedBytes.Add(uint64(payloadBytes))
+}
+
+func recordShadowHit(s *shard, se *sentry) Verdict {
+	se.reapp.Add(1)
+	s.shadowHits.Add(1)
+	return Verdict{ShadowHit: true, Shadow: se.snapshot()}
+}
+
+func (e *Engine) classifyAt(tup flow.Tuple, payloadBytes int, now filter.Time) Verdict {
+	exact := tup.ExactLabel()
+	pair := flow.PairLabel(tup.Src, tup.Dst)
+	s := e.shards[e.shardIdx(tup.Src, tup.Dst)]
+
+	wantShadow := e.cfg.ShadowLookup
+	checkWildF := e.wildFilters.Load() > 0
+	checkWildS := wantShadow && e.wildShadows.Load() > 0
+
+	s.mu.RLock()
+	if fe := s.matchFilter(exact, pair, tup, now); fe != nil {
+		chargeDrop(s, fe, payloadBytes)
+		s.mu.RUnlock()
+		return Verdict{Drop: true}
+	}
+	// Fast common case: no wild filters, so a home-shard miss is a
+	// definitive miss and the shadow segment can be consulted under the
+	// same read lock.
+	if !checkWildF {
+		if wantShadow {
+			if se := s.lookupShadow(exact, pair, tup, now); se != nil {
+				v := recordShadowHit(s, se)
+				s.mu.RUnlock()
+				return v
+			}
+		}
+		s.mu.RUnlock()
+		if checkWildS {
+			return e.wildShadowLookup(exact, pair, tup, now)
+		}
+		return Verdict{}
+	}
+	s.mu.RUnlock()
+
+	// Wild filters exist: finish the filter decision first (the filter
+	// bank always outranks the shadow cache).
+	e.wild.mu.RLock()
+	if fe := e.wild.matchFilter(exact, pair, tup, now); fe != nil {
+		chargeDrop(e.wild, fe, payloadBytes)
+		e.wild.mu.RUnlock()
+		return Verdict{Drop: true}
+	}
+	e.wild.mu.RUnlock()
+	if !wantShadow {
+		return Verdict{}
+	}
+	s.mu.RLock()
+	if se := s.lookupShadow(exact, pair, tup, now); se != nil {
+		v := recordShadowHit(s, se)
+		s.mu.RUnlock()
+		return v
+	}
+	s.mu.RUnlock()
+	if checkWildS {
+		return e.wildShadowLookup(exact, pair, tup, now)
+	}
+	return Verdict{}
+}
+
+func (e *Engine) wildShadowLookup(exact, pair flow.Label, tup flow.Tuple, now filter.Time) Verdict {
+	e.wild.mu.RLock()
+	defer e.wild.mu.RUnlock()
+	if se := e.wild.lookupShadow(exact, pair, tup, now); se != nil {
+		return recordShadowHit(e.wild, se)
+	}
+	return Verdict{}
+}
+
+// batchScratch holds the per-call bucketing state for ClassifyInto,
+// pooled to keep the batch path allocation-free at steady state.
+type batchScratch struct {
+	count []int32 // packets per shard
+	start []int32 // prefix offsets per shard
+	order []int32 // packet indices grouped by shard
+}
+
+// smallBatch is the size below which bucketing costs more than it saves.
+const smallBatch = 4
+
+// Classify classifies a batch of packets, amortizing lock acquisitions
+// by grouping packets per shard: each shard's read lock is taken once
+// per batch rather than once per packet. All packets in the batch are
+// stamped with the same "now" read once from the engine clock.
+func (e *Engine) Classify(batch []*packet.Packet) []Verdict {
+	return e.ClassifyInto(batch, make([]Verdict, len(batch)))
+}
+
+// ClassifyInto is Classify writing into a caller-owned verdict slice
+// (grown as needed), for allocation-free steady-state use.
+func (e *Engine) ClassifyInto(batch []*packet.Packet, out []Verdict) []Verdict {
+	if cap(out) < len(batch) {
+		out = make([]Verdict, len(batch))
+	}
+	out = out[:len(batch)]
+	now := e.clock.Now()
+
+	// The wild segment forces a multi-segment decision per packet;
+	// batching per home shard would reorder it. Fall back to the exact
+	// per-packet path while any wild entries are live (rare: AITF
+	// requests name concrete pairs).
+	slow := e.wildFilters.Load() > 0 ||
+		(e.cfg.ShadowLookup && e.wildShadows.Load() > 0)
+	if len(batch) < smallBatch || len(e.shards) == 1 || slow {
+		for i, p := range batch {
+			out[i] = e.classifyAt(p.Tuple(), int(p.PayloadLen), now)
+		}
+		return out
+	}
+
+	sc := e.scratch.Get().(*batchScratch)
+	ns := len(e.shards)
+	if cap(sc.count) < ns {
+		sc.count = make([]int32, ns)
+		sc.start = make([]int32, ns)
+	}
+	sc.count = sc.count[:ns]
+	sc.start = sc.start[:ns]
+	for i := range sc.count {
+		sc.count[i] = 0
+	}
+	if cap(sc.order) < len(batch) {
+		sc.order = make([]int32, len(batch))
+	}
+	sc.order = sc.order[:len(batch)]
+
+	for _, p := range batch {
+		sc.count[e.shardIdx(p.Src, p.Dst)]++
+	}
+	var off int32
+	for i, c := range sc.count {
+		sc.start[i] = off
+		off += c
+	}
+	pos := sc.start
+	for i, p := range batch {
+		si := e.shardIdx(p.Src, p.Dst)
+		sc.order[pos[si]] = int32(i)
+		pos[si]++
+	}
+
+	// pos[si] now points one past shard si's slice; recover the starts.
+	begin := int32(0)
+	for si := 0; si < ns; si++ {
+		end := pos[si]
+		if end == begin {
+			continue
+		}
+		s := e.shards[si]
+		s.mu.RLock()
+		for _, pi := range sc.order[begin:end] {
+			p := batch[pi]
+			tup := p.Tuple()
+			exact := tup.ExactLabel()
+			pair := flow.PairLabel(tup.Src, tup.Dst)
+			if fe := s.matchFilter(exact, pair, tup, now); fe != nil {
+				chargeDrop(s, fe, int(p.PayloadLen))
+				out[pi] = Verdict{Drop: true}
+				continue
+			}
+			if e.cfg.ShadowLookup {
+				if se := s.lookupShadow(exact, pair, tup, now); se != nil {
+					out[pi] = recordShadowHit(s, se)
+					continue
+				}
+			}
+			out[pi] = Verdict{}
+		}
+		s.mu.RUnlock()
+		begin = end
+	}
+	e.scratch.Put(sc)
+	return out
+}
+
+// ── Filter control plane ─────────────────────────────────────────────
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Install adds a filter for label until deadline exp, refreshing the
+// expiry (and keeping counters) when the label is already present. The
+// global capacity budget and eviction policy match filter.Table:
+// RejectNew returns filter.ErrTableFull, EvictSoonest displaces the
+// engine-wide entry nearest to expiry.
+func (e *Engine) Install(label flow.Label, now, exp filter.Time) error {
+	label = label.Key()
+	seg, isWild := e.segFor(label)
+
+	// Refresh path first: a present label consumes no new capacity.
+	seg.mu.Lock()
+	if fe, ok := seg.filters[label]; ok {
+		if exp > fe.expiresAt {
+			fe.expiresAt = exp
+		}
+		seg.mu.Unlock()
+		return nil
+	}
+	seg.mu.Unlock()
+
+	// Reclaim dead entries before judging occupancy, as Table does.
+	e.Expire(now)
+
+	cap64 := int64(e.cfg.FilterCapacity)
+	for attempt := 0; ; attempt++ {
+		used := e.fUsed.Load()
+		if used < cap64 {
+			if !e.fUsed.CompareAndSwap(used, used+1) {
+				continue // raced with another install/remove; retry
+			}
+			break // slot reserved
+		}
+		if e.cfg.Evict == filter.RejectNew || e.cfg.FilterCapacity == 0 || attempt >= 8 {
+			e.rejected.Add(1)
+			return fmt.Errorf("%w (capacity %d)", filter.ErrTableFull, e.cfg.FilterCapacity)
+		}
+		if !e.evictSoonest() {
+			e.rejected.Add(1)
+			return fmt.Errorf("%w (capacity %d)", filter.ErrTableFull, e.cfg.FilterCapacity)
+		}
+		// The eviction freed a slot; loop to claim it.
+	}
+
+	seg.mu.Lock()
+	if fe, ok := seg.filters[label]; ok {
+		// Lost a race with a concurrent install of the same label.
+		if exp > fe.expiresAt {
+			fe.expiresAt = exp
+		}
+		seg.mu.Unlock()
+		e.fUsed.Add(-1)
+		return nil
+	}
+	seg.filters[label] = &fentry{label: label, installedAt: now, expiresAt: exp}
+	if len(seg.filters) == 1 || exp < seg.fNext {
+		seg.fNext = exp
+	}
+	if needsScan(label) {
+		seg.fscan++
+	}
+	if isWild {
+		e.wildFilters.Add(1)
+	}
+	seg.mu.Unlock()
+	e.installed.Add(1)
+	atomicMax(&e.fPeak, e.fUsed.Load())
+	return nil
+}
+
+// evictSoonest removes the engine-wide entry closest to expiry,
+// reporting whether anything was evicted.
+func (e *Engine) evictSoonest() bool {
+	var (
+		vseg   *shard
+		vwild  bool
+		vlabel flow.Label
+		vexp   filter.Time
+		found  bool
+	)
+	e.allSegs(func(s *shard, wild bool) {
+		s.mu.RLock()
+		for _, fe := range s.filters {
+			if !found || fe.expiresAt < vexp {
+				vseg, vwild, vlabel, vexp, found = s, wild, fe.label, fe.expiresAt, true
+			}
+		}
+		s.mu.RUnlock()
+	})
+	if !found {
+		return false
+	}
+	vseg.mu.Lock()
+	fe, ok := vseg.filters[vlabel]
+	if !ok {
+		vseg.mu.Unlock()
+		return false // raced with expiry/removal; caller retries
+	}
+	delete(vseg.filters, vlabel)
+	if needsScan(fe.label) {
+		vseg.fscan--
+	}
+	vseg.mu.Unlock()
+	if vwild {
+		e.wildFilters.Add(-1)
+	}
+	e.fUsed.Add(-1)
+	e.evicted.Add(1)
+	return true
+}
+
+// Remove deletes the filter for label, reporting whether it existed.
+func (e *Engine) Remove(label flow.Label) bool {
+	label = label.Key()
+	seg, isWild := e.segFor(label)
+	seg.mu.Lock()
+	fe, ok := seg.filters[label]
+	if !ok {
+		seg.mu.Unlock()
+		return false
+	}
+	delete(seg.filters, label)
+	if needsScan(fe.label) {
+		seg.fscan--
+	}
+	seg.mu.Unlock()
+	if isWild {
+		e.wildFilters.Add(-1)
+	}
+	e.fUsed.Add(-1)
+	e.removed.Add(1)
+	return true
+}
+
+// Get returns a snapshot of the live filter entry for the exact label.
+func (e *Engine) Get(label flow.Label, now filter.Time) (filter.Entry, bool) {
+	label = label.Key()
+	seg, _ := e.segFor(label)
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	fe, ok := seg.filters[label]
+	if !ok || fe.expiresAt <= now {
+		return filter.Entry{}, false
+	}
+	return fe.snapshot(), true
+}
+
+// Expire garbage-collects filters whose deadline has passed, returning
+// how many were removed across all shards.
+func (e *Engine) Expire(now filter.Time) int {
+	n := 0
+	e.allSegs(func(s *shard, wild bool) {
+		s.mu.Lock()
+		k := s.expireFilters(now)
+		s.mu.Unlock()
+		if wild && k > 0 {
+			e.wildFilters.Add(int64(-k))
+		}
+		n += k
+	})
+	if n > 0 {
+		e.fUsed.Add(int64(-n))
+		e.expired.Add(uint64(n))
+	}
+	return n
+}
+
+// NextExpiry returns the earliest deadline among installed filters.
+func (e *Engine) NextExpiry() (filter.Time, bool) {
+	var min filter.Time
+	found := false
+	e.allSegs(func(s *shard, _ bool) {
+		s.mu.RLock()
+		for _, fe := range s.filters {
+			if !found || fe.expiresAt < min {
+				min, found = fe.expiresAt, true
+			}
+		}
+		s.mu.RUnlock()
+	})
+	return min, found
+}
+
+// Len returns the number of installed filters (including entries whose
+// deadline has passed but which have not been garbage-collected yet),
+// summed across shards.
+func (e *Engine) Len() int { return int(e.fUsed.Load()) }
+
+// FilterCapacity returns the global wire-speed filter budget.
+func (e *Engine) FilterCapacity() int { return e.cfg.FilterCapacity }
+
+// ShardLen returns the occupancy of one hash shard (excluding the wild
+// segment), for accounting tests.
+func (e *Engine) ShardLen(i int) int {
+	s := e.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.filters)
+}
+
+// FilterStats aggregates counters across shards into filter.Stats.
+func (e *Engine) FilterStats() filter.Stats {
+	var drops, bytes uint64
+	e.allSegs(func(s *shard, _ bool) {
+		drops += s.drops.Load()
+		bytes += s.droppedBytes.Load()
+	})
+	return filter.Stats{
+		Installed:     e.installed.Load(),
+		Rejected:      e.rejected.Load(),
+		Evicted:       e.evicted.Load(),
+		Expired:       e.expired.Load(),
+		Removed:       e.removed.Load(),
+		Drops:         drops,
+		DroppedBytes:  bytes,
+		PeakOccupancy: int(e.fPeak.Load()),
+	}
+}
+
+// FilterEntries returns a merged snapshot of installed filters sorted
+// by expiry (soonest first), as filter.Table.Entries does.
+func (e *Engine) FilterEntries() []filter.Entry {
+	out := make([]filter.Entry, 0, e.Len())
+	e.allSegs(func(s *shard, _ bool) {
+		s.mu.RLock()
+		for _, fe := range s.filters {
+			out = append(out, fe.snapshot())
+		}
+		s.mu.RUnlock()
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpiresAt != out[j].ExpiresAt {
+			return out[i].ExpiresAt < out[j].ExpiresAt
+		}
+		return out[i].Label.String() < out[j].Label.String()
+	})
+	return out
+}
+
+// ── Shadow-cache control plane ───────────────────────────────────────
+
+// LogShadow records a filtering request for label until exp, refreshing
+// expiry and victim when already present. It returns false when the
+// cache is full (or disabled), mirroring filter.ShadowCache.Log.
+func (e *Engine) LogShadow(label flow.Label, victim flow.Addr, now, exp filter.Time) bool {
+	label = label.Key()
+	seg, isWild := e.segFor(label)
+
+	seg.mu.Lock()
+	if se, ok := seg.shadows[label]; ok {
+		if exp > se.expiresAt {
+			se.expiresAt = exp
+		}
+		se.victim = victim
+		seg.mu.Unlock()
+		return true
+	}
+	seg.mu.Unlock()
+
+	e.ExpireShadows(now)
+
+	cap64 := int64(e.cfg.ShadowCapacity)
+	for {
+		used := e.sUsed.Load()
+		if used >= cap64 {
+			e.sRejected.Add(1)
+			return false
+		}
+		if e.sUsed.CompareAndSwap(used, used+1) {
+			break
+		}
+	}
+
+	seg.mu.Lock()
+	if se, ok := seg.shadows[label]; ok {
+		if exp > se.expiresAt {
+			se.expiresAt = exp
+		}
+		se.victim = victim
+		seg.mu.Unlock()
+		e.sUsed.Add(-1)
+		return true
+	}
+	seg.shadows[label] = &sentry{label: label, loggedAt: now, expiresAt: exp, victim: victim}
+	if len(seg.shadows) == 1 || exp < seg.sNext {
+		seg.sNext = exp
+	}
+	if needsScan(label) {
+		seg.sscan++
+	}
+	if isWild {
+		e.wildShadows.Add(1)
+	}
+	seg.mu.Unlock()
+	e.sLogged.Add(1)
+	atomicMax(&e.sPeak, e.sUsed.Load())
+	return true
+}
+
+// ShadowGet returns a snapshot of the live shadow record for the exact
+// label, if any.
+func (e *Engine) ShadowGet(label flow.Label, now filter.Time) (filter.ShadowEntry, bool) {
+	label = label.Key()
+	seg, _ := e.segFor(label)
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	se, ok := seg.shadows[label]
+	if !ok || se.expiresAt <= now {
+		return filter.ShadowEntry{}, false
+	}
+	return se.snapshot(), true
+}
+
+// ShadowHit records a reappearance of the flow logged under label
+// (e.g. one reported by the victim rather than observed in-line),
+// returning the updated snapshot.
+func (e *Engine) ShadowHit(label flow.Label) (filter.ShadowEntry, bool) {
+	label = label.Key()
+	seg, _ := e.segFor(label)
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	se, ok := seg.shadows[label]
+	if !ok {
+		return filter.ShadowEntry{}, false
+	}
+	se.reapp.Add(1)
+	seg.shadowHits.Add(1)
+	return se.snapshot(), true
+}
+
+// RemoveShadow deletes the record for label, reporting whether it
+// existed.
+func (e *Engine) RemoveShadow(label flow.Label) bool {
+	label = label.Key()
+	seg, isWild := e.segFor(label)
+	seg.mu.Lock()
+	se, ok := seg.shadows[label]
+	if !ok {
+		seg.mu.Unlock()
+		return false
+	}
+	delete(seg.shadows, label)
+	if needsScan(se.label) {
+		seg.sscan--
+	}
+	seg.mu.Unlock()
+	if isWild {
+		e.wildShadows.Add(-1)
+	}
+	e.sUsed.Add(-1)
+	return true
+}
+
+// ExpireShadows garbage-collects shadow records past their deadline.
+func (e *Engine) ExpireShadows(now filter.Time) int {
+	n := 0
+	e.allSegs(func(s *shard, wild bool) {
+		s.mu.Lock()
+		k := s.expireShadows(now)
+		s.mu.Unlock()
+		if wild && k > 0 {
+			e.wildShadows.Add(int64(-k))
+		}
+		n += k
+	})
+	if n > 0 {
+		e.sUsed.Add(int64(-n))
+		e.sExpired.Add(uint64(n))
+	}
+	return n
+}
+
+// ShadowLen returns the number of logged shadow records.
+func (e *Engine) ShadowLen() int { return int(e.sUsed.Load()) }
+
+// ShadowCapacity returns the global shadow-cache budget.
+func (e *Engine) ShadowCapacity() int { return e.cfg.ShadowCapacity }
+
+// ShadowStats aggregates counters across shards.
+func (e *Engine) ShadowStats() filter.ShadowStats {
+	var hits uint64
+	e.allSegs(func(s *shard, _ bool) { hits += s.shadowHits.Load() })
+	return filter.ShadowStats{
+		Logged:   e.sLogged.Load(),
+		Hits:     hits,
+		Expired:  e.sExpired.Load(),
+		Rejected: e.sRejected.Load(),
+		PeakSize: int(e.sPeak.Load()),
+	}
+}
+
+// ShadowEntries returns a merged snapshot sorted by expiry.
+func (e *Engine) ShadowEntries() []filter.ShadowEntry {
+	out := make([]filter.ShadowEntry, 0, e.ShadowLen())
+	e.allSegs(func(s *shard, _ bool) {
+		s.mu.RLock()
+		for _, se := range s.shadows {
+			out = append(out, se.snapshot())
+		}
+		s.mu.RUnlock()
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpiresAt != out[j].ExpiresAt {
+			return out[i].ExpiresAt < out[j].ExpiresAt
+		}
+		return out[i].Label.String() < out[j].Label.String()
+	})
+	return out
+}

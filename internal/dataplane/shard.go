@@ -1,0 +1,184 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aitf/internal/filter"
+	"aitf/internal/flow"
+)
+
+// fentry is one installed wire-speed filter. Expiry and label are only
+// written under the owning shard's write lock; drop counters are
+// atomics so the classification read path never needs exclusive access.
+type fentry struct {
+	label        flow.Label
+	installedAt  filter.Time
+	expiresAt    filter.Time
+	drops        atomic.Uint64
+	droppedBytes atomic.Uint64
+}
+
+// snapshot converts the entry to the substrate's exported form.
+func (fe *fentry) snapshot() filter.Entry {
+	return filter.Entry{
+		Label:        fe.label,
+		InstalledAt:  fe.installedAt,
+		ExpiresAt:    fe.expiresAt,
+		Drops:        fe.drops.Load(),
+		DroppedBytes: fe.droppedBytes.Load(),
+	}
+}
+
+// sentry is one DRAM shadow-cache record (a remembered filtering
+// request). Reappearance counts are atomic for the same reason.
+type sentry struct {
+	label     flow.Label
+	loggedAt  filter.Time
+	expiresAt filter.Time
+	victim    flow.Addr
+	reapp     atomic.Uint64
+}
+
+func (se *sentry) snapshot() filter.ShadowEntry {
+	return filter.ShadowEntry{
+		Label:         se.label,
+		LoggedAt:      se.loggedAt,
+		ExpiresAt:     se.expiresAt,
+		Reappearances: int(se.reapp.Load()),
+		Victim:        se.victim,
+	}
+}
+
+// pairWild is the wildcard pattern of the canonical AITF pair label.
+const pairWild = flow.WildProto | flow.WildSrcPort | flow.WildDstPort
+
+// needsScan reports whether a label can only be matched by a linear
+// scan (its shape is neither exact nor the canonical pair label).
+func needsScan(l flow.Label) bool {
+	return l.Wildcards != 0 && l.Wildcards != pairWild
+}
+
+// shard is one hash partition of the data plane: a segment of the
+// wire-speed filter bank plus the matching segment of the shadow cache.
+// The mutex is held shared by classification and exclusively by the
+// control plane (install / remove / expire).
+type shard struct {
+	mu      sync.RWMutex
+	filters map[flow.Label]*fentry
+	fscan   int // filter entries that require a linear scan
+	shadows map[flow.Label]*sentry
+	sscan   int // shadow entries that require a linear scan
+
+	// fNext / sNext are the earliest deadlines among this shard's
+	// entries (valid only while the corresponding map is non-empty);
+	// they let expiry passes return O(1) when nothing is due, so the
+	// control plane can garbage-collect eagerly without O(n) rescans.
+	fNext filter.Time
+	sNext filter.Time
+
+	// Hot-path counters live per shard (summed by Engine.FilterStats /
+	// ShadowStats) so classification on different shards never bounces
+	// a shared stats cache line — a single global counter would cap
+	// multi-core scaling no matter how many shards exist.
+	drops        atomic.Uint64
+	droppedBytes atomic.Uint64
+	shadowHits   atomic.Uint64
+}
+
+func newShard() *shard {
+	return &shard{
+		filters: make(map[flow.Label]*fentry),
+		shadows: make(map[flow.Label]*sentry),
+	}
+}
+
+// matchFilter finds a live filter covering the tuple and charges the
+// drop to it. Caller holds s.mu (read suffices).
+func (s *shard) matchFilter(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *fentry {
+	if fe, ok := s.filters[exact]; ok && fe.expiresAt > now {
+		return fe
+	}
+	if fe, ok := s.filters[pair]; ok && fe.expiresAt > now {
+		return fe
+	}
+	if s.fscan > 0 {
+		for _, fe := range s.filters {
+			if fe.expiresAt > now && fe.label.Matches(tup) {
+				return fe
+			}
+		}
+	}
+	return nil
+}
+
+// lookupShadow finds a live shadow record covering the tuple. Caller
+// holds s.mu (read suffices).
+func (s *shard) lookupShadow(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *sentry {
+	if se, ok := s.shadows[exact]; ok && se.expiresAt > now {
+		return se
+	}
+	if se, ok := s.shadows[pair]; ok && se.expiresAt > now {
+		return se
+	}
+	if s.sscan > 0 {
+		for _, se := range s.shadows {
+			if se.expiresAt > now && se.label.Matches(tup) {
+				return se
+			}
+		}
+	}
+	return nil
+}
+
+// expireFilters garbage-collects dead filters. Caller holds s.mu
+// exclusively. The fNext hint makes the nothing-due case O(1).
+func (s *shard) expireFilters(now filter.Time) int {
+	if len(s.filters) == 0 || now < s.fNext {
+		return 0
+	}
+	n := 0
+	var next filter.Time
+	first := true
+	for k, fe := range s.filters {
+		if fe.expiresAt <= now {
+			delete(s.filters, k)
+			if needsScan(k) {
+				s.fscan--
+			}
+			n++
+			continue
+		}
+		if first || fe.expiresAt < next {
+			next, first = fe.expiresAt, false
+		}
+	}
+	s.fNext = next
+	return n
+}
+
+// expireShadows garbage-collects dead shadow records. Caller holds s.mu
+// exclusively.
+func (s *shard) expireShadows(now filter.Time) int {
+	if len(s.shadows) == 0 || now < s.sNext {
+		return 0
+	}
+	n := 0
+	var next filter.Time
+	first := true
+	for k, se := range s.shadows {
+		if se.expiresAt <= now {
+			delete(s.shadows, k)
+			if needsScan(k) {
+				s.sscan--
+			}
+			n++
+			continue
+		}
+		if first || se.expiresAt < next {
+			next, first = se.expiresAt, false
+		}
+	}
+	s.sNext = next
+	return n
+}

@@ -1,0 +1,72 @@
+package dataplane
+
+import (
+	"math/rand"
+	"time"
+
+	"aitf/internal/filter"
+	"aitf/internal/flow"
+	"aitf/internal/packet"
+)
+
+// This file defines the shared throughput workload used by both the
+// BenchmarkDataplaneThroughput family and cmd/aitf-bench's -json
+// sweep, so the JSON trend file always measures exactly the cells the
+// benchmark family reports.
+
+// steadyClock is a constant clock: workload measurements isolate
+// classification cost, not time arithmetic.
+type steadyClock struct{}
+
+// Now implements Clock.
+func (steadyClock) Now() filter.Time { return time.Second }
+
+// SteadyClock returns a constant clock for workload measurements.
+func SteadyClock() Clock { return steadyClock{} }
+
+// workloadHitPair is the i-th installed (and thus hit) flow pair.
+func workloadHitPair(i int) (flow.Addr, flow.Addr) {
+	return flow.MakeAddr(10, byte(i>>16), byte(i>>8), byte(i)),
+		flow.MakeAddr(172, 16, byte(i>>8), byte(i))
+}
+
+// WorkloadEngine builds an engine preloaded with n pair filters over
+// the canonical workload population, with a little capacity slack so
+// installs never reject.
+func WorkloadEngine(shards, filters int) *Engine {
+	e := New(Config{
+		Shards:         shards,
+		FilterCapacity: filters + 16,
+		ShadowCapacity: 1024,
+		Evict:          filter.RejectNew,
+		ShadowLookup:   true,
+		Clock:          SteadyClock(),
+	})
+	for i := 0; i < filters; i++ {
+		src, dst := workloadHitPair(i)
+		if err := e.Install(flow.PairLabel(src, dst), 0, time.Hour); err != nil {
+			panic(err)
+		}
+	}
+	return e
+}
+
+// WorkloadBatch builds a classification batch drawing hitFrac of its
+// packets from the installed filter population and the rest from a
+// disjoint (always-miss) address range.
+func WorkloadBatch(rng *rand.Rand, filters, size int, hitFrac float64) []*packet.Packet {
+	batch := make([]*packet.Packet, size)
+	for j := range batch {
+		if rng.Float64() < hitFrac {
+			src, dst := workloadHitPair(rng.Intn(filters))
+			batch[j] = packet.NewData(src, dst, flow.ProtoUDP, 1000, 80, 512)
+		} else {
+			i := rng.Intn(1 << 16)
+			batch[j] = packet.NewData(
+				flow.MakeAddr(192, 168, byte(i>>8), byte(i)),
+				flow.MakeAddr(203, 0, byte(i>>8), byte(i)),
+				flow.ProtoUDP, 1000, 80, 512)
+		}
+	}
+	return batch
+}

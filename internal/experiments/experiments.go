@@ -15,7 +15,7 @@ import (
 
 // Result is one experiment's output.
 type Result struct {
-	// ID is the experiment identifier used in DESIGN.md/EXPERIMENTS.md
+	// ID is the experiment identifier used in EXPERIMENTS.md
 	// (E1..E9).
 	ID string
 	// Title names the experiment after its paper location.

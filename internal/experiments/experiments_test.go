@@ -9,7 +9,7 @@ import (
 	"aitf"
 )
 
-// TestAllDriversRegistered pins the experiment registry to DESIGN.md.
+// TestAllDriversRegistered pins the experiment registry to EXPERIMENTS.md.
 func TestAllDriversRegistered(t *testing.T) {
 	drivers, ids := All()
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}

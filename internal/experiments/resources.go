@@ -137,7 +137,7 @@ func E4VictimGatewayResources() Result {
 		)
 	}
 	tbl.AddNote("peak filters tracks R1·Ttmp (plus the policer burst), two orders of magnitude below the flow count")
-	tbl.AddNote("a Ttmp below the handshake+grace time (first row) misfires the takeover check and falls back to long-lived local filters — the misprovisioning ablation of DESIGN.md §5")
+	tbl.AddNote("a Ttmp below the handshake+grace time (first row) misfires the takeover check and falls back to long-lived local filters — the misprovisioning ablation in EXPERIMENTS.md")
 	res.Tables = append(res.Tables, tbl)
 
 	paper := metrics.NewTable("paper-scale analytic values (§IV-B example)",

@@ -3,8 +3,8 @@
 //
 // A packet carries a network header, an optional route-record (RR) shim
 // holding one entry per AITF border router traversed (the traceback
-// substrate AITF assumes, see DESIGN.md), and either opaque data-plane
-// payload or one AITF control message.
+// substrate AITF assumes), and either opaque data-plane payload or one
+// AITF control message.
 package packet
 
 import (

@@ -43,6 +43,12 @@ type GatewayFileConfig struct {
 	TtmpMs int `json:"ttmp_ms"`
 	// Capacity bounds the filter table (0 = default).
 	Capacity int `json:"filter_capacity"`
+	// Shards partitions the data-plane classification engine
+	// (0 = GOMAXPROCS).
+	Shards int `json:"dataplane_shards"`
+	// Workers enables the data plane's worker-pool dispatch mode
+	// (0 = classify inline on the receive goroutine).
+	Workers int `json:"workers"`
 }
 
 // HostFileConfig is the host-specific part of FileConfig.
@@ -139,13 +145,15 @@ func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, er
 		clients[ca] = contract.DefaultEndHost()
 	}
 	return GatewayConfig{
-		Node:           node,
-		Timers:         tm,
-		FilterCapacity: c.Gateway.Capacity,
-		Clients:        clients,
-		Default:        contract.DefaultPeer(),
-		Secret:         []byte(c.Gateway.Secret),
-		Logf:           logf,
+		Node:            node,
+		Timers:          tm,
+		FilterCapacity:  c.Gateway.Capacity,
+		Clients:         clients,
+		Default:         contract.DefaultPeer(),
+		Secret:          []byte(c.Gateway.Secret),
+		Logf:            logf,
+		DataplaneShards: c.Gateway.Shards,
+		Workers:         c.Gateway.Workers,
 	}, nil
 }
 

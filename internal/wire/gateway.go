@@ -2,10 +2,13 @@ package wire
 
 import (
 	"log"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aitf/internal/contract"
+	"aitf/internal/dataplane"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
 	"aitf/internal/packet"
@@ -48,6 +51,13 @@ type GatewayConfig struct {
 	HandshakeTimeout time.Duration
 	// Logf, when set, receives human-readable protocol events.
 	Logf func(format string, args ...any)
+	// DataplaneShards partitions the classification engine; 0 picks
+	// GOMAXPROCS (rounded up to a power of two by the engine).
+	DataplaneShards int
+	// Workers > 0 enables the data plane's worker-pool dispatch mode:
+	// data packets are classified and forwarded by a pool instead of
+	// the socket's receive goroutine. 0 classifies inline.
+	Workers int
 }
 
 // Gateway is the wire-mode border router: it stamps route records on
@@ -59,16 +69,24 @@ type Gateway struct {
 	node *Node
 	rec  *traceback.Recorder
 
-	filters  *filter.Table
-	shadows  *filter.ShadowCache
+	// dp is the sharded classification engine (wire-speed filter bank +
+	// shadow cache); disp, when non-nil, is its worker-pool front end.
+	dp   *dataplane.Engine
+	disp *dataplane.Dispatcher
+
 	policers map[flow.Addr]*filter.Policer
 	pendings map[flow.Label]*wirePending
 	timers   *timerSet
 
-	// Stats mirror the simulator gateway's counters (subset).
+	// Control-plane stats mirror the simulator gateway's counters
+	// (subset); they are mutated under mu.
 	ReqReceived, ReqPoliced, ReqInvalid uint64
 	HandshakesOK, HandshakesFailed      uint64
-	FilterDrops, StopOrders             uint64
+	StopOrders                          uint64
+	// Data-plane stats are updated atomically: with dispatch mode on,
+	// drops are counted from multiple workers at once.
+	FilterDrops uint64
+	ShadowHits  uint64
 }
 
 type wirePending struct {
@@ -88,6 +106,9 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.ShadowCapacity <= 0 {
 		cfg.ShadowCapacity = 65536
 	}
+	if cfg.DataplaneShards <= 0 {
+		cfg.DataplaneShards = runtime.GOMAXPROCS(0)
+	}
 	n, err := NewNode(cfg.Node)
 	if err != nil {
 		return nil, err
@@ -96,11 +117,21 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		cfg:      cfg,
 		node:     n,
 		rec:      traceback.NewRecorder(cfg.Node.Addr, cfg.Secret),
-		filters:  filter.NewTable(cfg.FilterCapacity, filter.RejectNew),
-		shadows:  filter.NewShadowCache(cfg.ShadowCapacity),
 		policers: make(map[flow.Addr]*filter.Policer),
 		pendings: make(map[flow.Label]*wirePending),
 		timers:   newTimerSet(),
+	}
+	g.dp = dataplane.New(dataplane.Config{
+		Shards:         cfg.DataplaneShards,
+		FilterCapacity: cfg.FilterCapacity,
+		ShadowCapacity: cfg.ShadowCapacity,
+		Evict:          filter.RejectNew,
+		ShadowLookup:   true,
+		Clock:          dataplane.WallClock(epoch),
+	})
+	if cfg.Workers > 0 {
+		g.disp = dataplane.NewDispatcher(g.dp,
+			dataplane.DispatcherConfig{Workers: cfg.Workers}, g.finishData)
 	}
 	n.SetHandler(g)
 	return g, nil
@@ -112,14 +143,24 @@ func (g *Gateway) Node() *Node { return g.node }
 // Run starts the gateway.
 func (g *Gateway) Run() { g.node.Run() }
 
-// Close stops timers and the socket.
+// Close stops timers, the worker pool, and the socket.
 func (g *Gateway) Close() error {
 	g.timers.stopAll()
-	return g.node.Close()
+	err := g.node.Close()
+	if g.disp != nil {
+		g.disp.Close()
+	}
+	return err
 }
 
-// Filters exposes the filter table for inspection.
-func (g *Gateway) Filters() *filter.Table { return g.filters }
+// DataPlane exposes the classification engine.
+func (g *Gateway) DataPlane() *dataplane.Engine { return g.dp }
+
+// Filters exposes the filter bank for inspection.
+func (g *Gateway) Filters() dataplane.TableView { return g.dp.Table() }
+
+// Shadows exposes the shadow cache for inspection.
+func (g *Gateway) Shadows() dataplane.ShadowView { return g.dp.Shadow() }
 
 func (g *Gateway) logf(format string, args ...any) {
 	if g.cfg.Logf != nil {
@@ -140,11 +181,13 @@ func (g *Gateway) policer(peer flow.Addr) *filter.Policer {
 	return p
 }
 
-// Handle implements Handler.
+// Handle implements Handler. Control packets take the gateway lock;
+// data packets take the concurrent data-plane fast path, either inline
+// on the receive goroutine or via the worker pool.
 func (g *Gateway) Handle(n *Node, p *packet.Packet, from flow.Addr) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	if p.IsControl() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
 		if p.Dst == n.Addr() {
 			g.handleControl(p, from)
 			return
@@ -154,18 +197,33 @@ func (g *Gateway) Handle(n *Node, p *packet.Packet, from flow.Addr) {
 		}
 		return
 	}
-	now := wallNow()
-	if g.filters.Match(p.Tuple(), int(p.PayloadLen), now) {
-		g.FilterDrops++
+	if g.disp != nil {
+		g.disp.Submit(p) // queue overflow sheds load, as hardware would
 		return
 	}
-	if p.Dst == n.Addr() {
+	g.finishData(p, g.dp.ClassifyTuple(p.Tuple(), int(p.PayloadLen)))
+}
+
+// finishData completes the data path for a classified packet. It runs
+// on the receive goroutine or on dispatcher workers and must not take
+// the gateway lock.
+func (g *Gateway) finishData(p *packet.Packet, v dataplane.Verdict) {
+	if v.Drop {
+		atomic.AddUint64(&g.FilterDrops, 1)
+		return
+	}
+	if v.ShadowHit {
+		// An "on-off" flow reappeared within T of being filtered; count
+		// it (the wire runtime's single round has no escalation ladder).
+		atomic.AddUint64(&g.ShadowHits, 1)
+	}
+	if p.Dst == g.node.Addr() {
 		return
 	}
 	if len(p.Path) < packet.MaxPathLen {
-		p.RecordRoute(n.Addr(), g.rec.Nonce(flow.Tuple{Src: p.Src, Dst: p.Dst}))
+		p.RecordRoute(g.node.Addr(), g.rec.Nonce(flow.Tuple{Src: p.Src, Dst: p.Dst}))
 	}
-	if err := n.Forward(p); err != nil {
+	if err := g.node.Forward(p); err != nil {
 		g.logf("forward: %v", err)
 	}
 }
@@ -198,11 +256,11 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 			g.logf("invalid evidence for %v", label)
 			return
 		}
-		if err := g.filters.Install(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
+		if err := g.dp.Install(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
 			g.logf("temp filter: %v", err)
 			return
 		}
-		g.shadows.Log(label, m.Victim, now, now+sim.Time(g.cfg.Timers.T))
+		g.dp.LogShadow(label, m.Victim, now, now+sim.Time(g.cfg.Timers.T))
 		target, err := evidence.AttackerGateway()
 		if err != nil {
 			return
@@ -252,7 +310,7 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 	pend.cancel()
 	delete(g.pendings, label.Key())
 	g.HandshakesOK++
-	if err := g.filters.Install(label, now, now+sim.Time(g.cfg.Timers.T)); err != nil {
+	if err := g.dp.Install(label, now, now+sim.Time(g.cfg.Timers.T)); err != nil {
 		g.logf("filter: %v", err)
 		return
 	}

@@ -9,7 +9,7 @@
 // the anti-spoofing handshake of §II-E for the canonical round
 // (victim → victim's gateway → attacker's gateway → attacker).
 // Multi-round escalation studies run on the deterministic simulator
-// (package aitf); see DESIGN.md.
+// (package aitf); see EXPERIMENTS.md.
 package wire
 
 import (
