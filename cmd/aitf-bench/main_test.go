@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestBenchJSONSchemaMatchesCheckedInFile: the committed
+// BENCH_dataplane.json must decode strictly into the current output
+// schema — if a field is renamed or removed, the trend file (and any
+// tooling reading it) silently breaks; this test makes the drift loud.
+func TestBenchJSONSchemaMatchesCheckedInFile(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_dataplane.json")
+	if err != nil {
+		t.Skipf("no checked-in trend file: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var out benchOutput
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("BENCH_dataplane.json no longer matches the -json schema: %v", err)
+	}
+	if out.GeneratedAt == "" || out.GoMaxProcs < 1 {
+		t.Fatalf("header fields missing: %+v", out)
+	}
+	if len(out.Dataplane) == 0 {
+		t.Fatal("trend file has no dataplane sweep cells")
+	}
+	for i, c := range out.Dataplane {
+		if c.Shards < 1 || c.Filters < 1 || c.PPS <= 0 || c.Mix == "" {
+			t.Fatalf("cell %d malformed: %+v", i, c)
+		}
+	}
+	if len(out.Experiments) == 0 {
+		t.Fatal("trend file has no experiment results")
+	}
+}
+
+// TestMeasureDataplaneProducesCells: a tiny sweep cell measures a
+// positive throughput and serializes with the exact key set the trend
+// file uses.
+func TestMeasureDataplaneProducesCells(t *testing.T) {
+	pps := measureDataplane(1, 1024, 0.5, 5*time.Millisecond)
+	if pps <= 0 {
+		t.Fatalf("measured %v pps", pps)
+	}
+	cell := dataplaneResult{Shards: 1, Filters: 1024, Mix: "mixed", Goroutines: 1, PPS: pps}
+	buf, err := json.Marshal(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(buf, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"shards", "filters", "mix", "goroutines", "pps"} {
+		if _, ok := keys[k]; !ok {
+			t.Fatalf("cell JSON lacks %q: %s", k, buf)
+		}
+	}
+}

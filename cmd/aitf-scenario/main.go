@@ -1,0 +1,129 @@
+// Command aitf-scenario runs seeded adversarial scenarios against the
+// AITF implementation and checks the protocol invariants after each
+// run (see internal/scenario). It is the CLI face of the property
+// harness: run sweeps, replay a failing seed byte-identically, and
+// minimize a failure to its smallest reproducing scenario.
+//
+// Usage:
+//
+//	aitf-scenario -seed 42               # run one scenario
+//	aitf-scenario -seed 1 -n 100         # sweep seeds 1..100
+//	aitf-scenario -seed 42 -minimize     # shrink a failing seed
+//	aitf-scenario -replay failing.json   # re-run an exact spec
+//	aitf-scenario -seed 42 -o spec.json  # dump the (failing) spec
+//
+// Exit status is 1 when any scenario violates an invariant. Every run
+// is a pure function of its spec, so `-seed N` reproduces a failure
+// exactly, and the JSON spec written with -o replays it on any
+// machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aitf/internal/scenario"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base scenario seed")
+	n := flag.Int("n", 1, "number of consecutive seeds to run")
+	replay := flag.String("replay", "", "path to a JSON scenario spec to run instead of seeds")
+	minimize := flag.Bool("minimize", false, "on failure, shrink the scenario while it still fails")
+	out := flag.String("o", "", "write each failing spec as JSON here (sweeps splice the seed into the name)")
+	quiet := flag.Bool("q", false, "only print failures")
+	flag.Parse()
+
+	if err := run(*seed, *n, *replay, *minimize, *out, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "aitf-scenario: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, n int, replay string, minimize bool, out string, quiet bool) error {
+	specs, err := collectSpecs(seed, n, replay)
+	if err != nil {
+		return err
+	}
+
+	failures := 0
+	for _, spec := range specs {
+		res := scenario.Run(spec)
+		if res.Failed() || !quiet {
+			fmt.Println(res.Report())
+		}
+		if !res.Failed() {
+			continue
+		}
+		failures++
+		failing := spec
+		if minimize {
+			fmt.Fprintf(os.Stderr, "aitf-scenario: minimizing seed %d...\n", spec.Seed)
+			failing = scenario.Minimize(spec, func(s scenario.Spec) bool {
+				return scenario.Run(s).Failed()
+			})
+			min := scenario.Run(failing)
+			fmt.Println("minimized:")
+			fmt.Println(min.Report())
+		}
+		if err := dumpSpec(failing, specPath(out, spec.Seed, len(specs))); err != nil {
+			return err
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d scenarios violated invariants", failures, len(specs))
+	}
+	return nil
+}
+
+func collectSpecs(seed int64, n int, replay string) ([]scenario.Spec, error) {
+	if replay != "" {
+		raw, err := os.ReadFile(replay)
+		if err != nil {
+			return nil, err
+		}
+		var spec scenario.Spec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, fmt.Errorf("parse %s: %v", replay, err)
+		}
+		return []scenario.Spec{spec}, nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	specs := make([]scenario.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, scenario.GenSpec(seed+int64(i)))
+	}
+	return specs, nil
+}
+
+// specPath derives the output path for one failing spec. In a sweep,
+// the seed is spliced in before the extension so a later failure never
+// overwrites an earlier reproducer.
+func specPath(out string, seed int64, total int) string {
+	if out == "" || total <= 1 {
+		return out
+	}
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.seed%d%s", out[:len(out)-len(ext)], seed, ext)
+}
+
+func dumpSpec(spec scenario.Spec, path string) error {
+	buf, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		fmt.Printf("spec: %s\n", buf)
+		return nil
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "aitf-scenario: wrote failing spec to %s\n", path)
+	return nil
+}

@@ -33,6 +33,7 @@ package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -49,50 +50,53 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*cfgPath); err != nil {
+	node, err := start(*cfgPath, log.Printf)
+	if err != nil {
 		log.Fatalf("aitfd: %v", err)
 	}
-}
-
-func run(cfgPath string) error {
-	raw, err := os.ReadFile(cfgPath)
-	if err != nil {
-		return err
-	}
-	cfg, err := wire.ParseFileConfig(raw)
-	if err != nil {
-		return err
-	}
+	defer node.Close()
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	<-done
+}
 
+// start loads the configuration and boots the described node, returning
+// a handle that shuts it down. Split from main so tests can drive the
+// full config-to-socket path without signals.
+func start(cfgPath string, logf func(string, ...any)) (io.Closer, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := wire.ParseFileConfig(raw)
+	if err != nil {
+		return nil, err
+	}
 	switch cfg.Role {
 	case "gateway":
-		gcfg, err := cfg.GatewayConfig(log.Printf)
+		gcfg, err := cfg.GatewayConfig(logf)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		g, err := wire.NewGateway(gcfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer g.Close()
 		g.Run()
-		log.Printf("[%s] gateway %s listening on %v", cfg.Name, cfg.Addr, g.Node().UDPAddr())
-	case "host":
-		hcfg, err := cfg.HostConfig(log.Printf)
+		logf("[%s] gateway %s listening on %v", cfg.Name, cfg.Addr, g.Node().UDPAddr())
+		return g, nil
+	default: // "host"; ParseFileConfig rejects anything else
+		hcfg, err := cfg.HostConfig(logf)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		h, err := wire.NewHost(hcfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer h.Close()
 		h.Run()
-		log.Printf("[%s] host %s listening on %v", cfg.Name, cfg.Addr, h.Node().UDPAddr())
+		logf("[%s] host %s listening on %v", cfg.Name, cfg.Addr, h.Node().UDPAddr())
+		return h, nil
 	}
-	<-done
-	return nil
 }

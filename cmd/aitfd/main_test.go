@@ -1,0 +1,90 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aitf/internal/wire"
+)
+
+func writeCfg(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func discard(string, ...any) {}
+
+func TestStartGatewayFromJSON(t *testing.T) {
+	path := writeCfg(t, "gw.json", `{
+	  "role":   "gateway",
+	  "addr":   "10.0.0.1",
+	  "name":   "v_gw",
+	  "listen": "127.0.0.1:0",
+	  "book":   {"10.0.0.2": "127.0.0.1:7002"},
+	  "routes": {"10.0.0.2": "10.0.0.2"},
+	  "gateway": {
+	    "clients": ["10.0.0.2"],
+	    "secret":  "s",
+	    "t_ms":    5000,
+	    "ttmp_ms": 500,
+	    "dataplane_shards": 4,
+	    "workers": 2
+	  }
+	}`)
+	node, err := start(path, discard)
+	if err != nil {
+		t.Fatalf("start gateway: %v", err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("close gateway: %v", err)
+	}
+}
+
+func TestStartHostFromJSON(t *testing.T) {
+	path := writeCfg(t, "host.json", `{
+	  "role":   "host",
+	  "addr":   "10.0.0.2",
+	  "name":   "victim",
+	  "listen": "127.0.0.1:0",
+	  "book":   {"10.0.0.1": "127.0.0.1:7001"},
+	  "routes": {"10.0.0.1": "10.0.0.1"},
+	  "host":   {"gateway": "10.0.0.1", "detect_bps": 20000, "compliant": true}
+	}`)
+	node, err := start(path, discard)
+	if err != nil {
+		t.Fatalf("start host: %v", err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("close host: %v", err)
+	}
+}
+
+func TestStartRejectsBadConfigs(t *testing.T) {
+	cases := map[string]string{
+		"not json":         `{`,
+		"unknown role":     `{"role":"wizard","addr":"1.1.1.1"}`,
+		"negative workers": `{"role":"gateway","addr":"1.1.1.1","gateway":{"workers":-3}}`,
+		"negative shards":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"dataplane_shards":-1}}`,
+		"ttmp >= t":        `{"role":"gateway","addr":"1.1.1.1","gateway":{"t_ms":100,"ttmp_ms":200}}`,
+	}
+	for name, body := range cases {
+		path := writeCfg(t, "bad.json", body)
+		if _, err := start(path, discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if name != "not json" && !errors.Is(err, wire.ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestStartMissingFile(t *testing.T) {
+	if _, err := start(filepath.Join(t.TempDir(), "nope.json"), discard); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}

@@ -1,9 +1,6 @@
 package aitf
 
 import (
-	"aitf/internal/contract"
-	"aitf/internal/core"
-	"aitf/internal/flow"
 	"aitf/internal/topology"
 )
 
@@ -33,71 +30,56 @@ type ChainOptions struct {
 	AttackerCompliant bool
 }
 
-// DeployChain builds and wires a chain of the given depth.
+// DeployChain builds and wires a chain of the given depth through the
+// generic DeployTopology entry point.
 func DeployChain(opt ChainOptions) *ChainDeployment {
 	if opt.Depth <= 0 {
 		opt.Depth = 3
 	}
 	topo, ids := topology.Chain(opt.Depth, opt.Params)
-	d := newDeployment(opt.Options, topo)
-	c := &ChainDeployment{Deployment: d, IDs: ids}
 
-	addrOf := d.addrOf
-	client := opt.ClientContract
-	peer := opt.PeerContract
-
-	// Victim-side gateways: v_gw1 serves the victim; each serves the
-	// gateway below as a client and escalates to the one above.
-	for i := 0; i < opt.Depth; i++ {
-		cfg := opt.gatewayConfig()
-		cfg.Clients = map[flow.Addr]contract.Contract{}
-		cfg.Peers = map[flow.Addr]contract.Contract{}
-		if i == 0 {
-			cfg.Clients[addrOf(ids.Victim)] = client
-			if opt.IngressFiltering {
-				cfg.IngressValidSrc = map[flow.Addr][]flow.Addr{
-					addrOf(ids.Victim): {addrOf(ids.Victim)},
+	spec := TopologySpec{Topo: topo}
+	// side wires one half of the chain: gw[0] serves the end host, each
+	// gateway escalates to the one above, and the top one peers with
+	// the other side's top gateway.
+	side := func(gws []topology.NodeID, host, otherTop topology.NodeID, nonCoop map[int]bool) {
+		for i := range gws {
+			gs := GatewaySpec{Node: gws[i], Provider: NoProvider}
+			if i == 0 {
+				gs.Clients = []topology.NodeID{host}
+				if opt.IngressFiltering {
+					gs.IngressHosts = []topology.NodeID{host}
 				}
+			} else {
+				gs.Clients = []topology.NodeID{gws[i-1]}
 			}
-		} else {
-			cfg.Clients[addrOf(ids.VictimGW[i-1])] = peer
+			if i+1 < len(gws) {
+				gs.Provider = gws[i+1]
+			} else {
+				gs.Peers = []topology.NodeID{otherTop}
+			}
+			gs.NonCooperative = nonCoop[i]
+			spec.Gateways = append(spec.Gateways, gs)
 		}
-		if i+1 < opt.Depth {
-			cfg.Provider = addrOf(ids.VictimGW[i+1])
-		} else {
-			cfg.Peers[addrOf(ids.AttackGW[opt.Depth-1])] = peer
-		}
-		c.VictimGWs = append(c.VictimGWs, d.addGateway(ids.VictimGW[i], cfg))
+	}
+	side(ids.VictimGW, ids.Victim, ids.AttackGW[opt.Depth-1], nil)
+	side(ids.AttackGW, ids.Attacker, ids.VictimGW[opt.Depth-1], opt.NonCooperative)
+	spec.Hosts = []HostSpec{
+		{Node: ids.Victim, Gateway: ids.VictimGW[0], Victim: true},
+		{Node: ids.Attacker, Gateway: ids.AttackGW[0], NonCompliant: !opt.AttackerCompliant},
 	}
 
-	// Attacker-side gateways mirror the victim side.
-	for i := 0; i < opt.Depth; i++ {
-		cfg := opt.gatewayConfig()
-		cfg.Cooperative = !opt.NonCooperative[i]
-		cfg.Clients = map[flow.Addr]contract.Contract{}
-		cfg.Peers = map[flow.Addr]contract.Contract{}
-		if i == 0 {
-			cfg.Clients[addrOf(ids.Attacker)] = client
-			if opt.IngressFiltering {
-				cfg.IngressValidSrc = map[flow.Addr][]flow.Addr{
-					addrOf(ids.Attacker): {addrOf(ids.Attacker)},
-				}
-			}
-		} else {
-			cfg.Clients[addrOf(ids.AttackGW[i-1])] = peer
-		}
-		if i+1 < opt.Depth {
-			cfg.Provider = addrOf(ids.AttackGW[i+1])
-		} else {
-			cfg.Peers[addrOf(ids.VictimGW[opt.Depth-1])] = peer
-		}
-		c.AttackGWs = append(c.AttackGWs, d.addGateway(ids.AttackGW[i], cfg))
+	d := DeployTopology(opt.Options, spec)
+	c := &ChainDeployment{
+		Deployment: d,
+		IDs:        ids,
+		Victim:     d.Host(ids.Victim),
+		Attacker:   d.Host(ids.Attacker),
 	}
-
-	c.Victim = d.addHost(ids.Victim, d.hostConfig(addrOf(ids.VictimGW[0]), true))
-	acfg := d.hostConfig(addrOf(ids.AttackGW[0]), false)
-	acfg.Compliant = opt.AttackerCompliant
-	c.Attacker = d.addHost(ids.Attacker, acfg)
+	for i := 0; i < opt.Depth; i++ {
+		c.VictimGWs = append(c.VictimGWs, d.Gateway(ids.VictimGW[i]))
+		c.AttackGWs = append(c.AttackGWs, d.Gateway(ids.AttackGW[i]))
+	}
 	return c
 }
 
@@ -139,38 +121,40 @@ type ManyToOneOptions struct {
 // with the victim's access link as the bottleneck tail circuit.
 func DeployManyToOne(opt ManyToOneOptions) *ManyToOneDeployment {
 	topo, ids := topology.ManyToOne(opt.Attackers, opt.Legit, opt.Params)
-	d := newDeployment(opt.Options, topo)
-	m := &ManyToOneDeployment{Deployment: d, IDs: ids}
-	addrOf := d.addrOf
 
-	vcfg := opt.gatewayConfig()
-	vcfg.Clients = map[flow.Addr]contract.Contract{addrOf(ids.Victim): opt.ClientContract}
-	m.VictimGW = d.addGateway(ids.VictimGW, vcfg)
-	m.Victim = d.addHost(ids.Victim, d.hostConfig(addrOf(ids.VictimGW), true))
-
-	site := func(hostID, gwID topology.NodeID, compliant, detect bool) (*Host, *Gateway) {
-		gcfg := opt.gatewayConfig()
-		gcfg.Clients = map[flow.Addr]contract.Contract{addrOf(hostID): opt.ClientContract}
-		if opt.IngressFiltering {
-			gcfg.IngressValidSrc = map[flow.Addr][]flow.Addr{
-				addrOf(hostID): {addrOf(hostID)},
-			}
+	spec := TopologySpec{Topo: topo}
+	site := func(host, gw topology.NodeID, nonCompliant, detect bool) {
+		gs := GatewaySpec{Node: gw, Provider: NoProvider, Clients: []topology.NodeID{host}}
+		if opt.IngressFiltering && gw != ids.VictimGW {
+			gs.IngressHosts = []topology.NodeID{host}
 		}
-		g := d.addGateway(gwID, gcfg)
-		hcfg := d.hostConfig(addrOf(gwID), detect)
-		hcfg.Compliant = compliant
-		h := d.addHost(hostID, hcfg)
-		return h, g
+		spec.Gateways = append(spec.Gateways, gs)
+		spec.Hosts = append(spec.Hosts, HostSpec{
+			Node: host, Gateway: gw, Victim: detect, NonCompliant: nonCompliant,
+		})
 	}
+	site(ids.Victim, ids.VictimGW, false, true)
 	for i := range ids.Attackers {
-		h, g := site(ids.Attackers[i], ids.AttackGWs[i], opt.AttackersCompliant, false)
-		m.Attackers = append(m.Attackers, h)
-		m.AttackGWs = append(m.AttackGWs, g)
+		site(ids.Attackers[i], ids.AttackGWs[i], !opt.AttackersCompliant, false)
 	}
 	for i := range ids.Legit {
-		h, g := site(ids.Legit[i], ids.LegitGWs[i], true, false)
-		m.Legit = append(m.Legit, h)
-		m.LegitGWs = append(m.LegitGWs, g)
+		site(ids.Legit[i], ids.LegitGWs[i], false, false)
+	}
+
+	d := DeployTopology(opt.Options, spec)
+	m := &ManyToOneDeployment{
+		Deployment: d,
+		IDs:        ids,
+		Victim:     d.Host(ids.Victim),
+		VictimGW:   d.Gateway(ids.VictimGW),
+	}
+	for i := range ids.Attackers {
+		m.Attackers = append(m.Attackers, d.Host(ids.Attackers[i]))
+		m.AttackGWs = append(m.AttackGWs, d.Gateway(ids.AttackGWs[i]))
+	}
+	for i := range ids.Legit {
+		m.Legit = append(m.Legit, d.Host(ids.Legit[i]))
+		m.LegitGWs = append(m.LegitGWs, d.Gateway(ids.LegitGWs[i]))
 	}
 	return m
 }
@@ -207,35 +191,35 @@ func DeploySharedGateway(opt SharedGatewayOptions) *SharedGatewayDeployment {
 		opt.Victims = 1
 	}
 	topo, ids := topology.SharedGateway(opt.Attackers, opt.Victims, opt.Params)
-	d := newDeployment(opt.Options, topo)
-	s := &SharedGatewayDeployment{Deployment: d, IDs: ids}
-	addrOf := d.addrOf
 
-	vcfg := opt.gatewayConfig()
-	vcfg.Clients = map[flow.Addr]contract.Contract{}
+	spec := TopologySpec{Topo: topo}
+	spec.Gateways = []GatewaySpec{
+		{Node: ids.VictimGW, Provider: NoProvider,
+			Clients: ids.Victims, Peers: []topology.NodeID{ids.AttackGW}},
+		{Node: ids.AttackGW, Provider: NoProvider,
+			Clients: ids.Attackers, Peers: []topology.NodeID{ids.VictimGW}},
+	}
 	for _, hid := range ids.Victims {
-		vcfg.Clients[addrOf(hid)] = opt.ClientContract
+		spec.Hosts = append(spec.Hosts, HostSpec{Node: hid, Gateway: ids.VictimGW, Victim: true})
 	}
-	vcfg.Peers = map[flow.Addr]contract.Contract{addrOf(ids.AttackGW): opt.PeerContract}
-	s.VictimGW = d.addGateway(ids.VictimGW, vcfg)
+	for _, hid := range ids.Attackers {
+		spec.Hosts = append(spec.Hosts, HostSpec{
+			Node: hid, Gateway: ids.AttackGW, NonCompliant: !opt.AttackersCompliant,
+		})
+	}
+
+	d := DeployTopology(opt.Options, spec)
+	s := &SharedGatewayDeployment{
+		Deployment: d,
+		IDs:        ids,
+		VictimGW:   d.Gateway(ids.VictimGW),
+		AttackGW:   d.Gateway(ids.AttackGW),
+	}
 	for _, hid := range ids.Victims {
-		s.Victims = append(s.Victims, d.addHost(hid, d.hostConfig(addrOf(ids.VictimGW), true)))
+		s.Victims = append(s.Victims, d.Host(hid))
 	}
-
-	acfg := opt.gatewayConfig()
-	acfg.Peers = map[flow.Addr]contract.Contract{addrOf(ids.VictimGW): opt.PeerContract}
-	acfg.Clients = map[flow.Addr]contract.Contract{}
 	for _, hid := range ids.Attackers {
-		acfg.Clients[addrOf(hid)] = opt.ClientContract
-	}
-	s.AttackGW = d.addGateway(ids.AttackGW, acfg)
-
-	for _, hid := range ids.Attackers {
-		hcfg := d.hostConfig(addrOf(ids.AttackGW), false)
-		hcfg.Compliant = opt.AttackersCompliant
-		s.Attackers = append(s.Attackers, d.addHost(hid, hcfg))
+		s.Attackers = append(s.Attackers, d.Host(hid))
 	}
 	return s
 }
-
-var _ = core.DefaultGatewayConfig // keep core imported for docs links

@@ -92,6 +92,94 @@ func TestRoundsInvolveFourNodes(t *testing.T) {
 	}
 }
 
+// TestEscalationPastMidChainNonCooperative: two non-cooperating
+// gateways in the *middle* of a depth-4 chain (indexes 0 and 1 on the
+// attacker side). The ladder must walk past both and pin the flow at
+// a_gw3 — the first cooperative attacker-side gateway — while the
+// nodes above the resolved round (v_gw4, a_gw4) never process a single
+// protocol message.
+func TestEscalationPastMidChainNonCooperative(t *testing.T) {
+	const depth = 4
+	opt := DefaultOptions()
+	opt.Timers.Ttmp = 2 * time.Second // room for the deep-chain handshake
+	dep := DeployChain(ChainOptions{
+		Options:        opt,
+		Depth:          depth,
+		NonCooperative: map[int]bool{0: true, 1: true},
+	})
+	fl := dep.Flood(dep.Attacker, dep.Victim, 1.25e6)
+	fl.Launch()
+	dep.Run(20 * time.Second)
+
+	installedAt := map[string]bool{}
+	for _, e := range dep.Log.OfKind(EvFilterInstalled) {
+		installedAt[e.Node] = true
+	}
+	if !installedAt["a_gw3"] {
+		t.Fatalf("ladder never pinned the flow at a_gw3:\n%s", dep.Log)
+	}
+	if installedAt["a_gw1"] || installedAt["a_gw2"] {
+		t.Fatalf("a non-cooperating gateway installed a filter: %v", installedAt)
+	}
+	// Every victim-side gateway up to the resolving round participated.
+	for i := 0; i < 3; i++ {
+		if dep.VictimGWs[i].Stats().ReqReceived == 0 {
+			t.Fatalf("v_gw%d never saw a request — ladder skipped a level", i+1)
+		}
+	}
+	// Gateways above the resolved round stayed idle (§II-B: four nodes
+	// per round).
+	if n := dep.VictimGWs[3].Stats().MsgProcessed; n != 0 {
+		t.Fatalf("v_gw4 processed %d messages beyond the resolved round", n)
+	}
+	if n := dep.AttackGWs[3].Stats().MsgProcessed; n != 0 {
+		t.Fatalf("a_gw4 processed %d messages beyond the resolved round", n)
+	}
+	// Once pinned, the victim stays quiet.
+	if last := dep.Victim.Meter.Last(); dep.Now()-last < 8*time.Second {
+		t.Fatalf("victim still receiving at %v (end %v)", last, dep.Now())
+	}
+}
+
+// TestConcurrentEscalationFilterPressure: a dozen concurrent attacks
+// against a victim gateway provisioned with only four wire-speed
+// filters. The table must reject the overflow (RejectNew), never
+// exceed its budget, and still protect against as many flows as it can
+// hold — the §IV-B resource argument under deliberate starvation.
+func TestConcurrentEscalationFilterPressure(t *testing.T) {
+	const attackers = 12
+	opt := DefaultOptions()
+	opt.FilterCapacity = 4
+	dep := DeployManyToOne(ManyToOneOptions{
+		Options:   opt,
+		Attackers: attackers,
+	})
+	for i, a := range dep.Attackers {
+		fl := dep.Flood(a, dep.Victim, 3e5)
+		fl.SrcPort = uint16(5000 + i)
+		fl.Launch()
+	}
+	dep.Run(10 * time.Second)
+
+	if n := dep.Log.Count(EvFilterRejected); n == 0 {
+		t.Fatal("no filter rejections under 3x capacity pressure")
+	}
+	if n := dep.Log.Count(EvTempFilterInstalled); n == 0 {
+		t.Fatal("no filters installed at all — protection collapsed entirely")
+	}
+	st := dep.VictimGW.DataPlane().FilterStats()
+	if st.PeakOccupancy > opt.FilterCapacity {
+		t.Fatalf("filter peak %d exceeded capacity %d", st.PeakOccupancy, opt.FilterCapacity)
+	}
+	if st.Rejected == 0 {
+		t.Fatal("dataplane never rejected an install")
+	}
+	// The shadow cache (provisioned independently) kept every request.
+	if dep.VictimGW.DataPlane().ShadowStats().PeakSize > dep.VictimGW.Config().ShadowCapacity {
+		t.Fatal("shadow cache exceeded its budget")
+	}
+}
+
 // TestEffectiveBandwidthScalesWithTr checks the r-formula's Tr
 // dependence (§IV-A.1): halving the victim→gateway delay halves the
 // per-round leak.

@@ -5,6 +5,8 @@
 package attack
 
 import (
+	"math/rand"
+
 	"aitf/internal/core"
 	"aitf/internal/flow"
 	"aitf/internal/packet"
@@ -36,6 +38,13 @@ type Flood struct {
 	// SpoofPerPacket randomizes the source per packet across the given
 	// number of addresses starting at SpoofSrc (0 = no randomization).
 	SpoofPerPacket int
+	// Jitter randomizes each inter-packet gap by up to the given
+	// fraction of the nominal interval (0 = perfectly periodic).
+	Jitter float64
+	// Rng drives every stochastic choice (spoofed sources, jitter).
+	// Nil falls back to the engine's seeded source; either way a run
+	// replays byte-identically from its seed.
+	Rng *rand.Rand
 
 	// Sent counts packets that entered the network; Suppressed counts
 	// packets withheld because of a stop order.
@@ -75,9 +84,25 @@ func (f *Flood) Launch() {
 		if f.onAt(now) {
 			f.emit(now)
 		}
-		eng.Schedule(interval, tick)
+		gap := interval
+		if f.Jitter > 0 {
+			// Uniform in [1-J, 1+J] × interval, mean-preserving.
+			gap = sim.Time(float64(interval) * (1 + f.Jitter*(2*f.rng().Float64()-1)))
+			if gap < 1 {
+				gap = 1
+			}
+		}
+		eng.Schedule(gap, tick)
 	}
 	eng.ScheduleAt(f.Start, tick)
+}
+
+// rng returns the flood's random source, defaulting to the engine's.
+func (f *Flood) rng() *rand.Rand {
+	if f.Rng != nil {
+		return f.Rng
+	}
+	return f.From.Node().Engine().Rand()
 }
 
 // Halt stops the flood permanently (used by tests).
@@ -97,7 +122,7 @@ func (f *Flood) emit(now sim.Time) {
 	if f.SpoofSrc != 0 {
 		src = f.SpoofSrc
 		if f.SpoofPerPacket > 1 {
-			off := f.From.Node().Engine().Rand().Intn(f.SpoofPerPacket)
+			off := f.rng().Intn(f.SpoofPerPacket)
 			src = flow.Addr(uint32(f.SpoofSrc) + uint32(off))
 		}
 	}

@@ -86,6 +86,11 @@ type aggState struct {
 	limitBps   float64
 	tokens     float64
 	lastRefill sim.Time
+	// depth is the recursion depth the limit was installed at (0 =
+	// local detection); further propagation continues from here, so
+	// MaxDepth bounds the total chain even though every recruited
+	// router re-detects the aggregate through its own limiter drops.
+	depth int
 
 	propagated bool
 }
@@ -236,7 +241,7 @@ func (r *Router) evaluate(a *aggState) {
 	}
 	if !a.propagated && now-a.hotSince >= sim.Time(r.cfg.PropagateAfter) {
 		a.propagated = true
-		r.propagate(a, 1)
+		r.propagate(a, a.depth+1)
 	}
 }
 
@@ -247,6 +252,7 @@ func (r *Router) installLimit(a *aggState, limitBps float64, depth int) {
 	a.limitUntil = now + sim.Time(r.cfg.Duration)
 	a.tokens = limitBps * sim.Time(r.cfg.Window).Seconds()
 	a.lastRefill = now
+	a.depth = depth
 	r.stats.LimitsInstalled++
 	if r.OnInstall != nil {
 		r.OnInstall(r.node.Name(), flow.ToDestination(a.dst), depth)
@@ -294,14 +300,18 @@ func (r *Router) handleRequest(m *packet.PushbackReq) {
 		return
 	}
 	// Recurse after PropagateAfter if this router still sees the
-	// aggregate above the limit.
+	// aggregate above the limit. The propagated flag is shared with
+	// evaluate()'s hot-aggregate path so a router recruited by request
+	// does not also fire a duplicate round when its own limiter drops
+	// mark the aggregate hot.
 	r.node.Engine().Schedule(sim.Time(r.cfg.PropagateAfter), func() {
 		now := r.now()
 		elapsed := sim.Time(now - a.windowStart).Seconds()
-		if elapsed <= 0 {
+		if elapsed <= 0 || a.propagated {
 			return
 		}
 		if a.windowBytes/elapsed > float64(m.LimitBps) {
+			a.propagated = true
 			r.propagate(a, depth+1)
 		}
 	})

@@ -176,6 +176,72 @@ func TestCollateralDamageToLegitTraffic(t *testing.T) {
 	}
 }
 
+// TestPushbackMaxDepthBounded: recursion must stop at MaxDepth even on
+// a chain long enough to recruit more routers — the edge the random
+// scenario generator's deep provider trees hit.
+func TestPushbackMaxDepthBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 2
+	eng, net, ids, routers := deploy(t, 6, cfg)
+	net.Node(ids.Victim).SetHandler(&meterHandler{})
+
+	maxDepth := 0
+	for _, r := range routers {
+		r.OnInstall = func(_ string, _ flow.Label, depth int) {
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+	}
+	flood(eng, net.Node(ids.Attacker), net.Node(ids.Victim).Addr(), 4*tailBps, 1000, sim.Time(40*time.Second))
+	eng.RunUntil(sim.Time(40 * time.Second))
+
+	limited := 0
+	for _, r := range routers {
+		if r.Limited(net.Node(ids.Victim).Addr()) {
+			limited++
+		}
+	}
+	if limited < 2 {
+		t.Fatalf("pushback recruited only %d routers; propagation never engaged", limited)
+	}
+	if limited > cfg.MaxDepth+1 {
+		t.Fatalf("pushback recruited %d routers, MaxDepth %d allows at most %d",
+			limited, cfg.MaxDepth, cfg.MaxDepth+1)
+	}
+	if maxDepth > cfg.MaxDepth {
+		t.Fatalf("a limit was installed at depth %d > MaxDepth %d", maxDepth, cfg.MaxDepth)
+	}
+}
+
+// TestPushbackIdleAggregateGoesCold: an aggregate that stops entirely
+// must drop out of the hot set at the next evaluation instead of
+// propagating stale requests (the zero-packet window edge case).
+func TestPushbackIdleAggregateGoesCold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PropagateAfter = 20 * time.Second // long enough to never trigger here
+	eng, net, ids, routers := deploy(t, 2, cfg)
+	net.Node(ids.Victim).SetHandler(&meterHandler{})
+
+	// Congest for 3 s, then go silent.
+	flood(eng, net.Node(ids.Attacker), net.Node(ids.Victim).Addr(), 4*tailBps, 1000, sim.Time(3*time.Second))
+	// A single late packet forces one more window evaluation after the
+	// silence.
+	eng.ScheduleAt(sim.Time(8*time.Second), func() {
+		net.Node(ids.Attacker).Originate(packet.NewData(
+			net.Node(ids.Attacker).Addr(), net.Node(ids.Victim).Addr(), flow.ProtoUDP, 40, 80, 100))
+	})
+	eng.RunUntil(sim.Time(12 * time.Second))
+
+	var requests uint64
+	for _, r := range routers {
+		requests += r.Stats().RequestsSent
+	}
+	if requests != 0 {
+		t.Fatalf("%d pushback requests sent although the aggregate went cold before PropagateAfter", requests)
+	}
+}
+
 func TestLimitExpires(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Duration = 2 * time.Second

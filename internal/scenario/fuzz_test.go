@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzSpec maps raw fuzz input onto a small, always-runnable scenario
+// shape: the fuzzer controls the seed (and thus topology, roles and
+// schedules) plus the army composition and feature flags directly.
+func fuzzSpec(seed int64, ases, army, flags uint8) Spec {
+	s := Spec{
+		Seed:          seed,
+		ASes:          2 + int(ases%8),
+		Tier1:         1 + int(ases>>4)%3,
+		MaxHostsPerAS: 1 + int(army>>6),
+		DeployPct:     int(flags>>1) * 2,
+		Victims:       1,
+		Legit:         int(army % 4),
+		Steady:        int(army % 3),
+		Pulsers:       int(army>>2) % 2,
+		Spoofers:      int(army>>4) % 2,
+		ReqFlooders:   int(army>>5) % 2,
+		NonCoop:       int(flags % 3),
+		AttackRate:    80_000,
+		LegitRate:     6_000,
+		AttackDur:     2*time.Second + time.Duration(flags%3)*time.Second,
+
+		IngressFiltering: flags&8 != 0,
+		GatewayAuto:      flags&16 != 0,
+		BatchDelivery:    flags&32 != 0,
+		Shards:           1 + int(flags%4),
+	}
+	if flags&64 != 0 {
+		s.Overload = true
+		s.AttackRate = 480_000
+	}
+	return s // Run normalizes the rest (Drain, clamps)
+}
+
+// FuzzScenario treats the fuzz input as a scenario seed and shape and
+// requires every protocol invariant to hold. Run with
+//
+//	go test -fuzz=FuzzScenario -fuzztime=30s ./internal/scenario
+//
+// A crasher's input reduces to a Spec that cmd/aitf-scenario can
+// replay and minimize (print it with t.Log below, or re-derive it via
+// fuzzSpec from the corpus entry).
+func FuzzScenario(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(0b0110_0110), uint8(0))
+	f.Add(int64(42), uint8(250), uint8(0b1011_0101), uint8(0b0111_1111))
+	f.Add(int64(-7), uint8(3), uint8(1), uint8(64))
+	f.Add(int64(1<<40), uint8(0), uint8(0), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, ases, army, flags uint8) {
+		spec := fuzzSpec(seed, ases, army, flags)
+		res := Run(spec)
+		if res.Failed() {
+			t.Fatalf("invariants violated for %+v:\n%s", spec, res.Report())
+		}
+	})
+}

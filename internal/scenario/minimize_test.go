@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMinimizeShrinksToMinimalFailure drives the minimizer with a
+// synthetic failure predicate and checks it reaches the smallest spec
+// that still satisfies it, zeroing everything irrelevant.
+func TestMinimizeShrinksToMinimalFailure(t *testing.T) {
+	start := GenSpec(1)
+	start.ASes = 12
+	start.Steady = 2
+	start.Pulsers = 2
+	start.Legit = 5
+
+	failing := func(s Spec) bool { return s.Steady >= 1 && s.ASes >= 4 }
+	got := Minimize(start, failing)
+
+	if !failing(got) {
+		t.Fatalf("minimized spec no longer fails: %+v", got)
+	}
+	if got.ASes != 4 {
+		t.Errorf("ASes = %d, want 4", got.ASes)
+	}
+	if got.Steady != 1 {
+		t.Errorf("Steady = %d, want 1", got.Steady)
+	}
+	if got.Pulsers != 0 || got.Legit != 0 || got.Spoofers != 0 || got.ReqFlooders != 0 {
+		t.Errorf("irrelevant adversaries not shrunk: %+v", got)
+	}
+	if got.AttackDur != 2*time.Second {
+		t.Errorf("AttackDur = %v, want the 2s floor", got.AttackDur)
+	}
+}
+
+// TestMinimizeKeepsPassingSpec: a spec that does not fail is returned
+// unchanged (after normalization).
+func TestMinimizeKeepsPassingSpec(t *testing.T) {
+	start := GenSpec(2).normalized()
+	got := Minimize(start, func(Spec) bool { return false })
+	if got != start {
+		t.Fatalf("minimizer mutated a passing spec: %+v vs %+v", got, start)
+	}
+}
+
+// TestMinimizeRealRun smoke-checks the minimizer over the real Run
+// path: with a predicate keyed on an actual run property (any
+// escalation observed), it must converge to a still-escalating but
+// smaller scenario.
+func TestMinimizeRealRun(t *testing.T) {
+	seed := int64(0)
+	var start Spec
+	for s := int64(1); s <= 20; s++ {
+		if r := Run(GenSpec(s)); r.Escalations > 0 {
+			seed, start = s, GenSpec(s)
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no escalating scenario among the first 20 seeds")
+	}
+	failing := func(s Spec) bool { return Run(s).Escalations > 0 }
+	got := Minimize(start, failing)
+	if !failing(got) {
+		t.Fatal("minimized scenario no longer escalates")
+	}
+	if got.ASes > start.ASes {
+		t.Fatalf("minimizer grew the scenario: %+v", got)
+	}
+}

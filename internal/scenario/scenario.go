@@ -1,0 +1,528 @@
+// Package scenario is the seeded adversarial scenario harness: it
+// turns the AITF simulator into a property-testing machine. From a
+// single int64 seed it generates a random multi-AS topology
+// (topology.Random), a partial AITF deployment, a mixed attacker army
+// (internal/attack behavior profiles: steady floods, on-off pulsers,
+// source spoofers, filter-request flooders, colluding non-cooperative
+// gateways) plus legitimate background traffic, runs the whole thing
+// through the generic aitf.DeployTopology entry point on the dataplane
+// engine, and checks the protocol's core invariants afterwards:
+//
+//  1. no legitimate flow is ever named by an installed filter or stop
+//     order, and legit flows off the disconnected subtrees stay alive;
+//  2. wire-speed filter and shadow-cache budgets are never exceeded;
+//  3. escalation always terminates — once the attack stops, rounds
+//     quiesce, and no (gateway, flow) pair escalates more than the
+//     structural bound allows;
+//  4. each undesired flow's bytes at the victim stay within the
+//     analytic effective-bandwidth bound r ≈ n(Td+Tr)/T (§IV-A.1),
+//     with a modest slack factor.
+//
+// Every stochastic choice is drawn from rand sources derived from the
+// seed, so a failing scenario replays byte-identically (same seed ⇒
+// same event trace ⇒ same Fingerprint). The harness is exposed as
+// go-test properties (scenario_test.go), a native fuzz target
+// (FuzzScenario), and the cmd/aitf-scenario CLI.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aitf"
+	"aitf/internal/attack"
+	"aitf/internal/contract"
+	"aitf/internal/core"
+	"aitf/internal/flow"
+	"aitf/internal/sim"
+	"aitf/internal/topology"
+)
+
+// Protocol and network constants shared by every generated scenario.
+// They are deliberately compressed relative to the paper's examples
+// (T = 1 min there) so that one scenario fits in ~15 s of virtual time
+// while keeping the orderings that matter: Ttmp ≪ T, pulser off-period
+// > Ttmp, penalty > run length.
+const (
+	timerT       = 25 * time.Second
+	timerTtmp    = 1500 * time.Millisecond
+	timerGrace   = 250 * time.Millisecond
+	timerPenalty = 2 * time.Minute
+
+	accessDelay   = 20 * time.Millisecond
+	backboneDelay = 5 * time.Millisecond
+	tailBandwidth = 1.25e6 // the paper's 10 Mbit/s tail circuit
+
+	detectThreshold = 30_000 // bytes/s flagged by the victim's detector
+	detectWindow    = 250 * time.Millisecond
+
+	// attackWindowStart is when the first attacker may begin.
+	attackWindowStart = 1 * time.Second
+	// settleTime bounds how long after the attack stops escalation
+	// activity may continue (one in-flight round plus slack).
+	settleTime = timerTtmp + 2*time.Second
+)
+
+// Spec is a fully deterministic scenario description. GenSpec derives
+// one from a seed; the CLI can also replay or minimize an explicit
+// spec. Run(s) is a pure function of the Spec value.
+type Spec struct {
+	Seed          int64 `json:"seed"`
+	ASes          int   `json:"ases"`
+	Tier1         int   `json:"tier1"`
+	MaxHostsPerAS int   `json:"max_hosts_per_as"`
+	// DeployPct is the percentage of non-tier-1 ASes running AITF.
+	DeployPct int `json:"deploy_pct"`
+
+	Victims     int `json:"victims"`
+	Legit       int `json:"legit"`
+	Steady      int `json:"steady"`
+	Pulsers     int `json:"pulsers"`
+	Spoofers    int `json:"spoofers"`
+	ReqFlooders int `json:"req_flooders"`
+	// NonCoop is how many attackers get a colluding (non-cooperative)
+	// gateway on their path.
+	NonCoop int `json:"non_coop"`
+
+	AttackRate float64       `json:"attack_rate"` // bytes/s per attacker
+	LegitRate  float64       `json:"legit_rate"`  // bytes/s per legit sender
+	AttackDur  time.Duration `json:"attack_dur"`
+	Drain      time.Duration `json:"drain"`
+
+	IngressFiltering bool `json:"ingress_filtering"`
+	GatewayAuto      bool `json:"gateway_auto"`
+	BatchDelivery    bool `json:"batch_delivery"`
+	Shards           int  `json:"shards"`
+	// Overload deliberately exceeds the victim's tail circuit; the
+	// bandwidth-bound and liveness checks are skipped (congestion
+	// losses are not protocol failures), the others still apply.
+	Overload bool `json:"overload"`
+}
+
+// GenSpec derives a scenario shape from a seed. Sizes are tuned so a
+// single scenario runs in well under a second of wall time while still
+// covering tens of ASes and a mixed army.
+func GenSpec(seed int64) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{
+		Seed:          seed,
+		ASes:          6 + rng.Intn(9),
+		Tier1:         2 + rng.Intn(2),
+		MaxHostsPerAS: 2 + rng.Intn(2),
+		DeployPct:     50 + rng.Intn(51),
+		Victims:       1 + rng.Intn(2),
+		Legit:         3 + rng.Intn(3),
+		Steady:        1 + rng.Intn(2),
+		Pulsers:       rng.Intn(3),
+		Spoofers:      rng.Intn(2),
+		ReqFlooders:   rng.Intn(2),
+		NonCoop:       rng.Intn(3),
+		AttackRate:    60_000 + 60_000*rng.Float64(),
+		LegitRate:     4_000 + 5_000*rng.Float64(),
+		AttackDur:     4*time.Second + time.Duration(rng.Int63n(int64(3*time.Second))),
+		Drain:         6 * time.Second,
+
+		IngressFiltering: rng.Float64() < 0.4,
+		GatewayAuto:      rng.Float64() < 0.25,
+		BatchDelivery:    rng.Float64() < 0.5,
+		Shards:           1 << rng.Intn(3),
+	}
+	if rng.Float64() < 0.12 {
+		s.Overload = true
+		s.AttackRate *= 6
+	}
+	return s
+}
+
+// name is a compact subtest/display label.
+func (s Spec) name() string { return fmt.Sprintf("seed%d", s.Seed) }
+
+// normalized clamps a spec to runnable ranges (hand-written or
+// fuzz-mutated specs may carry anything).
+func (s Spec) normalized() Spec {
+	clamp := func(v *int, lo, hi int) {
+		if *v < lo {
+			*v = lo
+		}
+		if *v > hi {
+			*v = hi
+		}
+	}
+	clamp(&s.ASes, 2, 200)
+	clamp(&s.Tier1, 1, s.ASes)
+	clamp(&s.MaxHostsPerAS, 1, 16)
+	clamp(&s.DeployPct, 0, 100)
+	clamp(&s.Victims, 1, 8)
+	clamp(&s.Legit, 0, 32)
+	clamp(&s.Steady, 0, 16)
+	clamp(&s.Pulsers, 0, 16)
+	clamp(&s.Spoofers, 0, 8)
+	clamp(&s.ReqFlooders, 0, 8)
+	clamp(&s.NonCoop, 0, 16)
+	clamp(&s.Shards, 1, 8)
+	if s.AttackRate < 2.2*detectThreshold {
+		s.AttackRate = 2.2 * detectThreshold
+	}
+	if s.AttackRate > 8e5 {
+		s.AttackRate = 8e5
+	}
+	if s.LegitRate < 1000 {
+		s.LegitRate = 1000
+	}
+	if s.LegitRate > 0.5*detectThreshold {
+		s.LegitRate = 0.5 * detectThreshold
+	}
+	if s.AttackDur < 2*time.Second {
+		s.AttackDur = 2 * time.Second
+	}
+	if s.AttackDur > 20*time.Second {
+		s.AttackDur = 20 * time.Second
+	}
+	if s.Drain < settleTime+2*time.Second {
+		s.Drain = settleTime + 2*time.Second
+	}
+	return s
+}
+
+// role locates one host in the generated world.
+type role struct {
+	as   int
+	node topology.NodeID
+	addr flow.Addr
+}
+
+// attackerRole is one misbehaving host plus its assigned profile.
+type attackerRole struct {
+	role
+	behavior  attack.Behavior
+	victim    role
+	rate      float64
+	on, off   time.Duration
+	spoofSrc  flow.Addr
+	spoofN    int
+	compliant bool
+	launched  attack.Launched
+}
+
+// legitRole is one background sender.
+type legitRole struct {
+	role
+	victim role
+	flood  *attack.Flood
+}
+
+// world is the fully built scenario, kept for invariant checking.
+type world struct {
+	spec     Spec
+	dep      *aitf.Deployment
+	topo     *topology.Topology
+	nodes    topology.RandomNodes
+	deployed []bool
+	nonCoop  map[int]bool
+
+	victims   []role
+	attackers []attackerRole
+	flooders  []attackerRole
+	legit     []legitRole
+
+	attackStop, runEnd sim.Time
+}
+
+// Violation is one invariant breach.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Node      string `json:"node"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Invariant, v.Node, v.Detail)
+}
+
+// Result summarises one scenario run.
+type Result struct {
+	Spec Spec `json:"spec"`
+
+	// Realized sizes (role assignment is capped by the host supply).
+	Hosts       int `json:"hosts"`
+	Gateways    int `json:"gateways"`
+	NonCoopGWs  int `json:"non_coop_gws"`
+	Victims     int `json:"victims"`
+	Attackers   int `json:"attackers"`
+	Legit       int `json:"legit"`
+	ReqFlooders int `json:"req_flooders"`
+
+	Events           int    `json:"events"`
+	AttackSent       uint64 `json:"attack_sent"`
+	AttackSuppressed uint64 `json:"attack_suppressed"`
+	VictimBytes      uint64 `json:"victim_bytes"`
+	Disconnects      int    `json:"disconnects"`
+	Escalations      int    `json:"escalations"`
+
+	Violations  []Violation `json:"violations"`
+	Fingerprint uint64      `json:"fingerprint"`
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Report renders a one-scenario summary.
+func (r *Result) Report() string {
+	status := "PASS"
+	if r.Failed() {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf(
+		"%s seed=%d ases=%d hosts=%d gws=%d(noncoop %d) victims=%d attackers=%d legit=%d reqfl=%d "+
+			"events=%d attack=%dB suppressed=%d victim=%dB esc=%d disc=%d fp=%016x",
+		status, r.Spec.Seed, r.Spec.ASes, r.Hosts, r.Gateways, r.NonCoopGWs,
+		r.Victims, r.Attackers, r.Legit, r.ReqFlooders,
+		r.Events, r.AttackSent, r.AttackSuppressed, r.VictimBytes,
+		r.Escalations, r.Disconnects, r.Fingerprint)
+	for _, v := range r.Violations {
+		s += "\n  " + v.String()
+	}
+	return s
+}
+
+// Run generates, deploys, executes, and invariant-checks one scenario.
+func Run(spec Spec) *Result {
+	w := build(spec.normalized())
+	w.dep.Run(w.runEnd)
+	return w.check()
+}
+
+// build constructs the world for a spec without running it.
+func build(s Spec) *world {
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eedfeed))
+
+	topo, nodes := topology.Random(topology.RandomSpec{
+		ASes:               s.ASes,
+		Tier1:              s.Tier1,
+		MaxHostsPerAS:      s.MaxHostsPerAS,
+		InternalRouterProb: 0.3,
+		Params: topology.Params{
+			AccessDelay:   accessDelay,
+			BackboneDelay: backboneDelay,
+			TailBandwidth: tailBandwidth,
+			CoreBandwidth: 0,
+			QueueLen:      64,
+		},
+	}, rng)
+
+	w := &world{spec: s, topo: topo, nodes: nodes, nonCoop: map[int]bool{}}
+	w.deployed = make([]bool, s.ASes)
+	for i := range w.deployed {
+		w.deployed[i] = i < len(nodes.Tier1) || rng.Intn(100) < s.DeployPct
+	}
+
+	// ── Role assignment ──────────────────────────────────────────────
+	pool := nodes.HostList()
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	take := func(n int) []role {
+		if n > len(pool) {
+			n = len(pool)
+		}
+		out := make([]role, 0, n)
+		for _, id := range pool[:n] {
+			out = append(out, role{as: nodes.ASOfHost(id), node: id, addr: topo.Nodes[id].Addr})
+		}
+		pool = pool[n:]
+		return out
+	}
+
+	w.victims = take(s.Victims)
+	for _, v := range w.victims {
+		w.deployed[v.as] = true // a victim's own gateway must speak AITF
+	}
+	pickVictim := func() role { return w.victims[rng.Intn(len(w.victims))] }
+
+	mkAttacker := func(r role, b attack.Behavior, i int) attackerRole {
+		a := attackerRole{
+			role:      r,
+			behavior:  b,
+			victim:    pickVictim(),
+			rate:      s.AttackRate,
+			compliant: rng.Float64() < 0.3,
+		}
+		switch b {
+		case attack.Pulse:
+			a.on = 300*time.Millisecond + time.Duration(rng.Int63n(int64(400*time.Millisecond)))
+			a.off = timerTtmp + 300*time.Millisecond + time.Duration(rng.Int63n(int64(1200*time.Millisecond)))
+		case attack.Spoof:
+			a.spoofSrc = flow.MakeAddr(240, 0, byte(i), 1)
+			a.spoofN = 1 + rng.Intn(2)
+		}
+		return a
+	}
+	for i, r := range take(s.Steady) {
+		w.attackers = append(w.attackers, mkAttacker(r, attack.Steady, i))
+	}
+	for i, r := range take(s.Pulsers) {
+		w.attackers = append(w.attackers, mkAttacker(r, attack.Pulse, i))
+	}
+	for i, r := range take(s.Spoofers) {
+		w.attackers = append(w.attackers, mkAttacker(r, attack.Spoof, i))
+	}
+	for i, r := range take(s.ReqFlooders) {
+		fl := mkAttacker(r, attack.RequestFlooder, i)
+		fl.rate = 30 + 40*rng.Float64() // requests/s, well over R1
+		w.flooders = append(w.flooders, fl)
+	}
+	for _, r := range take(s.Legit) {
+		w.legit = append(w.legit, legitRole{role: r, victim: pickVictim()})
+	}
+
+	// Colluding gateways: the first NonCoop attackers get their nearest
+	// deployed non-tier-1 gateway marked non-cooperative.
+	marked := 0
+	for _, a := range w.attackers {
+		if marked >= s.NonCoop {
+			break
+		}
+		for as := a.as; as >= 0; as = nodes.Parent[as] {
+			if w.deployed[as] && nodes.Parent[as] >= 0 { // deployed, not tier-1
+				if !w.nonCoop[as] {
+					w.nonCoop[as] = true
+					marked++
+				}
+				break
+			}
+		}
+	}
+
+	// ── Deployment wiring ────────────────────────────────────────────
+	spec := aitf.TopologySpec{Topo: topo}
+	for as := 0; as < s.ASes; as++ {
+		if !w.deployed[as] {
+			continue
+		}
+		gs := aitf.GatewaySpec{
+			Node:           nodes.Border[as],
+			Provider:       aitf.NoProvider,
+			NonCooperative: w.nonCoop[as],
+		}
+		for p := nodes.Parent[as]; p >= 0; p = nodes.Parent[p] {
+			if w.deployed[p] {
+				gs.Provider = nodes.Border[p]
+				break
+			}
+		}
+		if nodes.Parent[as] < 0 { // tier-1: peer with the rest of the clique
+			for _, t1 := range nodes.Tier1 {
+				if t1 != as {
+					gs.Peers = append(gs.Peers, nodes.Border[t1])
+				}
+			}
+		}
+		if nodes.Internal[as] >= 0 {
+			gs.Clients = append(gs.Clients, nodes.Internal[as])
+		} else {
+			gs.Clients = append(gs.Clients, nodes.Hosts[as]...)
+			if s.IngressFiltering {
+				gs.IngressHosts = append(gs.IngressHosts, nodes.Hosts[as]...)
+			}
+		}
+		for child := as + 1; child < s.ASes; child++ {
+			if nodes.Parent[child] == as {
+				gs.Clients = append(gs.Clients, nodes.Border[child])
+			}
+		}
+		spec.Gateways = append(spec.Gateways, gs)
+	}
+
+	servingGW := func(as int) topology.NodeID {
+		for ; as >= 0; as = nodes.Parent[as] {
+			if w.deployed[as] {
+				return nodes.Border[as]
+			}
+		}
+		panic("scenario: no deployed gateway on provider chain")
+	}
+	nonCompliant := map[topology.NodeID]bool{}
+	victimNode := map[topology.NodeID]bool{}
+	for _, a := range w.attackers {
+		nonCompliant[a.node] = !a.compliant
+	}
+	for _, v := range w.victims {
+		victimNode[v.node] = true
+	}
+	for as := 0; as < s.ASes; as++ {
+		for _, h := range nodes.Hosts[as] {
+			spec.Hosts = append(spec.Hosts, aitf.HostSpec{
+				Node:         h,
+				Gateway:      servingGW(as),
+				Victim:       victimNode[h],
+				NonCompliant: nonCompliant[h],
+			})
+		}
+	}
+
+	opt := aitf.DefaultOptions()
+	opt.Seed = s.Seed
+	opt.Timers = contract.Timers{T: timerT, Ttmp: timerTtmp, Grace: timerGrace, Penalty: timerPenalty}
+	opt.Detector = func() core.Detector {
+		return attack.NewRateDetector(detectThreshold, detectWindow)
+	}
+	opt.ShadowMode = aitf.VictimDriven
+	if s.GatewayAuto {
+		opt.ShadowMode = aitf.GatewayAuto
+	}
+	opt.BatchDelivery = s.BatchDelivery
+	opt.DataplaneShards = s.Shards
+	opt.HandshakeTimeout = time.Second
+	opt.CollectTrace = true
+	w.dep = aitf.DeployTopology(opt, spec)
+
+	// ── Workloads ────────────────────────────────────────────────────
+	w.attackStop = sim.Time(attackWindowStart + time.Second + s.AttackDur)
+	w.runEnd = w.attackStop + sim.Time(s.Drain)
+	wrng := rand.New(rand.NewSource(s.Seed ^ 0x70ffee))
+
+	for i := range w.attackers {
+		a := &w.attackers[i]
+		start := sim.Time(attackWindowStart) + sim.Time(wrng.Int63n(int64(time.Second)))
+		a.launched = attack.Profile{
+			Behavior: a.behavior,
+			From:     w.dep.Host(a.node),
+			Target:   a.victim.addr,
+			Rate:     a.rate,
+			Start:    start,
+			Stop:     w.attackStop,
+			On:       sim.Time(a.on),
+			Off:      sim.Time(a.off),
+			SpoofSrc: a.spoofSrc, SpoofPerPacket: a.spoofN,
+			Jitter: 0.2,
+		}.Launch(wrng)
+	}
+	for i := range w.flooders {
+		f := &w.flooders[i]
+		start := sim.Time(attackWindowStart) + sim.Time(wrng.Int63n(int64(time.Second)))
+		gwNode := servingGW(f.as)
+		f.launched = attack.Profile{
+			Behavior: attack.RequestFlooder,
+			From:     w.dep.Host(f.node),
+			Gateway:  w.topo.Nodes[gwNode].Addr,
+			Rate:     f.rate,
+			Start:    start,
+			Stop:     w.attackStop,
+		}.Launch(wrng)
+	}
+	for i := range w.legit {
+		l := &w.legit[i]
+		l.flood = &attack.Flood{
+			From:       w.dep.Host(l.node),
+			Dst:        l.victim.addr,
+			Rate:       w.spec.LegitRate,
+			PacketSize: 1000,
+			SrcPort:    uint16(2000 + i),
+			DstPort:    80,
+			Start:      sim.Time(wrng.Int63n(int64(time.Second))),
+			Jitter:     0.3,
+			Rng:        wrng,
+		}
+		l.flood.Launch()
+	}
+	return w
+}

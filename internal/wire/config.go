@@ -75,9 +75,15 @@ func ParseFileConfig(raw []byte) (*FileConfig, error) {
 		if cfg.Gateway == nil {
 			return nil, fmt.Errorf("%w: role gateway needs a \"gateway\" object", ErrBadConfig)
 		}
+		if err := cfg.Gateway.validate(); err != nil {
+			return nil, err
+		}
 	case "host":
 		if cfg.Host == nil {
 			return nil, fmt.Errorf("%w: role host needs a \"host\" object", ErrBadConfig)
+		}
+		if cfg.Host.DetectBps < 0 {
+			return nil, fmt.Errorf("%w: detect_bps %v is negative", ErrBadConfig, cfg.Host.DetectBps)
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown role %q", ErrBadConfig, cfg.Role)
@@ -86,6 +92,42 @@ func ParseFileConfig(raw []byte) (*FileConfig, error) {
 		return nil, fmt.Errorf("%w: addr: %v", ErrBadConfig, err)
 	}
 	return &cfg, nil
+}
+
+// validate rejects gateway knobs outside their meaningful ranges.
+func (g *GatewayFileConfig) validate() error {
+	if g.Workers < 0 {
+		return fmt.Errorf("%w: workers %d is negative", ErrBadConfig, g.Workers)
+	}
+	if g.Shards < 0 {
+		return fmt.Errorf("%w: dataplane_shards %d is negative", ErrBadConfig, g.Shards)
+	}
+	if g.Capacity < 0 {
+		return fmt.Errorf("%w: filter_capacity %d is negative", ErrBadConfig, g.Capacity)
+	}
+	if g.TMs < 0 || g.TtmpMs < 0 {
+		return fmt.Errorf("%w: negative timer (t_ms %d, ttmp_ms %d)", ErrBadConfig, g.TMs, g.TtmpMs)
+	}
+	// Validate the timers as they will actually be materialised — an
+	// explicit value combined with the other's default must still
+	// satisfy Ttmp ≪ T (contract.Timers.Validate).
+	if err := g.timers().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+// timers materialises the effective protocol timers: defaults with the
+// configured overrides applied.
+func (g *GatewayFileConfig) timers() contract.Timers {
+	tm := contract.DefaultTimers()
+	if g.TMs > 0 {
+		tm.T = time.Duration(g.TMs) * time.Millisecond
+	}
+	if g.TtmpMs > 0 {
+		tm.Ttmp = time.Duration(g.TtmpMs) * time.Millisecond
+	}
+	return tm
 }
 
 // NodeConfig materialises the transport part of the file config.
@@ -129,12 +171,9 @@ func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, er
 	if c.Gateway == nil {
 		return GatewayConfig{}, fmt.Errorf("%w: missing gateway object", ErrBadConfig)
 	}
-	tm := contract.DefaultTimers()
-	if c.Gateway.TMs > 0 {
-		tm.T = time.Duration(c.Gateway.TMs) * time.Millisecond
-	}
-	if c.Gateway.TtmpMs > 0 {
-		tm.Ttmp = time.Duration(c.Gateway.TtmpMs) * time.Millisecond
+	tm := c.Gateway.timers()
+	if err := tm.Validate(); err != nil {
+		return GatewayConfig{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	clients := map[flow.Addr]contract.Contract{}
 	for _, cl := range c.Gateway.Clients {

@@ -90,11 +90,19 @@ func TestParseHostConfig(t *testing.T) {
 
 func TestParseConfigErrors(t *testing.T) {
 	cases := map[string]string{
-		"not json":        `{`,
-		"unknown role":    `{"role":"wizard","addr":"1.1.1.1"}`,
-		"gateway no body": `{"role":"gateway","addr":"1.1.1.1"}`,
-		"host no body":    `{"role":"host","addr":"1.1.1.1"}`,
-		"bad addr":        `{"role":"host","addr":"zzz","host":{"gateway":"1.1.1.1"}}`,
+		"not json":         `{`,
+		"unknown role":     `{"role":"wizard","addr":"1.1.1.1"}`,
+		"gateway no body":  `{"role":"gateway","addr":"1.1.1.1"}`,
+		"host no body":     `{"role":"host","addr":"1.1.1.1"}`,
+		"bad addr":         `{"role":"host","addr":"zzz","host":{"gateway":"1.1.1.1"}}`,
+		"negative workers": `{"role":"gateway","addr":"1.1.1.1","gateway":{"workers":-1}}`,
+		"negative shards":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"dataplane_shards":-4}}`,
+		"negative cap":     `{"role":"gateway","addr":"1.1.1.1","gateway":{"filter_capacity":-10}}`,
+		"negative timer":   `{"role":"gateway","addr":"1.1.1.1","gateway":{"t_ms":-5}}`,
+		"ttmp >= t":        `{"role":"gateway","addr":"1.1.1.1","gateway":{"t_ms":500,"ttmp_ms":600}}`,
+		"ttmp vs default":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"ttmp_ms":70000}}`,
+		"t vs default":     `{"role":"gateway","addr":"1.1.1.1","gateway":{"t_ms":500}}`,
+		"negative detect":  `{"role":"host","addr":"1.1.1.1","host":{"gateway":"1.1.1.2","detect_bps":-1}}`,
 	}
 	for name, raw := range cases {
 		if _, err := ParseFileConfig([]byte(raw)); err == nil {
