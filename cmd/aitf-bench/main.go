@@ -3,18 +3,30 @@
 // everything; pass experiment IDs (e.g. "E2 E8") to select.
 //
 // With -json, results — including a data-plane throughput sweep across
-// shard counts — are also written as machine-readable JSON (default
-// BENCH_dataplane.json) so successive revisions can track the
-// performance trajectory.
+// shard counts, table sizes, traffic mixes, and goroutine counts, plus
+// a steady-state allocs/op probe per cell — are also written as
+// machine-readable JSON (default BENCH_dataplane.json) so successive
+// revisions can track the performance trajectory.
+//
+// With -regress, the sweep is re-run and compared against the
+// committed trend file instead: the command exits non-zero when the
+// geometric-mean throughput at any goroutine count drops more than
+// -regress-tol below the baseline, or when a steady-state cell starts
+// allocating. CI runs this as a cheap perf smoke.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +42,9 @@ type dataplaneResult struct {
 	Mix        string  `json:"mix"`
 	Goroutines int     `json:"goroutines"`
 	PPS        float64 `json:"pps"`
+	// AllocsPerOp is the steady-state heap allocations per ClassifyInto
+	// call (one 64-packet batch); the lock-free read path keeps it 0.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // benchOutput is the schema of the -json file.
@@ -40,25 +55,28 @@ type benchOutput struct {
 	Dataplane   []dataplaneResult    `json:"dataplane"`
 }
 
+const benchBatchSize = 64
+
+// mixFrac maps a mix name to its hit fraction.
+var mixFrac = map[string]float64{"hit": 1, "miss": 0, "mixed": 0.5}
+
 // measureDataplane runs concurrent batch classification against a
-// preloaded engine for the given duration and returns packets/sec. The
-// engine and batches come from the same dataplane.Workload* helpers the
+// preloaded engine with exactly `goroutines` workers for the given
+// duration and returns aggregate packets/sec. The engine and batches
+// come from the same dataplane.Workload* helpers the
 // BenchmarkDataplaneThroughput family uses, so the JSON trend tracks
 // exactly the benchmarked cells.
-func measureDataplane(shards, filters int, hitFrac float64, dur time.Duration) float64 {
-	e := dataplane.WorkloadEngine(shards, filters)
-	const batchSize = 64
-	workers := runtime.GOMAXPROCS(0)
+func measureDataplane(e *dataplane.Engine, filters int, hitFrac float64, goroutines int, dur time.Duration) float64 {
 	var total atomic.Uint64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < goroutines; w++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
-			batch := dataplane.WorkloadBatch(rng, filters, batchSize, hitFrac)
-			var verdicts []dataplane.Verdict
+			batch := dataplane.WorkloadBatch(rng, filters, benchBatchSize, hitFrac)
+			verdicts := make([]dataplane.Verdict, 0, benchBatchSize)
 			for {
 				select {
 				case <-stop:
@@ -66,7 +84,7 @@ func measureDataplane(shards, filters int, hitFrac float64, dur time.Duration) f
 				default:
 				}
 				verdicts = e.ClassifyInto(batch, verdicts)
-				total.Add(batchSize)
+				total.Add(benchBatchSize)
 			}
 		}(int64(w) + 1)
 	}
@@ -77,33 +95,221 @@ func measureDataplane(shards, filters int, hitFrac float64, dur time.Duration) f
 	return float64(total.Load()) / time.Since(start).Seconds()
 }
 
-func dataplaneSweep(dur time.Duration) []dataplaneResult {
-	mixes := []struct {
-		name string
-		frac float64
-	}{{"hit", 1}, {"miss", 0}, {"mixed", 0.5}}
+// classifyAllocsPerOp measures steady-state heap allocations per
+// ClassifyInto call on a warm engine, single-goroutine so the malloc
+// delta is attributable. GC is paused for the measurement: a cycle
+// mid-loop would evict the engine's sync.Pool scratch and charge the
+// refill to the classify path as phantom fractional allocs.
+func classifyAllocsPerOp(e *dataplane.Engine, filters int, hitFrac float64) float64 {
+	rng := rand.New(rand.NewSource(99))
+	batch := dataplane.WorkloadBatch(rng, filters, benchBatchSize, hitFrac)
+	verdicts := make([]dataplane.Verdict, 0, benchBatchSize)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	verdicts = e.ClassifyInto(batch, verdicts) // warm the scratch pool post-GC
+	const runs = 1000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		verdicts = e.ClassifyInto(batch, verdicts)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}
+
+// sweepSpec enumerates the cells measured by -json and -regress.
+type sweepSpec struct {
+	shards, filters []int
+	mixes           []string
+	goroutines      []int
+}
+
+func defaultSweep(goroutines []int) sweepSpec {
+	return sweepSpec{
+		shards:     []int{1, 4, 8},
+		filters:    []int{1024, 4096, 65536},
+		mixes:      []string{"hit", "miss", "mixed"},
+		goroutines: goroutines,
+	}
+}
+
+func dataplaneSweep(spec sweepSpec, dur time.Duration) []dataplaneResult {
 	var out []dataplaneResult
-	for _, shards := range []int{1, 4, 8} {
-		for _, filters := range []int{1024, 4096, 65536} {
-			for _, mix := range mixes {
-				out = append(out, dataplaneResult{
-					Shards:     shards,
-					Filters:    filters,
-					Mix:        mix.name,
-					Goroutines: runtime.GOMAXPROCS(0),
-					PPS:        measureDataplane(shards, filters, mix.frac, dur),
-				})
+	for _, shards := range spec.shards {
+		for _, filters := range spec.filters {
+			// One engine per (shards, filters): cells differ only in
+			// offered traffic, exactly as the benchmark family's cells do.
+			e := dataplane.WorkloadEngine(shards, filters)
+			for _, mix := range spec.mixes {
+				allocs := classifyAllocsPerOp(e, filters, mixFrac[mix])
+				for _, g := range spec.goroutines {
+					out = append(out, dataplaneResult{
+						Shards:      shards,
+						Filters:     filters,
+						Mix:         mix,
+						Goroutines:  g,
+						PPS:         measureDataplane(e, filters, mixFrac[mix], g, dur),
+						AllocsPerOp: allocs,
+					})
+				}
 			}
 		}
 	}
 	return out
 }
 
+// parseGoroutines parses the -goroutines flag ("1,2,4,8").
+func parseGoroutines(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad goroutine count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty goroutine list")
+	}
+	return out, nil
+}
+
+type cellKey struct {
+	shards, filters int
+	mix             string
+	goroutines      int
+}
+
+// regressionFailures compares a fresh sweep against the committed
+// baseline. Per-cell throughput on a shared runner is noisy, so the
+// gate is the geometric-mean ratio (measured/baseline) per goroutine
+// count: a real read-path regression depresses every cell at once,
+// while one noisy cell cannot fail the build. Allocations are exact
+// and gated per cell.
+//
+// With normalize set, every per-goroutine-count ratio is divided by
+// min(1, global geomean ratio): a runner uniformly slower than the
+// machine that produced the baseline is judged relative to its own
+// overall speed, while a faster runner is never normalized *down* —
+// otherwise healthy multi-core scaling against a single-core baseline
+// would depress the 1-goroutine group below the floor and fail on
+// improvement. The gate still catches the regression class the
+// lock-free read path exists to prevent: groups collapsing relative
+// to the machine's overall speed (e.g. a reintroduced lock convoying
+// some goroutine counts). CI uses normalized mode because its runners
+// differ from the baseline machine; same-machine runs should use the
+// absolute gate.
+func regressionFailures(baseline, measured []dataplaneResult, tol float64, normalize bool) (fails []string, matched int) {
+	base := make(map[cellKey]dataplaneResult, len(baseline))
+	for _, c := range baseline {
+		base[cellKey{c.Shards, c.Filters, c.Mix, c.Goroutines}] = c
+	}
+	logRatioSum := map[int]float64{}
+	cells := map[int]int{}
+	type allocKey struct {
+		shards, filters int
+		mix             string
+	}
+	allocSeen := map[allocKey]bool{} // allocs are per (shards,filters,mix); report once
+	for _, m := range measured {
+		b, ok := base[cellKey{m.Shards, m.Filters, m.Mix, m.Goroutines}]
+		if !ok || b.PPS <= 0 {
+			continue
+		}
+		matched++
+		logRatioSum[m.Goroutines] += math.Log(m.PPS / b.PPS)
+		cells[m.Goroutines]++
+		ak := allocKey{m.Shards, m.Filters, m.Mix}
+		if m.AllocsPerOp > b.AllocsPerOp && m.AllocsPerOp >= 1 && !allocSeen[ak] {
+			allocSeen[ak] = true
+			fails = append(fails, fmt.Sprintf(
+				"allocs regression: shards=%d filters=%d mix=%s: %.2f allocs/op (baseline %.2f)",
+				m.Shards, m.Filters, m.Mix, m.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		// A disjoint sweep would otherwise gate nothing and "pass".
+		return []string{"no measured cell matches the baseline (stale trend file, or -goroutines differs from the baseline sweep?)"}, 0
+	}
+	norm := 1.0
+	if normalize {
+		var logSum float64
+		n := 0
+		for g, s := range logRatioSum {
+			logSum += s
+			n += cells[g]
+		}
+		if n > 0 {
+			norm = math.Min(1, math.Exp(logSum/float64(n)))
+		}
+	}
+	var gors []int
+	for g := range cells {
+		gors = append(gors, g)
+	}
+	sort.Ints(gors)
+	for _, g := range gors {
+		ratio := math.Exp(logRatioSum[g]/float64(cells[g])) / norm
+		if ratio < 1-tol {
+			kind := "baseline"
+			if normalize {
+				kind = "baseline (machine-normalized)"
+			}
+			fails = append(fails, fmt.Sprintf(
+				"throughput regression at %d goroutine(s): geomean %.1f%% of %s (floor %.0f%%)",
+				g, ratio*100, kind, (1-tol)*100))
+		}
+	}
+	return fails, matched
+}
+
+func runRegression(path string, spec sweepSpec, dur time.Duration, tol float64, normalize bool) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %v\n", err)
+		return 2
+	}
+	var baseline benchOutput
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: decode %s: %v\n", path, err)
+		return 2
+	}
+	if len(baseline.Dataplane) == 0 {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no dataplane cells\n", path)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "aitf-bench: regression sweep (%v per cell) against %s...\n", dur, path)
+	measured := dataplaneSweep(spec, dur)
+	fails, matched := regressionFailures(baseline.Dataplane, measured, tol, normalize)
+	if len(fails) == 0 {
+		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d of %d cells compared)\n", matched, len(measured))
+		return 0
+	}
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "aitf-bench: FAIL: %s\n", f)
+	}
+	return 1
+}
+
 func main() {
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to -o")
-	outPath := flag.String("o", "BENCH_dataplane.json", "output path for -json")
+	outPath := flag.String("o", "BENCH_dataplane.json", "output path for -json / baseline for -regress")
 	sweepDur := flag.Duration("sweep", 100*time.Millisecond, "measurement window per data-plane sweep cell")
+	goroutinesFlag := flag.String("goroutines", "1,2,4,8", "comma-separated goroutine counts for the sweep")
+	regress := flag.Bool("regress", false, "run the sweep and fail on regression vs the -o baseline (skips experiments)")
+	regressTol := flag.Float64("regress-tol", 0.30, "allowed fractional throughput drop before -regress fails")
+	regressNorm := flag.Bool("regress-normalize", false, "normalize -regress by the global geomean ratio (for runners unlike the baseline machine)")
 	flag.Parse()
+
+	gors, err := parseGoroutines(*goroutinesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -goroutines: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *regress {
+		os.Exit(runRegression(*outPath, defaultSweep(gors), *sweepDur, *regressTol, *regressNorm))
+	}
 
 	drivers, ids := experiments.All()
 	want := flag.Args()
@@ -130,7 +336,7 @@ func main() {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Experiments: results,
-		Dataplane:   dataplaneSweep(*sweepDur),
+		Dataplane:   dataplaneSweep(defaultSweep(gors), *sweepDur),
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"aitf/internal/dataplane"
 )
 
 // TestBenchJSONSchemaMatchesCheckedInFile: the committed
@@ -29,10 +31,18 @@ func TestBenchJSONSchemaMatchesCheckedInFile(t *testing.T) {
 	if len(out.Dataplane) == 0 {
 		t.Fatal("trend file has no dataplane sweep cells")
 	}
+	goroutineCounts := map[int]bool{}
 	for i, c := range out.Dataplane {
-		if c.Shards < 1 || c.Filters < 1 || c.PPS <= 0 || c.Mix == "" {
+		if c.Shards < 1 || c.Filters < 1 || c.PPS <= 0 || c.Mix == "" || c.Goroutines < 1 {
 			t.Fatalf("cell %d malformed: %+v", i, c)
 		}
+		if c.AllocsPerOp != 0 {
+			t.Fatalf("cell %d: committed baseline has a non-zero steady-state allocs/op: %+v", i, c)
+		}
+		goroutineCounts[c.Goroutines] = true
+	}
+	if len(goroutineCounts) < 2 {
+		t.Fatalf("trend file lacks a goroutine sweep: counts %v", goroutineCounts)
 	}
 	if len(out.Experiments) == 0 {
 		t.Fatal("trend file has no experiment results")
@@ -43,9 +53,13 @@ func TestBenchJSONSchemaMatchesCheckedInFile(t *testing.T) {
 // positive throughput and serializes with the exact key set the trend
 // file uses.
 func TestMeasureDataplaneProducesCells(t *testing.T) {
-	pps := measureDataplane(1, 1024, 0.5, 5*time.Millisecond)
+	e := dataplane.WorkloadEngine(1, 1024)
+	pps := measureDataplane(e, 1024, 0.5, 1, 5*time.Millisecond)
 	if pps <= 0 {
 		t.Fatalf("measured %v pps", pps)
+	}
+	if allocs := classifyAllocsPerOp(e, 1024, 0.5); allocs != 0 {
+		t.Fatalf("steady-state classify allocates %v/op, want 0", allocs)
 	}
 	cell := dataplaneResult{Shards: 1, Filters: 1024, Mix: "mixed", Goroutines: 1, PPS: pps}
 	buf, err := json.Marshal(cell)
@@ -56,9 +70,105 @@ func TestMeasureDataplaneProducesCells(t *testing.T) {
 	if err := json.Unmarshal(buf, &keys); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"shards", "filters", "mix", "goroutines", "pps"} {
+	for _, k := range []string{"shards", "filters", "mix", "goroutines", "pps", "allocs_per_op"} {
 		if _, ok := keys[k]; !ok {
 			t.Fatalf("cell JSON lacks %q: %s", k, buf)
 		}
+	}
+}
+
+func TestParseGoroutines(t *testing.T) {
+	got, err := parseGoroutines("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseGoroutines = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "1,,2"} {
+		if _, err := parseGoroutines(bad); err == nil {
+			t.Fatalf("parseGoroutines(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRegressionFailures exercises the gate logic on synthetic sweeps:
+// uniform slowdowns beyond tolerance fail at the affected goroutine
+// count, single-cell noise passes, and new steady-state allocations
+// fail regardless of throughput.
+func TestRegressionFailures(t *testing.T) {
+	mk := func(g int, pps, allocs float64) dataplaneResult {
+		return dataplaneResult{Shards: 4, Filters: 4096, Mix: "mixed", Goroutines: g, PPS: pps, AllocsPerOp: allocs}
+	}
+	baseline := []dataplaneResult{mk(1, 10e6, 0), mk(8, 30e6, 0)}
+
+	if fails, n := regressionFailures(baseline, []dataplaneResult{mk(1, 9e6, 0), mk(8, 28e6, 0)}, 0.30, false); len(fails) != 0 || n != 2 {
+		t.Fatalf("small wobble failed (%d matched): %v", n, fails)
+	}
+	fails, _ := regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 0), mk(8, 12e6, 0)}, 0.30, false)
+	if len(fails) != 1 {
+		t.Fatalf("multi-goroutine collapse not caught: %v", fails)
+	}
+	fails, _ = regressionFailures(baseline, []dataplaneResult{mk(1, 5e6, 0), mk(8, 30e6, 0)}, 0.30, false)
+	if len(fails) != 1 {
+		t.Fatalf("single-goroutine collapse not caught: %v", fails)
+	}
+	fails, _ = regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 2), mk(8, 30e6, 0)}, 0.30, false)
+	if len(fails) != 1 {
+		t.Fatalf("alloc regression not caught: %v", fails)
+	}
+
+	// A sweep disjoint from the baseline must fail loudly, not pass
+	// vacuously.
+	disjoint := []dataplaneResult{{Shards: 2, Filters: 512, Mix: "hit", Goroutines: 3, PPS: 1e6}}
+	if fails, n := regressionFailures(baseline, disjoint, 0.30, false); len(fails) != 1 || n != 0 {
+		t.Fatalf("disjoint sweep not rejected (%d matched): %v", n, fails)
+	}
+
+	// One alloc regression shared by several goroutine rows of the same
+	// (shards,filters,mix) cell reports once, not per row.
+	allocBase := []dataplaneResult{mk(1, 10e6, 0), mk(2, 20e6, 0), mk(8, 30e6, 0)}
+	allocMeas := []dataplaneResult{mk(1, 10e6, 2), mk(2, 20e6, 2), mk(8, 30e6, 2)}
+	if fails, _ := regressionFailures(allocBase, allocMeas, 0.30, false); len(fails) != 1 {
+		t.Fatalf("alloc regression not deduped across goroutine rows: %v", fails)
+	}
+
+	// Normalized mode: a uniformly slower machine passes, but a
+	// goroutine-count-relative collapse (the reintroduced-lock shape)
+	// still fails, and so does an alloc regression.
+	uniformSlow := []dataplaneResult{mk(1, 4e6, 0), mk(8, 12e6, 0)} // 2.5x slower runner
+	if fails, _ := regressionFailures(baseline, uniformSlow, 0.30, true); len(fails) != 0 {
+		t.Fatalf("uniformly slower machine failed normalized gate: %v", fails)
+	}
+	if fails, _ := regressionFailures(baseline, uniformSlow, 0.30, false); len(fails) == 0 {
+		t.Fatal("absolute gate should fail on a 2.5x slower machine")
+	}
+	// A multi-core runner scaling well against a flat single-core
+	// baseline must NOT fail at goroutines=1: normalization never
+	// divides by a geomean above 1.
+	multicore := []dataplaneResult{mk(1, 10e6, 0), mk(8, 100e6, 0)} // flat baseline, 3.3x scaling
+	if fails, _ := regressionFailures(baseline, multicore, 0.30, true); len(fails) != 0 {
+		t.Fatalf("healthy multi-core scaling failed normalized gate: %v", fails)
+	}
+	collapsed := []dataplaneResult{mk(1, 5e6, 0), mk(8, 3e6, 0)} // 8-gor collapsed to 0.2x while 1-gor is 0.5x
+	if fails, _ := regressionFailures(baseline, collapsed, 0.30, true); len(fails) != 1 {
+		t.Fatalf("normalized gate missed scaling collapse: %v", fails)
+	}
+	if fails, _ := regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 3), mk(8, 30e6, 0)}, 0.30, true); len(fails) != 1 {
+		t.Fatalf("normalized gate missed alloc regression: %v", fails)
+	}
+	// Noise resistance: with several cells per goroutine count, one bad
+	// cell must not fail the geomean gate.
+	base := []dataplaneResult{}
+	meas := []dataplaneResult{}
+	for i, f := range []int{1024, 4096, 65536} {
+		c := mk(1, 10e6, 0)
+		c.Filters = f
+		base = append(base, c)
+		m := c
+		if i == 0 {
+			m.PPS = 6e6 // one noisy cell, 40% down
+		}
+		meas = append(meas, m)
+	}
+	if fails, _ := regressionFailures(base, meas, 0.30, false); len(fails) != 0 {
+		t.Fatalf("one noisy cell failed the gate: %v", fails)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"aitf/internal/contract"
@@ -190,11 +191,20 @@ type Gateway struct {
 	stats  GatewayStats
 	tracer Tracer
 	node   *netsim.Node
-
-	// batchRun / batchVerdicts are reusable buffers for ReceiveBatch.
-	batchRun      []*packet.Packet
-	batchVerdicts []dataplane.Verdict
 }
+
+// batchScratch is the reusable run/verdict buffer pair ReceiveBatch
+// uses. It lives in a package-level pool rather than per gateway: a
+// large scenario runs hundreds of gateways but only one of them is
+// inside a batch flush at any event-loop instant, so a shared pool
+// keeps the steady-state footprint at one buffer pair instead of one
+// per router.
+type batchScratch struct {
+	run      []*packet.Packet
+	verdicts []dataplane.Verdict
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 // NewGateway builds a gateway handler; call Attach (or Node.SetHandler
 // via Attach) to bind it to a netsim node.
@@ -312,6 +322,7 @@ func (g *Gateway) Receive(n *netsim.Node, p *packet.Packet, from *netsim.Iface) 
 		peer := from.Neighbor().Addr()
 		if g.disconnected[peer] > now {
 			g.stats.DisconnectDrops++
+			p.Release()
 			return
 		}
 	}
@@ -347,6 +358,7 @@ func (g *Gateway) dropSpoofed(p *packet.Packet, from *netsim.Iface) bool {
 
 func (g *Gateway) handleData(p *packet.Packet, from *netsim.Iface) {
 	if g.dropSpoofed(p, from) {
+		p.Release()
 		return
 	}
 	g.applyData(p, from, g.dp.ClassifyTuple(p.Tuple(), int(p.PayloadLen)))
@@ -378,6 +390,7 @@ func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Ve
 
 	if v.Drop {
 		g.stats.FilterDrops++
+		p.Release() // the filter bank ate it; recycle the shell
 		return
 	}
 
@@ -390,13 +403,15 @@ func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Ve
 			if w, ok := g.watches[v.Shadow.Label.Key()]; ok {
 				g.stats.ShadowReblocks++
 				g.reblockAndEscalate(w)
-				return // the triggering packet is dropped too
+				p.Release() // the triggering packet is dropped too
+				return
 			}
 		}
 	}
 
 	if p.Dst == g.node.Addr() {
-		return // traffic addressed to the router itself is absorbed
+		p.Release() // traffic addressed to the router itself is absorbed
+		return
 	}
 
 	// AITF border routers record the route on transit data packets.
@@ -429,17 +444,21 @@ func (g *Gateway) ReceiveBatch(n *netsim.Node, ps []*packet.Packet, from *netsim
 		peer := from.Neighbor().Addr()
 		if g.disconnected[peer] > now {
 			g.stats.DisconnectDrops += uint64(len(ps))
+			for _, p := range ps {
+				p.Release()
+			}
 			return
 		}
 	}
-	run := g.batchRun[:0]
+	sc := batchPool.Get().(*batchScratch)
+	run := sc.run[:0]
 	flush := func() {
 		if len(run) == 0 {
 			return
 		}
-		g.batchVerdicts = g.dp.ClassifyInto(run, g.batchVerdicts)
+		sc.verdicts = g.dp.ClassifyInto(run, sc.verdicts)
 		for i, p := range run {
-			g.applyData(p, from, g.batchVerdicts[i])
+			g.applyData(p, from, sc.verdicts[i])
 		}
 		run = run[:0]
 	}
@@ -454,12 +473,14 @@ func (g *Gateway) ReceiveBatch(n *netsim.Node, ps []*packet.Packet, from *netsim
 			continue
 		}
 		if g.dropSpoofed(p, from) {
+			p.Release()
 			continue
 		}
 		run = append(run, p)
 	}
 	flush()
-	g.batchRun = run[:0]
+	sc.run = run[:0]
+	batchPool.Put(sc)
 }
 
 func (g *Gateway) handleControl(p *packet.Packet, from *netsim.Iface) {

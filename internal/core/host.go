@@ -142,7 +142,13 @@ func (h *Host) trace(k EventKind, f flow.Label, detail string) {
 	}
 }
 
-// Receive implements netsim.Handler.
+// Receive implements netsim.Handler. Delivered packets are NOT
+// released back to the packet pool: simulator code (tests, detectors,
+// traffic sources) may legitimately retain a packet it originated and
+// inspect its accumulated route record after delivery, so ownership of
+// a delivered packet stays with whoever holds references. Only the
+// network's own drop points and the gateway data path, where the
+// packet is provably dead, recycle shells.
 func (h *Host) Receive(n *netsim.Node, p *packet.Packet, from *netsim.Iface) {
 	if p.Dst != n.Addr() {
 		return // hosts do not forward
@@ -268,6 +274,7 @@ func (h *Host) handleControl(p *packet.Packet) {
 func (h *Host) SendData(p *packet.Packet) bool {
 	if h.cfg.Compliant && h.blockedByStopOrder(p.Tuple()) {
 		h.stats.StoppedSends++
+		p.Release() // suppressed before entering the network; recycle
 		return false
 	}
 	return h.node.Originate(p)

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,10 +13,13 @@ import (
 const benchBatchSize = 64
 
 // BenchmarkDataplaneThroughput is the acceptance family: concurrent
-// batch classification in packets/sec across shard counts, table sizes,
-// and hit/miss mixes. One benchmark op is one 64-packet batch; every
-// worker of b.RunParallel classifies its own private batches, so the
-// reported pps metric is the multi-core aggregate.
+// batch classification in packets/sec across shard counts, table
+// sizes, hit/miss mixes, and — the multi-core axis the lock-free read
+// path exists for — an explicit goroutine sweep. One benchmark op is
+// one 64-packet batch; b.N ops are split across exactly `goroutines`
+// workers with private batches and verdict slices, so the reported pps
+// metric is the aggregate across that worker count (clamped in speedup
+// only by GOMAXPROCS, not by the engine).
 func BenchmarkDataplaneThroughput(b *testing.B) {
 	mixes := []struct {
 		name string
@@ -24,26 +28,39 @@ func BenchmarkDataplaneThroughput(b *testing.B) {
 	for _, shards := range []int{1, 4, 8} {
 		for _, filters := range []int{1024, 4096, 65536} {
 			for _, mix := range mixes {
-				name := fmt.Sprintf("shards=%d/filters=%d/mix=%s", shards, filters, mix.name)
-				b.Run(name, func(b *testing.B) {
-					e := WorkloadEngine(shards, filters)
-					b.ReportAllocs()
-					b.ResetTimer()
-					var worker int64
-					b.RunParallel(func(pb *testing.PB) {
-						rng := rand.New(rand.NewSource(worker + 42))
-						worker++
-						batch := WorkloadBatch(rng, filters, benchBatchSize, mix.frac)
-						var verdicts []Verdict
-						for pb.Next() {
-							verdicts = e.ClassifyInto(batch, verdicts)
+				for _, goroutines := range []int{1, 2, 4, 8} {
+					name := fmt.Sprintf("shards=%d/filters=%d/mix=%s/goroutines=%d",
+						shards, filters, mix.name, goroutines)
+					b.Run(name, func(b *testing.B) {
+						e := WorkloadEngine(shards, filters)
+						b.ReportAllocs()
+						b.ResetTimer()
+						var wg sync.WaitGroup
+						per := b.N / goroutines
+						rem := b.N % goroutines
+						for w := 0; w < goroutines; w++ {
+							n := per
+							if w < rem {
+								n++
+							}
+							wg.Add(1)
+							go func(seed int64, n int) {
+								defer wg.Done()
+								rng := rand.New(rand.NewSource(seed + 42))
+								batch := WorkloadBatch(rng, filters, benchBatchSize, mix.frac)
+								verdicts := make([]Verdict, 0, benchBatchSize)
+								for i := 0; i < n; i++ {
+									verdicts = e.ClassifyInto(batch, verdicts)
+								}
+							}(int64(w), n)
+						}
+						wg.Wait()
+						b.StopTimer()
+						if s := b.Elapsed().Seconds(); s > 0 {
+							b.ReportMetric(float64(b.N)*benchBatchSize/s, "pps")
 						}
 					})
-					b.StopTimer()
-					if s := b.Elapsed().Seconds(); s > 0 {
-						b.ReportMetric(float64(b.N)*benchBatchSize/s, "pps")
-					}
-				})
+				}
 			}
 		}
 	}

@@ -13,13 +13,24 @@
 // pair and live in a dedicated overflow segment consulted only while it
 // is non-empty.
 //
-// Classification takes only shared (read) locks and bumps atomic
-// counters, so packets classify concurrently across — and within —
-// shards; installs, removals, and expiry take a shard's exclusive lock.
-// Capacity is a single global budget across shards, mirroring the
-// hardware argument that the filter bank is one scarce resource: an
-// engine with N shards accepts exactly as many filters, and returns the
-// same verdicts, as an engine with one.
+// The classification read path is lock-free: each shard publishes a
+// match snapshot (a bucketized label map probed at the exact and pair
+// labels, plus a scan list) through an atomic.Pointer, and readers
+// classify against whatever state is current, bumping only atomic
+// counters — they never block, never write shared cache lines beyond
+// their verdict accounting, and never allocate. The control plane
+// (install / remove / expire / log) is RCU-style: writers take a
+// per-shard writer mutex and publish either a replacement for the one
+// bucket they touched (single-entry writes; the slot pointer is the
+// swap) or a whole new view (resizes, expiry sweeps, scan-shape
+// changes); expiry refreshes mutate the shared entry's atomic deadline
+// without any republish. Readers therefore observe individual writes
+// with per-lookup atomicity, not per-batch isolation — equivalent to
+// the writes landing between packets. Capacity is a single global
+// budget across shards,
+// mirroring the hardware argument that the filter bank is one scarce
+// resource: an engine with N shards accepts exactly as many filters,
+// and returns the same verdicts, as an engine with one.
 package dataplane
 
 import (
@@ -158,7 +169,7 @@ func (e *Engine) allSegs(fn func(*shard, bool)) {
 	fn(e.wild, true)
 }
 
-// ── Classification (hot path) ────────────────────────────────────────
+// ── Classification (hot path, lock-free) ────────────────────────────
 
 // ClassifyTuple classifies a single concrete tuple of payloadBytes
 // payload at the engine clock's current time.
@@ -179,70 +190,35 @@ func recordShadowHit(s *shard, se *sentry) Verdict {
 	return Verdict{ShadowHit: true, Shadow: se.snapshot()}
 }
 
+// classifyAt is the per-packet decision: home-shard filter bank first,
+// then the wild filter segment (the filter bank always outranks the
+// shadow cache), then the shadow segments. All lookups go through the
+// published immutable snapshots; no locks are taken.
 func (e *Engine) classifyAt(tup flow.Tuple, payloadBytes int, now filter.Time) Verdict {
 	exact := tup.ExactLabel()
 	pair := flow.PairLabel(tup.Src, tup.Dst)
 	s := e.shards[e.shardIdx(tup.Src, tup.Dst)]
 
-	wantShadow := e.cfg.ShadowLookup
-	checkWildF := e.wildFilters.Load() > 0
-	checkWildS := wantShadow && e.wildShadows.Load() > 0
-
-	s.mu.RLock()
-	if fe := s.matchFilter(exact, pair, tup, now); fe != nil {
+	if fe := s.fview.Load().match(exact, pair, tup, now); fe != nil {
 		chargeDrop(s, fe, payloadBytes)
-		s.mu.RUnlock()
 		return Verdict{Drop: true}
 	}
-	// Fast common case: no wild filters, so a home-shard miss is a
-	// definitive miss and the shadow segment can be consulted under the
-	// same read lock.
-	if !checkWildF {
-		if wantShadow {
-			if se := s.lookupShadow(exact, pair, tup, now); se != nil {
-				v := recordShadowHit(s, se)
-				s.mu.RUnlock()
-				return v
-			}
+	if e.wildFilters.Load() > 0 {
+		if fe := e.wild.fview.Load().match(exact, pair, tup, now); fe != nil {
+			chargeDrop(e.wild, fe, payloadBytes)
+			return Verdict{Drop: true}
 		}
-		s.mu.RUnlock()
-		if checkWildS {
-			return e.wildShadowLookup(exact, pair, tup, now)
-		}
+	}
+	if !e.cfg.ShadowLookup {
 		return Verdict{}
 	}
-	s.mu.RUnlock()
-
-	// Wild filters exist: finish the filter decision first (the filter
-	// bank always outranks the shadow cache).
-	e.wild.mu.RLock()
-	if fe := e.wild.matchFilter(exact, pair, tup, now); fe != nil {
-		chargeDrop(e.wild, fe, payloadBytes)
-		e.wild.mu.RUnlock()
-		return Verdict{Drop: true}
+	if se := s.sview.Load().lookup(exact, pair, tup, now); se != nil {
+		return recordShadowHit(s, se)
 	}
-	e.wild.mu.RUnlock()
-	if !wantShadow {
-		return Verdict{}
-	}
-	s.mu.RLock()
-	if se := s.lookupShadow(exact, pair, tup, now); se != nil {
-		v := recordShadowHit(s, se)
-		s.mu.RUnlock()
-		return v
-	}
-	s.mu.RUnlock()
-	if checkWildS {
-		return e.wildShadowLookup(exact, pair, tup, now)
-	}
-	return Verdict{}
-}
-
-func (e *Engine) wildShadowLookup(exact, pair flow.Label, tup flow.Tuple, now filter.Time) Verdict {
-	e.wild.mu.RLock()
-	defer e.wild.mu.RUnlock()
-	if se := e.wild.lookupShadow(exact, pair, tup, now); se != nil {
-		return recordShadowHit(e.wild, se)
+	if e.wildShadows.Load() > 0 {
+		if se := e.wild.sview.Load().lookup(exact, pair, tup, now); se != nil {
+			return recordShadowHit(e.wild, se)
+		}
 	}
 	return Verdict{}
 }
@@ -258,10 +234,10 @@ type batchScratch struct {
 // smallBatch is the size below which bucketing costs more than it saves.
 const smallBatch = 4
 
-// Classify classifies a batch of packets, amortizing lock acquisitions
-// by grouping packets per shard: each shard's read lock is taken once
-// per batch rather than once per packet. All packets in the batch are
-// stamped with the same "now" read once from the engine clock.
+// Classify classifies a batch of packets, amortizing per-shard snapshot
+// loads and cache misses by grouping packets per shard. All packets in
+// the batch are stamped with the same "now" read once from the engine
+// clock.
 func (e *Engine) Classify(batch []*packet.Packet) []Verdict {
 	return e.ClassifyInto(batch, make([]Verdict, len(batch)))
 }
@@ -320,6 +296,7 @@ func (e *Engine) ClassifyInto(batch []*packet.Packet, out []Verdict) []Verdict {
 	}
 
 	// pos[si] now points one past shard si's slice; recover the starts.
+	wantShadow := e.cfg.ShadowLookup
 	begin := int32(0)
 	for si := 0; si < ns; si++ {
 		end := pos[si]
@@ -327,26 +304,34 @@ func (e *Engine) ClassifyInto(batch []*packet.Packet, out []Verdict) []Verdict {
 			continue
 		}
 		s := e.shards[si]
-		s.mu.RLock()
+		// One view load per shard run amortizes the pointer chases, but
+		// is NOT a per-batch snapshot: concurrent single-entry writes
+		// swap bucket slots inside the live view, so a filter installed
+		// mid-run can apply to the run's later packets — the same
+		// semantics as the write landing between two packets.
+		fv := s.fview.Load()
+		var sv *shadowView
+		if wantShadow {
+			sv = s.sview.Load()
+		}
 		for _, pi := range sc.order[begin:end] {
 			p := batch[pi]
 			tup := p.Tuple()
 			exact := tup.ExactLabel()
 			pair := flow.PairLabel(tup.Src, tup.Dst)
-			if fe := s.matchFilter(exact, pair, tup, now); fe != nil {
+			if fe := fv.match(exact, pair, tup, now); fe != nil {
 				chargeDrop(s, fe, int(p.PayloadLen))
 				out[pi] = Verdict{Drop: true}
 				continue
 			}
-			if e.cfg.ShadowLookup {
-				if se := s.lookupShadow(exact, pair, tup, now); se != nil {
+			if wantShadow {
+				if se := sv.lookup(exact, pair, tup, now); se != nil {
 					out[pi] = recordShadowHit(s, se)
 					continue
 				}
 			}
 			out[pi] = Verdict{}
 		}
-		s.mu.RUnlock()
 		begin = end
 	}
 	e.scratch.Put(sc)
@@ -374,11 +359,12 @@ func (e *Engine) Install(label flow.Label, now, exp filter.Time) error {
 	label = label.Key()
 	seg, isWild := e.segFor(label)
 
-	// Refresh path first: a present label consumes no new capacity.
+	// Refresh path first: a present label consumes no new capacity and
+	// needs no republish — the deadline lives in the shared entry.
 	seg.mu.Lock()
-	if fe, ok := seg.filters[label]; ok {
-		if exp > fe.expiresAt {
-			fe.expiresAt = exp
+	if fe := seg.fview.Load().get(label); fe != nil {
+		if exp > fe.expires() {
+			fe.exp.Store(int64(exp))
 		}
 		seg.mu.Unlock()
 		return nil
@@ -409,21 +395,21 @@ func (e *Engine) Install(label flow.Label, now, exp filter.Time) error {
 	}
 
 	seg.mu.Lock()
-	if fe, ok := seg.filters[label]; ok {
+	if fe := seg.fview.Load().get(label); fe != nil {
 		// Lost a race with a concurrent install of the same label.
-		if exp > fe.expiresAt {
-			fe.expiresAt = exp
+		if exp > fe.expires() {
+			fe.exp.Store(int64(exp))
 		}
 		seg.mu.Unlock()
 		e.fUsed.Add(-1)
 		return nil
 	}
-	seg.filters[label] = &fentry{label: label, installedAt: now, expiresAt: exp}
-	if len(seg.filters) == 1 || exp < seg.fNext {
+	fe := &fentry{label: label, installedAt: now}
+	fe.exp.Store(int64(exp))
+	seg.fcount++
+	seg.fview.Store(seg.fview.Load().withInsert(seg.fcount, fe))
+	if seg.fcount == 1 || exp < seg.fNext {
 		seg.fNext = exp
-	}
-	if needsScan(label) {
-		seg.fscan++
 	}
 	if isWild {
 		e.wildFilters.Add(1)
@@ -445,27 +431,23 @@ func (e *Engine) evictSoonest() bool {
 		found  bool
 	)
 	e.allSegs(func(s *shard, wild bool) {
-		s.mu.RLock()
-		for _, fe := range s.filters {
-			if !found || fe.expiresAt < vexp {
-				vseg, vwild, vlabel, vexp, found = s, wild, fe.label, fe.expiresAt, true
+		s.fview.Load().each(func(fe *fentry) {
+			if exp := fe.expires(); !found || exp < vexp {
+				vseg, vwild, vlabel, vexp, found = s, wild, fe.label, exp, true
 			}
-		}
-		s.mu.RUnlock()
+		})
 	})
 	if !found {
 		return false
 	}
 	vseg.mu.Lock()
-	fe, ok := vseg.filters[vlabel]
-	if !ok {
+	fe := vseg.fview.Load().get(vlabel)
+	if fe == nil {
 		vseg.mu.Unlock()
 		return false // raced with expiry/removal; caller retries
 	}
-	delete(vseg.filters, vlabel)
-	if needsScan(fe.label) {
-		vseg.fscan--
-	}
+	vseg.fcount--
+	vseg.fview.Store(vseg.fview.Load().withRemove(vseg.fcount, fe))
 	vseg.mu.Unlock()
 	if vwild {
 		e.wildFilters.Add(-1)
@@ -480,15 +462,13 @@ func (e *Engine) Remove(label flow.Label) bool {
 	label = label.Key()
 	seg, isWild := e.segFor(label)
 	seg.mu.Lock()
-	fe, ok := seg.filters[label]
-	if !ok {
+	fe := seg.fview.Load().get(label)
+	if fe == nil {
 		seg.mu.Unlock()
 		return false
 	}
-	delete(seg.filters, label)
-	if needsScan(fe.label) {
-		seg.fscan--
-	}
+	seg.fcount--
+	seg.fview.Store(seg.fview.Load().withRemove(seg.fcount, fe))
 	seg.mu.Unlock()
 	if isWild {
 		e.wildFilters.Add(-1)
@@ -499,13 +479,12 @@ func (e *Engine) Remove(label flow.Label) bool {
 }
 
 // Get returns a snapshot of the live filter entry for the exact label.
+// Like classification, it reads the published view and takes no locks.
 func (e *Engine) Get(label flow.Label, now filter.Time) (filter.Entry, bool) {
 	label = label.Key()
 	seg, _ := e.segFor(label)
-	seg.mu.RLock()
-	defer seg.mu.RUnlock()
-	fe, ok := seg.filters[label]
-	if !ok || fe.expiresAt <= now {
+	fe := seg.fview.Load().get(label)
+	if fe == nil || fe.expires() <= now {
 		return filter.Entry{}, false
 	}
 	return fe.snapshot(), true
@@ -536,13 +515,11 @@ func (e *Engine) NextExpiry() (filter.Time, bool) {
 	var min filter.Time
 	found := false
 	e.allSegs(func(s *shard, _ bool) {
-		s.mu.RLock()
-		for _, fe := range s.filters {
-			if !found || fe.expiresAt < min {
-				min, found = fe.expiresAt, true
+		s.fview.Load().each(func(fe *fentry) {
+			if exp := fe.expires(); !found || exp < min {
+				min, found = exp, true
 			}
-		}
-		s.mu.RUnlock()
+		})
 	})
 	return min, found
 }
@@ -559,9 +536,9 @@ func (e *Engine) FilterCapacity() int { return e.cfg.FilterCapacity }
 // segment), for accounting tests.
 func (e *Engine) ShardLen(i int) int {
 	s := e.shards[i]
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.filters)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fcount
 }
 
 // FilterStats aggregates counters across shards into filter.Stats.
@@ -588,11 +565,9 @@ func (e *Engine) FilterStats() filter.Stats {
 func (e *Engine) FilterEntries() []filter.Entry {
 	out := make([]filter.Entry, 0, e.Len())
 	e.allSegs(func(s *shard, _ bool) {
-		s.mu.RLock()
-		for _, fe := range s.filters {
+		s.fview.Load().each(func(fe *fentry) {
 			out = append(out, fe.snapshot())
-		}
-		s.mu.RUnlock()
+		})
 	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ExpiresAt != out[j].ExpiresAt {
@@ -613,11 +588,11 @@ func (e *Engine) LogShadow(label flow.Label, victim flow.Addr, now, exp filter.T
 	seg, isWild := e.segFor(label)
 
 	seg.mu.Lock()
-	if se, ok := seg.shadows[label]; ok {
-		if exp > se.expiresAt {
-			se.expiresAt = exp
+	if se := seg.sview.Load().get(label); se != nil {
+		if exp > se.expires() {
+			se.exp.Store(int64(exp))
 		}
-		se.victim = victim
+		se.victim.Store(uint32(victim))
 		seg.mu.Unlock()
 		return true
 	}
@@ -638,21 +613,22 @@ func (e *Engine) LogShadow(label flow.Label, victim flow.Addr, now, exp filter.T
 	}
 
 	seg.mu.Lock()
-	if se, ok := seg.shadows[label]; ok {
-		if exp > se.expiresAt {
-			se.expiresAt = exp
+	if se := seg.sview.Load().get(label); se != nil {
+		if exp > se.expires() {
+			se.exp.Store(int64(exp))
 		}
-		se.victim = victim
+		se.victim.Store(uint32(victim))
 		seg.mu.Unlock()
 		e.sUsed.Add(-1)
 		return true
 	}
-	seg.shadows[label] = &sentry{label: label, loggedAt: now, expiresAt: exp, victim: victim}
-	if len(seg.shadows) == 1 || exp < seg.sNext {
+	se := &sentry{label: label, loggedAt: now}
+	se.exp.Store(int64(exp))
+	se.victim.Store(uint32(victim))
+	seg.scount++
+	seg.sview.Store(seg.sview.Load().withInsert(seg.scount, se))
+	if seg.scount == 1 || exp < seg.sNext {
 		seg.sNext = exp
-	}
-	if needsScan(label) {
-		seg.sscan++
 	}
 	if isWild {
 		e.wildShadows.Add(1)
@@ -664,14 +640,12 @@ func (e *Engine) LogShadow(label flow.Label, victim flow.Addr, now, exp filter.T
 }
 
 // ShadowGet returns a snapshot of the live shadow record for the exact
-// label, if any.
+// label, if any. Lock-free, like classification.
 func (e *Engine) ShadowGet(label flow.Label, now filter.Time) (filter.ShadowEntry, bool) {
 	label = label.Key()
 	seg, _ := e.segFor(label)
-	seg.mu.RLock()
-	defer seg.mu.RUnlock()
-	se, ok := seg.shadows[label]
-	if !ok || se.expiresAt <= now {
+	se := seg.sview.Load().get(label)
+	if se == nil || se.expires() <= now {
 		return filter.ShadowEntry{}, false
 	}
 	return se.snapshot(), true
@@ -683,10 +657,8 @@ func (e *Engine) ShadowGet(label flow.Label, now filter.Time) (filter.ShadowEntr
 func (e *Engine) ShadowHit(label flow.Label) (filter.ShadowEntry, bool) {
 	label = label.Key()
 	seg, _ := e.segFor(label)
-	seg.mu.RLock()
-	defer seg.mu.RUnlock()
-	se, ok := seg.shadows[label]
-	if !ok {
+	se := seg.sview.Load().get(label)
+	if se == nil {
 		return filter.ShadowEntry{}, false
 	}
 	se.reapp.Add(1)
@@ -700,15 +672,13 @@ func (e *Engine) RemoveShadow(label flow.Label) bool {
 	label = label.Key()
 	seg, isWild := e.segFor(label)
 	seg.mu.Lock()
-	se, ok := seg.shadows[label]
-	if !ok {
+	se := seg.sview.Load().get(label)
+	if se == nil {
 		seg.mu.Unlock()
 		return false
 	}
-	delete(seg.shadows, label)
-	if needsScan(se.label) {
-		seg.sscan--
-	}
+	seg.scount--
+	seg.sview.Store(seg.sview.Load().withRemove(seg.scount, se))
 	seg.mu.Unlock()
 	if isWild {
 		e.wildShadows.Add(-1)
@@ -759,11 +729,9 @@ func (e *Engine) ShadowStats() filter.ShadowStats {
 func (e *Engine) ShadowEntries() []filter.ShadowEntry {
 	out := make([]filter.ShadowEntry, 0, e.ShadowLen())
 	e.allSegs(func(s *shard, _ bool) {
-		s.mu.RLock()
-		for _, se := range s.shadows {
+		s.sview.Load().each(func(se *sentry) {
 			out = append(out, se.snapshot())
-		}
-		s.mu.RUnlock()
+		})
 	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ExpiresAt != out[j].ExpiresAt {

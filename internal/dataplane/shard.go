@@ -8,45 +8,56 @@ import (
 	"aitf/internal/flow"
 )
 
-// fentry is one installed wire-speed filter. Expiry and label are only
-// written under the owning shard's write lock; drop counters are
-// atomics so the classification read path never needs exclusive access.
+// fentry is one installed wire-speed filter. The label and install time
+// are immutable after the entry is published; the expiry deadline is
+// atomic because Install refreshes it in place while lock-free readers
+// are consulting a published snapshot; drop counters are atomic so the
+// classification path never needs exclusive access and accounting
+// survives snapshot swaps (the entry object itself is shared between
+// successive views).
 type fentry struct {
 	label        flow.Label
 	installedAt  filter.Time
-	expiresAt    filter.Time
+	exp          atomic.Int64 // expiry deadline (filter.Time)
 	drops        atomic.Uint64
 	droppedBytes atomic.Uint64
 }
+
+// expires returns the entry's current expiry deadline.
+func (fe *fentry) expires() filter.Time { return filter.Time(fe.exp.Load()) }
 
 // snapshot converts the entry to the substrate's exported form.
 func (fe *fentry) snapshot() filter.Entry {
 	return filter.Entry{
 		Label:        fe.label,
 		InstalledAt:  fe.installedAt,
-		ExpiresAt:    fe.expiresAt,
+		ExpiresAt:    fe.expires(),
 		Drops:        fe.drops.Load(),
 		DroppedBytes: fe.droppedBytes.Load(),
 	}
 }
 
 // sentry is one DRAM shadow-cache record (a remembered filtering
-// request). Reappearance counts are atomic for the same reason.
+// request). Expiry, victim, and reappearance count are atomic for the
+// same reasons as fentry's fields: LogShadow refreshes them in place
+// under the writer lock while snapshot readers run.
 type sentry struct {
-	label     flow.Label
-	loggedAt  filter.Time
-	expiresAt filter.Time
-	victim    flow.Addr
-	reapp     atomic.Uint64
+	label    flow.Label
+	loggedAt filter.Time
+	exp      atomic.Int64  // expiry deadline (filter.Time)
+	victim   atomic.Uint32 // flow.Addr
+	reapp    atomic.Uint64
 }
+
+func (se *sentry) expires() filter.Time { return filter.Time(se.exp.Load()) }
 
 func (se *sentry) snapshot() filter.ShadowEntry {
 	return filter.ShadowEntry{
 		Label:         se.label,
 		LoggedAt:      se.loggedAt,
-		ExpiresAt:     se.expiresAt,
+		ExpiresAt:     se.expires(),
 		Reappearances: int(se.reapp.Load()),
-		Victim:        se.victim,
+		Victim:        flow.Addr(se.victim.Load()),
 	}
 }
 
@@ -59,21 +70,396 @@ func needsScan(l flow.Label) bool {
 	return l.Wildcards != 0 && l.Wildcards != pairWild
 }
 
+// labelHash mixes a canonical label into a bucket index. It must
+// disperse labels that differ only in ports/proto/wildcards, since the
+// per-pair hash of Engine.shardIdx has already consumed the (src, dst)
+// entropy by the time a label reaches a shard's view.
+func labelHash(l flow.Label) uint32 {
+	h := uint64(l.Src)<<32 | uint64(l.Dst)
+	h ^= uint64(l.Proto)<<40 | uint64(l.SrcPort)<<24 | uint64(l.DstPort)<<8 | uint64(l.Wildcards)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h)
+}
+
+// bucketLoad is the target average entries per view bucket: the bucket
+// directory doubles beyond it. It bounds the copy-on-write cost of one
+// control-plane write to O(bucketLoad + directory), independent of how
+// many filters the shard holds.
+const bucketLoad = 8
+
+// bucketsFor sizes a bucket directory for n entries.
+func bucketsFor(n int) int {
+	b := 1
+	for n > bucketLoad*b {
+		b <<= 1
+	}
+	return b
+}
+
+// bucketsOK reports whether a directory of b buckets may keep serving
+// count entries. Growth triggers exactly at the load limit; shrinking
+// waits until the load falls below a quarter of it, so a workload
+// churning at a size boundary does not rebuild the view on every op.
+func bucketsOK(count, b int) bool {
+	if b == 0 {
+		return count == 0
+	}
+	return count <= bucketLoad*b && (b == 1 || count*4 > bucketLoad*b)
+}
+
+// ── filter view ──────────────────────────────────────────────────────
+
+// fbucket is one hash bucket of a view: a small immutable array of
+// (label, entry) pairs probed by linear label compare — for at most
+// bucketLoad-ish entries that beats a map probe (no second hash of the
+// label, and the labels sit in contiguous memory). Buckets are never
+// mutated after they are stored into a directory slot; writers build a
+// replacement and swap the slot pointer.
+type fbucket = []fslot
+
+// fslot inlines the label next to its entry pointer so a probe only
+// dereferences the entry on a label match.
+type fslot struct {
+	label flow.Label
+	fe    *fentry
+}
+
+// filterView is the published snapshot of one shard's filter bank,
+// reached lock-free through shard.fview. The bucket directory is
+// immutable per view; each slot holds an atomic pointer to an
+// immutable bucket map, so a single-entry control-plane write replaces
+// exactly one small bucket (O(bucketLoad)) without copying the
+// directory — the RCU grace period is per bucket. Directory resizes,
+// expiry sweeps, and scan-list changes build a whole new view and swap
+// the shard's view pointer instead. Entry objects are shared across
+// bucket generations and views, so the atomic counters inside them
+// never lose updates across a swap.
+type filterView struct {
+	buckets []atomic.Pointer[fbucket]
+	scan    []*fentry // entries matchable only by linear scan; immutable per view
+}
+
+// get returns the entry stored under the exact canonical label, if any.
+func (v *filterView) get(l flow.Label) *fentry {
+	if len(v.buckets) == 0 {
+		return nil
+	}
+	if bp := v.buckets[labelHash(l)&uint32(len(v.buckets)-1)].Load(); bp != nil {
+		for i := range *bp {
+			if (*bp)[i].label == l {
+				return (*bp)[i].fe
+			}
+		}
+	}
+	return nil
+}
+
+// match finds a live filter covering the tuple. Lock-free.
+func (v *filterView) match(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *fentry {
+	if len(v.buckets) > 0 {
+		mask := uint32(len(v.buckets) - 1)
+		if bp := v.buckets[labelHash(exact)&mask].Load(); bp != nil {
+			for i := range *bp {
+				if (*bp)[i].label == exact {
+					if fe := (*bp)[i].fe; fe.expires() > now {
+						return fe
+					}
+					break
+				}
+			}
+		}
+		if bp := v.buckets[labelHash(pair)&mask].Load(); bp != nil {
+			for i := range *bp {
+				if (*bp)[i].label == pair {
+					if fe := (*bp)[i].fe; fe.expires() > now {
+						return fe
+					}
+					break
+				}
+			}
+		}
+	}
+	for _, fe := range v.scan {
+		if fe.expires() > now && fe.label.Matches(tup) {
+			return fe
+		}
+	}
+	return nil
+}
+
+// each visits every entry exactly once (scan-shaped entries also live
+// in their bucket).
+func (v *filterView) each(fn func(*fentry)) {
+	for i := range v.buckets {
+		if bp := v.buckets[i].Load(); bp != nil {
+			for j := range *bp {
+				fn((*bp)[j].fe)
+			}
+		}
+	}
+}
+
+// buildFilterView constructs a fresh view over the given entries.
+func buildFilterView(entries []*fentry) *filterView {
+	v := &filterView{}
+	if len(entries) == 0 {
+		return v
+	}
+	nb := bucketsFor(len(entries))
+	v.buckets = make([]atomic.Pointer[fbucket], nb)
+	mask := uint32(nb - 1)
+	tmp := make([]fbucket, nb)
+	for _, fe := range entries {
+		bi := labelHash(fe.label) & mask
+		tmp[bi] = append(tmp[bi], fslot{fe.label, fe})
+		if needsScan(fe.label) {
+			v.scan = append(v.scan, fe)
+		}
+	}
+	for i := range tmp {
+		if len(tmp[i]) > 0 {
+			b := tmp[i]
+			v.buckets[i].Store(&b)
+		}
+	}
+	return v
+}
+
+// withInsert adds fe, returning the view the shard must publish:
+// the receiver itself after an in-place bucket swap (the common case,
+// O(bucketLoad)), or a freshly built view when the directory must
+// resize or the scan list changes. Caller holds the shard's writer
+// lock; newCount is the entry count after the insert.
+func (v *filterView) withInsert(newCount int, fe *fentry) *filterView {
+	if needsScan(fe.label) || !bucketsOK(newCount, len(v.buckets)) {
+		live := make([]*fentry, 0, newCount)
+		v.each(func(e *fentry) { live = append(live, e) })
+		return buildFilterView(append(live, fe))
+	}
+	slot := &v.buckets[labelHash(fe.label)&uint32(len(v.buckets)-1)]
+	var nb fbucket
+	if bp := slot.Load(); bp != nil {
+		nb = make(fbucket, len(*bp), len(*bp)+1)
+		copy(nb, *bp)
+	}
+	nb = append(nb, fslot{fe.label, fe})
+	slot.Store(&nb)
+	return v
+}
+
+// withRemove deletes fe, with the same publish contract as withInsert;
+// newCount is the entry count after the removal.
+func (v *filterView) withRemove(newCount int, fe *fentry) *filterView {
+	if needsScan(fe.label) || !bucketsOK(newCount, len(v.buckets)) {
+		live := make([]*fentry, 0, newCount)
+		v.each(func(e *fentry) {
+			if e != fe {
+				live = append(live, e)
+			}
+		})
+		return buildFilterView(live)
+	}
+	slot := &v.buckets[labelHash(fe.label)&uint32(len(v.buckets)-1)]
+	old := slot.Load()
+	if old == nil {
+		return v
+	}
+	if len(*old) <= 1 {
+		slot.Store(nil)
+		return v
+	}
+	nb := make(fbucket, 0, len(*old)-1)
+	for i := range *old {
+		if (*old)[i].fe != fe {
+			nb = append(nb, (*old)[i])
+		}
+	}
+	slot.Store(&nb)
+	return v
+}
+
+// ── shadow view (same structure for sentry) ──────────────────────────
+//
+// shadowView deliberately hand-mirrors filterView rather than sharing
+// a generic implementation: the probe loops are the hottest code in
+// the engine, and dispatching label()/expires() through a type-param
+// interface would defeat the inlining the flat versions get. Any
+// change to the publish contract (bucketsOK hysteresis, scan rebuild
+// rule, slot-swap discipline) MUST be applied to both copies.
+
+// sbucket is one hash bucket of a shadow view; see fbucket.
+type sbucket = []sslot
+
+// sslot inlines the label next to its record pointer; see fslot.
+type sslot struct {
+	label flow.Label
+	se    *sentry
+}
+
+// shadowView is the published snapshot structure for the shadow cache
+// segment; see filterView for the per-bucket RCU discipline.
+type shadowView struct {
+	buckets []atomic.Pointer[sbucket]
+	scan    []*sentry
+}
+
+func (v *shadowView) get(l flow.Label) *sentry {
+	if len(v.buckets) == 0 {
+		return nil
+	}
+	if bp := v.buckets[labelHash(l)&uint32(len(v.buckets)-1)].Load(); bp != nil {
+		for i := range *bp {
+			if (*bp)[i].label == l {
+				return (*bp)[i].se
+			}
+		}
+	}
+	return nil
+}
+
+// lookup finds a live shadow record covering the tuple. Lock-free.
+func (v *shadowView) lookup(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *sentry {
+	if len(v.buckets) > 0 {
+		mask := uint32(len(v.buckets) - 1)
+		if bp := v.buckets[labelHash(exact)&mask].Load(); bp != nil {
+			for i := range *bp {
+				if (*bp)[i].label == exact {
+					if se := (*bp)[i].se; se.expires() > now {
+						return se
+					}
+					break
+				}
+			}
+		}
+		if bp := v.buckets[labelHash(pair)&mask].Load(); bp != nil {
+			for i := range *bp {
+				if (*bp)[i].label == pair {
+					if se := (*bp)[i].se; se.expires() > now {
+						return se
+					}
+					break
+				}
+			}
+		}
+	}
+	for _, se := range v.scan {
+		if se.expires() > now && se.label.Matches(tup) {
+			return se
+		}
+	}
+	return nil
+}
+
+func (v *shadowView) each(fn func(*sentry)) {
+	for i := range v.buckets {
+		if bp := v.buckets[i].Load(); bp != nil {
+			for j := range *bp {
+				fn((*bp)[j].se)
+			}
+		}
+	}
+}
+
+func buildShadowView(entries []*sentry) *shadowView {
+	v := &shadowView{}
+	if len(entries) == 0 {
+		return v
+	}
+	nb := bucketsFor(len(entries))
+	v.buckets = make([]atomic.Pointer[sbucket], nb)
+	mask := uint32(nb - 1)
+	tmp := make([]sbucket, nb)
+	for _, se := range entries {
+		bi := labelHash(se.label) & mask
+		tmp[bi] = append(tmp[bi], sslot{se.label, se})
+		if needsScan(se.label) {
+			v.scan = append(v.scan, se)
+		}
+	}
+	for i := range tmp {
+		if len(tmp[i]) > 0 {
+			b := tmp[i]
+			v.buckets[i].Store(&b)
+		}
+	}
+	return v
+}
+
+// withInsert / withRemove follow filterView's publish contract.
+func (v *shadowView) withInsert(newCount int, se *sentry) *shadowView {
+	if needsScan(se.label) || !bucketsOK(newCount, len(v.buckets)) {
+		live := make([]*sentry, 0, newCount)
+		v.each(func(e *sentry) { live = append(live, e) })
+		return buildShadowView(append(live, se))
+	}
+	slot := &v.buckets[labelHash(se.label)&uint32(len(v.buckets)-1)]
+	var nb sbucket
+	if bp := slot.Load(); bp != nil {
+		nb = make(sbucket, len(*bp), len(*bp)+1)
+		copy(nb, *bp)
+	}
+	nb = append(nb, sslot{se.label, se})
+	slot.Store(&nb)
+	return v
+}
+
+func (v *shadowView) withRemove(newCount int, se *sentry) *shadowView {
+	if needsScan(se.label) || !bucketsOK(newCount, len(v.buckets)) {
+		live := make([]*sentry, 0, newCount)
+		v.each(func(e *sentry) {
+			if e != se {
+				live = append(live, e)
+			}
+		})
+		return buildShadowView(live)
+	}
+	slot := &v.buckets[labelHash(se.label)&uint32(len(v.buckets)-1)]
+	old := slot.Load()
+	if old == nil {
+		return v
+	}
+	if len(*old) <= 1 {
+		slot.Store(nil)
+		return v
+	}
+	nb := make(sbucket, 0, len(*old)-1)
+	for i := range *old {
+		if (*old)[i].se != se {
+			nb = append(nb, (*old)[i])
+		}
+	}
+	slot.Store(&nb)
+	return v
+}
+
+// ── shard ────────────────────────────────────────────────────────────
+
 // shard is one hash partition of the data plane: a segment of the
 // wire-speed filter bank plus the matching segment of the shadow cache.
-// The mutex is held shared by classification and exclusively by the
-// control plane (install / remove / expire).
+//
+// All state readers see lives in the published fview/sview snapshots;
+// there is no separate canonical map. The mutex is a pure writer lock:
+// the control plane (install / remove / expire / log) holds it while
+// deriving and swapping in the next snapshot — an RCU-style
+// build-and-swap in which in-flight readers simply finish against the
+// old view. Classification and all inspection APIs are lock-free.
 type shard struct {
-	mu      sync.RWMutex
-	filters map[flow.Label]*fentry
-	fscan   int // filter entries that require a linear scan
-	shadows map[flow.Label]*sentry
-	sscan   int // shadow entries that require a linear scan
+	mu     sync.Mutex
+	fcount int // entries in fview, guarded by mu
+	scount int // entries in sview, guarded by mu
+
+	fview atomic.Pointer[filterView]
+	sview atomic.Pointer[shadowView]
 
 	// fNext / sNext are the earliest deadlines among this shard's
-	// entries (valid only while the corresponding map is non-empty);
+	// entries (valid only while the corresponding count is non-zero);
 	// they let expiry passes return O(1) when nothing is due, so the
 	// control plane can garbage-collect eagerly without O(n) rescans.
+	// Guarded by mu.
 	fNext filter.Time
 	sNext filter.Time
 
@@ -87,98 +473,69 @@ type shard struct {
 }
 
 func newShard() *shard {
-	return &shard{
-		filters: make(map[flow.Label]*fentry),
-		shadows: make(map[flow.Label]*sentry),
-	}
+	s := &shard{}
+	s.fview.Store(&filterView{})
+	s.sview.Store(&shadowView{})
+	return s
 }
 
-// matchFilter finds a live filter covering the tuple and charges the
-// drop to it. Caller holds s.mu (read suffices).
-func (s *shard) matchFilter(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *fentry {
-	if fe, ok := s.filters[exact]; ok && fe.expiresAt > now {
-		return fe
-	}
-	if fe, ok := s.filters[pair]; ok && fe.expiresAt > now {
-		return fe
-	}
-	if s.fscan > 0 {
-		for _, fe := range s.filters {
-			if fe.expiresAt > now && fe.label.Matches(tup) {
-				return fe
-			}
-		}
-	}
-	return nil
-}
-
-// lookupShadow finds a live shadow record covering the tuple. Caller
-// holds s.mu (read suffices).
-func (s *shard) lookupShadow(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *sentry {
-	if se, ok := s.shadows[exact]; ok && se.expiresAt > now {
-		return se
-	}
-	if se, ok := s.shadows[pair]; ok && se.expiresAt > now {
-		return se
-	}
-	if s.sscan > 0 {
-		for _, se := range s.shadows {
-			if se.expiresAt > now && se.label.Matches(tup) {
-				return se
-			}
-		}
-	}
-	return nil
-}
-
-// expireFilters garbage-collects dead filters. Caller holds s.mu
-// exclusively. The fNext hint makes the nothing-due case O(1).
+// expireFilters garbage-collects dead filters, rebuilding and swapping
+// the snapshot when anything died. Caller holds s.mu. The fNext hint
+// makes the nothing-due case O(1).
 func (s *shard) expireFilters(now filter.Time) int {
-	if len(s.filters) == 0 || now < s.fNext {
+	if s.fcount == 0 || now < s.fNext {
 		return 0
 	}
-	n := 0
+	v := s.fview.Load()
+	live := make([]*fentry, 0, s.fcount)
 	var next filter.Time
 	first := true
-	for k, fe := range s.filters {
-		if fe.expiresAt <= now {
-			delete(s.filters, k)
-			if needsScan(k) {
-				s.fscan--
-			}
-			n++
-			continue
+	v.each(func(fe *fentry) {
+		exp := fe.expires()
+		if exp <= now {
+			return
 		}
-		if first || fe.expiresAt < next {
-			next, first = fe.expiresAt, false
+		live = append(live, fe)
+		if first || exp < next {
+			next, first = exp, false
 		}
-	}
+	})
 	s.fNext = next
+	n := s.fcount - len(live)
+	if n == 0 {
+		return 0
+	}
+	s.fview.Store(buildFilterView(live))
+	s.fcount = len(live)
 	return n
 }
 
-// expireShadows garbage-collects dead shadow records. Caller holds s.mu
-// exclusively.
+// expireShadows garbage-collects dead shadow records, rebuilding and
+// swapping the snapshot when anything died. Caller holds s.mu.
 func (s *shard) expireShadows(now filter.Time) int {
-	if len(s.shadows) == 0 || now < s.sNext {
+	if s.scount == 0 || now < s.sNext {
 		return 0
 	}
-	n := 0
+	v := s.sview.Load()
+	live := make([]*sentry, 0, s.scount)
 	var next filter.Time
 	first := true
-	for k, se := range s.shadows {
-		if se.expiresAt <= now {
-			delete(s.shadows, k)
-			if needsScan(k) {
-				s.sscan--
-			}
-			n++
-			continue
+	v.each(func(se *sentry) {
+		exp := se.expires()
+		if exp <= now {
+			return
 		}
-		if first || se.expiresAt < next {
-			next, first = se.expiresAt, false
+		live = append(live, se)
+		if first || exp < next {
+			next, first = exp, false
 		}
-	}
+	})
 	s.sNext = next
+	n := s.scount - len(live)
+	if n == 0 {
+		return 0
+	}
+	s.sview.Store(buildShadowView(live))
+	s.scount = len(live)
 	return n
 }

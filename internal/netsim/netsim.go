@@ -84,7 +84,9 @@ func (i *Iface) QueueLen() int { return i.queued }
 
 // Send transmits p toward the neighbor, modelling serialization delay,
 // propagation delay, and a drop-tail queue. It reports whether the
-// packet was accepted (false = queue overflow).
+// packet was accepted; on a false return the packet was dropped at the
+// queue and released to the packet pool, so the caller must not retain
+// it.
 func (i *Iface) Send(p *packet.Packet) bool {
 	eng := i.owner.net.eng
 	now := eng.Now()
@@ -99,6 +101,7 @@ func (i *Iface) Send(p *packet.Packet) bool {
 		// Link busy: the packet must queue.
 		if i.queued >= i.queueCap {
 			i.stats.QueueDrops++
+			p.Release() // congestion loss: the packet is dead, recycle it
 			return false
 		}
 		start = i.busyUntil
@@ -241,22 +244,28 @@ func (n *Node) flushPending() {
 
 // Forward routes p toward its destination: decrements TTL, looks up the
 // next hop, and transmits. It reports whether the packet moved on.
+// A dropped packet (TTL expiry, no route, queue overflow) is released
+// back to the packet pool — callers must not retain p after a false
+// return.
 func (n *Node) Forward(p *packet.Packet) bool {
 	if p.TTL == 0 {
 		n.RoutingDrops++
+		p.Release()
 		return false
 	}
 	p.TTL--
 	hop := n.NextHop(p.Dst)
 	if hop == nil {
 		n.RoutingDrops++
+		p.Release()
 		return false
 	}
 	return hop.Send(p)
 }
 
 // Originate injects a packet generated by this node into the network,
-// stamping the source if unset.
+// stamping the source if unset. As with Forward, a false return means
+// the packet was dropped and released; callers must not retain it.
 func (n *Node) Originate(p *packet.Packet) bool {
 	if p.Src == 0 {
 		p.Src = n.Addr()
@@ -264,6 +273,7 @@ func (n *Node) Originate(p *packet.Packet) bool {
 	hop := n.NextHop(p.Dst)
 	if hop == nil {
 		n.RoutingDrops++
+		p.Release()
 		return false
 	}
 	return hop.Send(p)

@@ -40,14 +40,21 @@ var (
 
 // Marshal encodes the packet into a fresh byte slice.
 func Marshal(p *Packet) ([]byte, error) {
-	if len(p.Path) > MaxPathLen {
-		return nil, ErrPathTooLong
-	}
 	size := 3 + HeaderBytes + 1 + len(p.Path)*RREntryBytes + 1
 	if p.Msg != nil {
 		size += p.Msg.wireSize() - 1 // kind byte already counted
 	}
-	b := make([]byte, 0, size)
+	return AppendMarshal(make([]byte, 0, size), p)
+}
+
+// AppendMarshal appends the packet's wire encoding to dst and returns
+// the extended slice, letting senders reuse one buffer across
+// datagrams instead of allocating per packet (see wire.Node.SendTo).
+func AppendMarshal(dst []byte, p *Packet) ([]byte, error) {
+	if len(p.Path) > MaxPathLen {
+		return dst, ErrPathTooLong
+	}
+	b := dst
 	b = binary.BigEndian.AppendUint16(b, wireMagic)
 	b = append(b, wireVersion)
 	b = appendHeader(b, p.Header)
@@ -64,7 +71,7 @@ func Marshal(p *Packet) ([]byte, error) {
 	switch m := p.Msg.(type) {
 	case *FilterReq:
 		if len(m.Evidence) > MaxEvidenceLen {
-			return nil, ErrPathTooLong
+			return dst, ErrPathTooLong
 		}
 		b = append(b, byte(m.Stage), m.Round)
 		b = appendLabel(b, m.Flow)
@@ -91,35 +98,51 @@ func Marshal(p *Packet) ([]byte, error) {
 		b = append(b, m.Depth)
 		b = binary.BigEndian.AppendUint64(b, uint64(m.Duration))
 	default:
-		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, p.Msg.Kind())
+		return dst, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, p.Msg.Kind())
 	}
 	return b, nil
 }
 
-// Unmarshal decodes a packet previously encoded by Marshal.
+// Unmarshal decodes a packet previously encoded by Marshal into a
+// fresh Packet.
 func Unmarshal(b []byte) (*Packet, error) {
+	var p Packet
+	if err := UnmarshalInto(&p, b); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// UnmarshalInto decodes into p, overwriting its previous contents but
+// reusing its Path backing array. Paired with Get/Release it makes the
+// receive path's decode allocation-free for data packets at steady
+// state (control messages still allocate their Msg body). On error p
+// is left in an unspecified-but-releasable state.
+func UnmarshalInto(p *Packet, b []byte) error {
+	path := p.Path[:0]
+	*p = Packet{}
+	p.Path = path // keep the reusable backing even on error returns
 	r := reader{buf: b}
 	if r.u16() != wireMagic || r.u8() != wireVersion {
 		if r.err != nil {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
-	var p Packet
 	p.Header = r.header()
 	n := int(r.u8())
 	if n > MaxPathLen {
-		return nil, ErrPathTooLong
+		return ErrPathTooLong
+	}
+	for i := 0; i < n; i++ {
+		path = append(path, RREntry{Router: flow.Addr(r.u32()), Nonce: r.u64()})
 	}
 	if n > 0 {
-		p.Path = make([]RREntry, n)
-		for i := 0; i < n; i++ {
-			p.Path[i] = RREntry{Router: flow.Addr(r.u32()), Nonce: r.u64()}
-		}
+		p.Path = path
 	}
 	kind := MsgKind(r.u8())
 	if r.err != nil {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	switch kind {
 	case 0:
@@ -133,7 +156,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 		m.Victim = flow.Addr(r.u32())
 		en := int(r.u16())
 		if en > MaxEvidenceLen {
-			return nil, ErrPathTooLong
+			return ErrPathTooLong
 		}
 		if en > 0 {
 			m.Evidence = make([]RREntry, en)
@@ -142,7 +165,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 			}
 		}
 		if m.Stage < StageToVictimGW || m.Stage > StageToAttacker {
-			return nil, fmt.Errorf("%w: bad stage %d", ErrBadMessage, m.Stage)
+			return fmt.Errorf("%w: bad stage %d", ErrBadMessage, m.Stage)
 		}
 		p.Msg = m
 	case KindVerifyQuery:
@@ -163,15 +186,15 @@ func Unmarshal(b []byte) (*Packet, error) {
 			Duration:  time.Duration(r.u64()),
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+		return fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
 	}
 	if r.err != nil {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if len(r.buf) != r.off {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
 	}
-	return &p, nil
+	return nil
 }
 
 func appendHeader(b []byte, h Header) []byte {

@@ -8,6 +8,7 @@
 package packet
 
 import (
+	"sync"
 	"time"
 
 	"aitf/internal/flow"
@@ -46,6 +47,30 @@ type RREntry struct {
 	Nonce  uint64
 }
 
+// pool recycles Packet shells and their route-record backing arrays.
+// Floods push millions of packets through the simulator and the wire
+// runtime; without recycling, every one is a fresh allocation (plus one
+// more per RR shim), and the GC becomes the real bottleneck of the data
+// plane. Constructors draw from the pool; Release returns a packet at
+// the points where the network definitively drops it (TTL expiry, no
+// route, queue overflow, a wire-speed filter drop).
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns an empty packet from the pool. Header and Msg are zero;
+// Path is empty but may retain capacity from an earlier life.
+func Get() *Packet { return pool.Get().(*Packet) }
+
+// Release returns p to the pool, keeping its Path backing array for
+// reuse. It must be the packet's last use: the caller may retain
+// copies of field values, but not p itself, p.Path, or any subslice of
+// it. Messages are not recycled (they are shared by convention).
+func (p *Packet) Release() {
+	path := p.Path[:0]
+	*p = Packet{}
+	p.Path = path
+	pool.Put(p)
+}
+
 // Packet is the unit of transmission. The zero Packet is not valid; use
 // NewData or NewControl.
 type Packet struct {
@@ -66,19 +91,21 @@ func NewData(src, dst flow.Addr, proto flow.Proto, sport, dport uint16, payloadL
 	if payloadLen > 0xffff {
 		payloadLen = 0xffff
 	}
-	return &Packet{Header: Header{
+	p := Get()
+	p.Header = Header{
 		Src: src, Dst: dst, Proto: proto,
 		SrcPort: sport, DstPort: dport,
 		TTL: DefaultTTL, PayloadLen: uint16(payloadLen),
-	}}
+	}
+	return p
 }
 
 // NewControl builds an AITF control packet carrying msg.
 func NewControl(src, dst flow.Addr, msg Message) *Packet {
-	return &Packet{
-		Header: Header{Src: src, Dst: dst, Proto: flow.ProtoAITF, TTL: DefaultTTL},
-		Msg:    msg,
-	}
+	p := Get()
+	p.Header = Header{Src: src, Dst: dst, Proto: flow.ProtoAITF, TTL: DefaultTTL}
+	p.Msg = msg
+	return p
 }
 
 // DefaultTTL is the initial hop limit of freshly built packets.
@@ -98,12 +125,16 @@ func (p *Packet) WireSize() int {
 
 // Clone deep-copies the packet so queues and receivers can mutate
 // independently (the simulator delivers the same logical packet to one
-// receiver, but tests and taps may retain copies).
+// receiver, but tests and taps may retain copies). The clone's shell
+// and Path backing come from the pool; its Path never aliases p's, so
+// releasing either side cannot corrupt the other.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	q.Path = append([]RREntry(nil), p.Path...)
+	q := Get()
+	path := append(q.Path[:0], p.Path...)
+	*q = *p
+	q.Path = path
 	// Messages are immutable by convention; share them.
-	return &q
+	return q
 }
 
 // RecordRoute appends a route-record entry for router with the given

@@ -180,6 +180,7 @@ func (r *Router) handleData(p *packet.Packet, from *netsim.Iface) {
 		} else if !r.allow(a, now, float64(p.PayloadLen)) {
 			a.windowLimitDrops++
 			r.stats.LimitDrops++
+			p.Release() // rate-limited: the packet is dead, recycle it
 			return
 		}
 	}

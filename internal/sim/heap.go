@@ -1,0 +1,81 @@
+package sim
+
+// eventHeap is a concrete 4-ary min-heap of events ordered by
+// (at, seq). It replaces the container/heap eventQueue: the generic
+// heap paid an interface conversion on every Push/Pop and a binary
+// tree twice as deep, and every scenario run pays millions of
+// pops. A 4-ary layout halves the tree depth (sift-down compares up to
+// four children per level but touches adjacent memory), and the
+// concrete element type keeps push/pop free of interface boxing and of
+// allocations at steady state — the backing slice only grows when the
+// pending-event high-water mark does.
+type eventHeap struct{ evs []*Event }
+
+// heapArity is the branching factor. Child c of node i is
+// heapArity*i+1+c; the parent of node i is (i-1)/heapArity.
+const heapArity = 4
+
+// eventBefore is the queue order: earliest fire time first, ties broken
+// by scheduling order so a run is fully reproducible.
+func eventBefore(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) len() int { return len(h.evs) }
+
+// peek returns the next event without removing it. Caller checks len.
+func (h *eventHeap) peek() *Event { return h.evs[0] }
+
+func (h *eventHeap) push(e *Event) {
+	h.evs = append(h.evs, e)
+	i := len(h.evs) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !eventBefore(h.evs[i], h.evs[p]) {
+			break
+		}
+		h.evs[i], h.evs[p] = h.evs[p], h.evs[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() *Event {
+	n := len(h.evs)
+	root := h.evs[0]
+	last := h.evs[n-1]
+	h.evs[n-1] = nil // release the reference so fired events can be GC'd
+	h.evs = h.evs[:n-1]
+	if n > 1 {
+		h.evs[0] = last
+		h.siftDown(0)
+	}
+	return root
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.evs)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventBefore(h.evs[c], h.evs[min]) {
+				min = c
+			}
+		}
+		if !eventBefore(h.evs[min], h.evs[i]) {
+			return
+		}
+		h.evs[i], h.evs[min] = h.evs[min], h.evs[i]
+		i = min
+	}
+}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,13 +17,14 @@ import (
 type Time = time.Duration
 
 // Event is a scheduled closure. It is retained by the engine until it
-// fires or is cancelled.
+// fires or is cancelled. Events are never recycled: callers may hold a
+// reference and Cancel it long after it fired, so pooling them would
+// let a stale handle cancel an unrelated future event.
 type Event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	index   int // heap index, -1 once removed
-	cancled bool
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
 }
 
 // At reports the virtual time at which the event fires.
@@ -34,48 +34,19 @@ func (e *Event) At() Time { return e.at }
 // already fired or been cancelled is a no-op.
 func (e *Event) Cancel() {
 	if e != nil {
-		e.cancled = true
+		e.cancelled = true
 	}
 }
 
 // Cancelled reports whether Cancel was called before the event fired.
-func (e *Event) Cancelled() bool { return e.cancled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+func (e *Event) Cancelled() bool { return e.cancelled }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all protocol code runs inside event callbacks.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	queue   eventHeap
 	rng     *rand.Rand
 	stopped bool
 
@@ -115,7 +86,7 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 	}
 	ev := &Event{at: at, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -124,7 +95,7 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of events still queued (including
 // cancelled events that have not yet been popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // RunUntil dispatches events in timestamp order until the queue is
 // empty, Stop is called, or the next event is strictly after deadline.
@@ -133,13 +104,13 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // measurements cover the full window.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
+	for e.queue.len() > 0 && !e.stopped {
+		next := e.queue.peek()
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.cancled {
+		e.queue.pop()
+		if next.cancelled {
 			continue
 		}
 		e.now = next.at
@@ -155,9 +126,9 @@ func (e *Engine) RunUntil(deadline Time) {
 // other events) until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.cancled {
+	for e.queue.len() > 0 && !e.stopped {
+		next := e.queue.pop()
+		if next.cancelled {
 			continue
 		}
 		e.now = next.at
@@ -168,9 +139,9 @@ func (e *Engine) Run() {
 
 // Step fires exactly one event, returning false if the queue was empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.cancled {
+	for e.queue.len() > 0 {
+		next := e.queue.pop()
+		if next.cancelled {
 			continue
 		}
 		e.now = next.at
@@ -182,5 +153,5 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%v pending=%d processed=%d}", e.now, len(e.queue), e.Processed)
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d processed=%d}", e.now, e.queue.len(), e.Processed)
 }

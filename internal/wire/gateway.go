@@ -186,6 +186,11 @@ func (g *Gateway) policer(peer flow.Addr) *filter.Policer {
 // on the receive goroutine or via the worker pool.
 func (g *Gateway) Handle(n *Node, p *packet.Packet, from flow.Addr) {
 	if p.IsControl() {
+		// Control handling is synchronous and retains at most p.Msg
+		// (which Release does not recycle) and copies of its fields, so
+		// the shell goes back to the pool on return; Forward marshals
+		// before returning.
+		defer p.Release()
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		if p.Dst == n.Addr() {
@@ -198,7 +203,11 @@ func (g *Gateway) Handle(n *Node, p *packet.Packet, from flow.Addr) {
 		return
 	}
 	if g.disp != nil {
-		g.disp.Submit(p) // queue overflow sheds load, as hardware would
+		if !g.disp.Submit(p) {
+			// Queue overflow sheds load, as hardware would; the
+			// dispatcher did not retain the packet, so recycle it.
+			p.Release()
+		}
 		return
 	}
 	g.finishData(p, g.dp.ClassifyTuple(p.Tuple(), int(p.PayloadLen)))
@@ -206,10 +215,13 @@ func (g *Gateway) Handle(n *Node, p *packet.Packet, from flow.Addr) {
 
 // finishData completes the data path for a classified packet. It runs
 // on the receive goroutine or on dispatcher workers and must not take
-// the gateway lock.
+// the gateway lock. The gateway owns data packets decoded by its read
+// loop, so every terminal outcome releases the shell back to the
+// packet pool (Forward marshals synchronously; nothing retains p).
 func (g *Gateway) finishData(p *packet.Packet, v dataplane.Verdict) {
 	if v.Drop {
 		atomic.AddUint64(&g.FilterDrops, 1)
+		p.Release()
 		return
 	}
 	if v.ShadowHit {
@@ -218,6 +230,7 @@ func (g *Gateway) finishData(p *packet.Packet, v dataplane.Verdict) {
 		atomic.AddUint64(&g.ShadowHits, 1)
 	}
 	if p.Dst == g.node.Addr() {
+		p.Release()
 		return
 	}
 	if len(p.Path) < packet.MaxPathLen {
@@ -226,6 +239,7 @@ func (g *Gateway) finishData(p *packet.Packet, v dataplane.Verdict) {
 	if err := g.node.Forward(p); err != nil {
 		g.logf("forward: %v", err)
 	}
+	p.Release()
 }
 
 func (g *Gateway) handleControl(p *packet.Packet, from flow.Addr) {
@@ -268,9 +282,11 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 		g.logf("temp filter for %v; relaying to attacker gw %v", label, target)
 		req := *m
 		req.Stage = packet.StageToAttackerGW
-		if err := g.node.Originate(packet.NewControl(g.node.Addr(), target, &req)); err != nil {
+		relay := packet.NewControl(g.node.Addr(), target, &req)
+		if err := g.node.Originate(relay); err != nil {
 			g.logf("relay: %v", err)
 		}
+		relay.Release() // Originate marshals synchronously; recycle the shell
 	case packet.StageToAttackerGW:
 		// Attacker-side: verify our stamp then handshake the victim.
 		if !g.rec.Verify(traceback.AttackPath(m.Evidence), flow.Tuple{Src: label.Src, Dst: label.Dst}) {
@@ -284,10 +300,12 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 		pend := &wirePending{req: m, nonce: randNonce()}
 		g.pendings[label.Key()] = pend
 		g.logf("handshake query to %v for %v", m.Victim, label)
-		if err := g.node.Originate(packet.NewControl(g.node.Addr(), m.Victim,
-			&packet.VerifyQuery{Flow: m.Flow, Nonce: pend.nonce})); err != nil {
+		query := packet.NewControl(g.node.Addr(), m.Victim,
+			&packet.VerifyQuery{Flow: m.Flow, Nonce: pend.nonce})
+		if err := g.node.Originate(query); err != nil {
 			g.logf("query: %v", err)
 		}
+		query.Release()
 		pend.cancel = g.timers.after(g.cfg.HandshakeTimeout, func() {
 			g.mu.Lock()
 			defer g.mu.Unlock()
@@ -317,14 +335,16 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 	g.logf("handshake OK; filtering %v for %v", label, g.cfg.Timers.T)
 	// Tell the attacking client to stop (§II-C ii).
 	g.StopOrders++
-	if err := g.node.Originate(packet.NewControl(g.node.Addr(), label.Src, &packet.FilterReq{
+	order := packet.NewControl(g.node.Addr(), label.Src, &packet.FilterReq{
 		Stage:    packet.StageToAttacker,
 		Flow:     m.Flow,
 		Duration: g.cfg.Timers.T,
 		Victim:   g.node.Addr(),
-	})); err != nil {
+	})
+	if err := g.node.Originate(order); err != nil {
 		g.logf("stop order: %v", err)
 	}
+	order.Release()
 }
 
 var _ Handler = (*Gateway)(nil)

@@ -89,8 +89,12 @@ func (h *Host) logf(format string, args ...any) {
 	}
 }
 
-// Handle implements Handler.
+// Handle implements Handler. Hosts never forward, so every path is
+// terminal and the pooled shell decoded by the read loop is released
+// on return (request() copies the evidence path synchronously; only
+// the Msg object, which Release does not recycle, may be retained).
 func (h *Host) Handle(n *Node, p *packet.Packet, _ flow.Addr) {
+	defer p.Release()
 	if p.Dst != n.Addr() {
 		return
 	}
@@ -134,16 +138,18 @@ func (h *Host) request(label flow.Label, evidence []packet.RREntry) {
 	h.wanted[label.Key()] = time.Now().Add(h.cfg.Timers.T)
 	h.RequestsSent++
 	h.logf("filtering request for %v", label)
-	if err := h.node.Originate(packet.NewControl(h.node.Addr(), h.cfg.Gateway, &packet.FilterReq{
+	req := packet.NewControl(h.node.Addr(), h.cfg.Gateway, &packet.FilterReq{
 		Stage:    packet.StageToVictimGW,
 		Flow:     label,
 		Duration: h.cfg.Timers.T,
 		Round:    1,
 		Victim:   h.node.Addr(),
 		Evidence: append([]packet.RREntry(nil), evidence...),
-	})); err != nil {
+	})
+	if err := h.node.Originate(req); err != nil {
 		h.logf("request: %v", err)
 	}
+	req.Release() // Originate marshals synchronously; recycle the shell
 }
 
 func (h *Host) handleControl(p *packet.Packet) {
@@ -152,10 +158,12 @@ func (h *Host) handleControl(p *packet.Packet) {
 		key := m.Flow.Canonical().Key()
 		if exp, ok := h.wanted[key]; ok && time.Now().Before(exp) {
 			h.logf("handshake reply to %v", p.Src)
-			if err := h.node.Originate(packet.NewControl(h.node.Addr(), p.Src,
-				&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce})); err != nil {
+			reply := packet.NewControl(h.node.Addr(), p.Src,
+				&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce})
+			if err := h.node.Originate(reply); err != nil {
 				h.logf("reply: %v", err)
 			}
+			reply.Release()
 		}
 	case *packet.FilterReq:
 		if m.Stage != packet.StageToAttacker || p.Src != h.cfg.Gateway {
@@ -187,7 +195,9 @@ func (h *Host) SendData(dst flow.Addr, proto flow.Proto, sport, dport uint16, pa
 	}
 	h.mu.Unlock()
 	p := packet.NewData(h.node.Addr(), dst, proto, sport, dport, payload)
-	return h.node.Originate(p) == nil
+	err := h.node.Originate(p)
+	p.Release() // Originate marshals synchronously; the shell is ours to recycle
+	return err == nil
 }
 
 var _ Handler = (*Host)(nil)

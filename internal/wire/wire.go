@@ -142,8 +142,12 @@ func (n *Node) readLoop() {
 		if err != nil {
 			return // socket closed
 		}
-		p, err := packet.Unmarshal(buf[:sz])
-		if err != nil {
+		// Decode into a pooled packet: shells released downstream (e.g.
+		// by the gateway's data path once a verdict is final) cycle back
+		// here instead of being reallocated per datagram.
+		p := packet.Get()
+		if err := packet.UnmarshalInto(p, buf[:sz]); err != nil {
+			p.Release()
 			continue // mangled datagram
 		}
 		n.mu.Lock()
@@ -165,17 +169,31 @@ func (n *Node) readLoop() {
 // ErrNoRoute reports an unroutable destination.
 var ErrNoRoute = errors.New("wire: no route")
 
-// SendTo marshals p and sends it directly to the node owning addr.
+// encBufPool recycles marshal buffers across SendTo calls (and across
+// nodes): WriteToUDP copies the datagram into the kernel, so the buffer
+// is reusable the moment the syscall returns.
+var encBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// SendTo marshals p into a pooled buffer and sends it directly to the
+// node owning addr.
 func (n *Node) SendTo(addr flow.Addr, p *packet.Packet) error {
 	ua, err := n.cfg.Book.Resolve(addr)
 	if err != nil {
 		return err
 	}
-	b, err := packet.Marshal(p)
+	bp := encBufPool.Get().(*[]byte)
+	b, err := packet.AppendMarshal((*bp)[:0], p)
+	*bp = b[:0] // keep any growth for the next sender
 	if err != nil {
+		encBufPool.Put(bp)
 		return err
 	}
-	if _, err := n.conn.WriteToUDP(b, ua); err != nil {
+	_, err = n.conn.WriteToUDP(b, ua)
+	encBufPool.Put(bp)
+	if err != nil {
 		return err
 	}
 	n.mu.Lock()
