@@ -1,0 +1,94 @@
+package aitf
+
+import (
+	"testing"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+// runFilterPressure floods a victim whose gateway holds only four
+// wire-speed filters with a dozen concurrent attacks (the §IV-B
+// starvation setup of TestConcurrentEscalationFilterPressure), with
+// aggregation enabled or disabled, and returns the deployment.
+func runFilterPressure(t *testing.T, aggregationPrefixLen int) *ManyToOneDeployment {
+	t.Helper()
+	const attackers = 12
+	opt := DefaultOptions()
+	opt.FilterCapacity = 4
+	opt.AggregationPrefixLen = aggregationPrefixLen
+	dep := DeployManyToOne(ManyToOneOptions{
+		Options:   opt,
+		Attackers: attackers,
+	})
+	for i, a := range dep.Attackers {
+		fl := dep.Flood(a, dep.Victim, 3e5)
+		fl.SrcPort = uint16(5000 + i)
+		fl.Launch()
+	}
+	dep.Run(10 * time.Second)
+	return dep
+}
+
+// TestAggregationBoundsFilterTablePressure: with aggregation enabled,
+// the victim gateway coalesces the sibling attackers (all inside
+// 20.101.0/24) into covering prefix filters instead of rejecting the
+// overflow, so the 4-slot table protects against all twelve flows —
+// while the budget invariant still holds and the victim measurably
+// receives less attack traffic than under reject-only starvation.
+func TestAggregationBoundsFilterTablePressure(t *testing.T) {
+	baseline := runFilterPressure(t, 0)
+	aggregated := runFilterPressure(t, 24)
+
+	st := aggregated.VictimGW.Stats()
+	if st.Aggregations == 0 || st.AggregatedChildren < 2 {
+		t.Fatalf("no aggregation under 3x capacity pressure: %+v", st)
+	}
+	if n := aggregated.Log.Count(EvAggregated); n == 0 {
+		t.Fatal("no aggregated trace events")
+	}
+	if st.AggregateCollateral == 0 {
+		t.Fatal("collateral-damage accounting not emitted")
+	}
+
+	// The coarser filters must still respect the hardware budget.
+	fs := aggregated.VictimGW.DataPlane().FilterStats()
+	if fs.PeakOccupancy > 4 {
+		t.Fatalf("filter peak %d exceeded capacity 4 under aggregation", fs.PeakOccupancy)
+	}
+	// Aggregation conserves slots: occupancy arithmetic balances.
+	live := int64(fs.Installed) + int64(fs.Aggregates) - int64(fs.Removed) -
+		int64(fs.Aggregated) - int64(fs.Expired) - int64(fs.Evicted)
+	if live != int64(aggregated.VictimGW.DataPlane().Len()) {
+		t.Fatalf("stats arithmetic %d != occupancy %d (%+v)",
+			live, aggregated.VictimGW.DataPlane().Len(), fs)
+	}
+
+	// The point of the fallback: the starved table now suppresses far
+	// more of the flood than reject-only starvation does.
+	baseBytes := baseline.Victim.Meter.Bytes
+	aggBytes := aggregated.Victim.Meter.Bytes
+	if aggBytes >= baseBytes {
+		t.Fatalf("aggregation did not improve suppression: %d B vs baseline %d B", aggBytes, baseBytes)
+	}
+	if float64(aggBytes) > 0.7*float64(baseBytes) {
+		t.Fatalf("aggregation gain too small: %d B vs baseline %d B", aggBytes, baseBytes)
+	}
+
+	// After the run, the aggregates quiesce (expire or split back).
+	aggregated.Run(30 * time.Second)
+	if n := aggregated.Log.Count(EvDeaggregated); n == 0 {
+		t.Fatal("aggregates never quiesced after the attack window")
+	}
+
+	// The aggregate labels are genuine source prefixes over the sibling
+	// space, never covering the victim's own network.
+	for _, e := range aggregated.Log.OfKind(EvAggregated) {
+		if e.Flow.SrcPrefixLen == 0 {
+			t.Fatalf("aggregate without a source prefix: %v", e.Flow)
+		}
+		if e.Flow.CoversSrc(flow.MakeAddr(10, 0, 0, 2)) {
+			t.Fatalf("aggregate %v covers the victim's own address", e.Flow)
+		}
+	}
+}

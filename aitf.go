@@ -101,6 +101,8 @@ const (
 	EvEscalated           = core.EvEscalated
 	EvDisconnected        = core.EvDisconnected
 	EvLongBlock           = core.EvLongBlock
+	EvAggregated          = core.EvAggregated
+	EvDeaggregated        = core.EvDeaggregated
 )
 
 // MakeAddr assembles an address from four octets.

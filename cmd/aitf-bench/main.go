@@ -47,12 +47,32 @@ type dataplaneResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// wildcardResult is one cell of the wildcard/prefix sweep: a table of
+// Pairs exact-pair filters plus NonExact coarse filters (source-/24
+// prefixes in the LPM trie, dst-anchored wildcards in the secondary
+// index), classified with WildFrac of the traffic aimed at the coarse
+// population. ScanPPS, measured once per table size, is the pre-change
+// linear-scan reference for the same workload — the speedup the
+// indexed match hierarchy buys is PPS/ScanPPS.
+type wildcardResult struct {
+	Shards      int     `json:"shards"`
+	Pairs       int     `json:"pairs"`
+	NonExact    int     `json:"non_exact"`
+	WildFrac    float64 `json:"wild_frac"`
+	PPS         float64 `json:"pps"`
+	ScanPPS     float64 `json:"scan_pps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 // benchOutput is the schema of the -json file.
 type benchOutput struct {
 	GeneratedAt string               `json:"generated_at"`
 	GoMaxProcs  int                  `json:"gomaxprocs"`
 	Experiments []experiments.Result `json:"experiments"`
 	Dataplane   []dataplaneResult    `json:"dataplane"`
+	// DataplaneWildcard tracks the indexed wildcard/prefix match path
+	// across table sizes up to one million entries.
+	DataplaneWildcard []wildcardResult `json:"dataplane_wildcard"`
 }
 
 const benchBatchSize = 64
@@ -158,6 +178,124 @@ func dataplaneSweep(spec sweepSpec, dur time.Duration) []dataplaneResult {
 	return out
 }
 
+// wildcardSweepSpec enumerates the wildcard/prefix cells: non-exact
+// table sizes from 4k to 1M at two coarse-traffic fractions.
+type wildcardSweepSpec struct {
+	shards, pairs int
+	nonExact      []int
+	wildFracs     []float64
+	// scanRefMax bounds the table size at which the linear-scan
+	// reference is measured (it is O(nonExact) per packet and becomes
+	// unmeasurable long before 1M).
+	scanRefMax int
+}
+
+func defaultWildcardSweep() wildcardSweepSpec {
+	return wildcardSweepSpec{
+		shards:     4,
+		pairs:      4096,
+		nonExact:   []int{4096, 65536, 262144, 1 << 20},
+		wildFracs:  []float64{0.5, 0.9},
+		scanRefMax: 65536,
+	}
+}
+
+// measureWildcard mirrors measureDataplane over the wildcard workload.
+func measureWildcard(e *dataplane.Engine, pairs, nonExact int, wildFrac float64, goroutines int, dur time.Duration) float64 {
+	var total atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			batch := dataplane.WildcardWorkloadBatch(rng, pairs, nonExact, benchBatchSize, wildFrac)
+			verdicts := make([]dataplane.Verdict, 0, benchBatchSize)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				verdicts = e.ClassifyInto(batch, verdicts)
+				total.Add(benchBatchSize)
+			}
+		}(int64(w) + 1)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
+}
+
+// wildcardAllocsPerOp mirrors classifyAllocsPerOp over the wildcard
+// workload.
+func wildcardAllocsPerOp(e *dataplane.Engine, pairs, nonExact int, wildFrac float64) float64 {
+	rng := rand.New(rand.NewSource(99))
+	batch := dataplane.WildcardWorkloadBatch(rng, pairs, nonExact, benchBatchSize, wildFrac)
+	verdicts := make([]dataplane.Verdict, 0, benchBatchSize)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	verdicts = e.ClassifyInto(batch, verdicts)
+	const runs = 1000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		verdicts = e.ClassifyInto(batch, verdicts)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}
+
+// measureScanRef measures the pre-change alternative: matching each
+// packet by linearly scanning every non-exact label, exactly as the
+// old per-view scan list did. Returns packets/sec.
+func measureScanRef(pairs, nonExact int, wildFrac float64, dur time.Duration) float64 {
+	labels := dataplane.WildcardWorkloadLabels(nonExact)
+	rng := rand.New(rand.NewSource(21))
+	batch := dataplane.WildcardWorkloadBatch(rng, pairs, nonExact, benchBatchSize, wildFrac)
+	deadline := time.Now().Add(dur)
+	var packets uint64
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		for _, p := range batch {
+			tup := p.Tuple()
+			for j := range labels {
+				if labels[j].Matches(tup) {
+					break
+				}
+			}
+		}
+		packets += benchBatchSize
+	}
+	return float64(packets) / time.Since(start).Seconds()
+}
+
+func wildcardSweep(spec wildcardSweepSpec, dur time.Duration) []wildcardResult {
+	var out []wildcardResult
+	for _, nonExact := range spec.nonExact {
+		e := dataplane.WildcardWorkloadEngine(spec.shards, spec.pairs, nonExact)
+		scan := 0.0
+		if nonExact <= spec.scanRefMax {
+			scan = measureScanRef(spec.pairs, nonExact, 0.5, dur)
+		}
+		for _, frac := range spec.wildFracs {
+			out = append(out, wildcardResult{
+				Shards:      spec.shards,
+				Pairs:       spec.pairs,
+				NonExact:    nonExact,
+				WildFrac:    frac,
+				PPS:         measureWildcard(e, spec.pairs, nonExact, frac, 1, dur),
+				ScanPPS:     scan,
+				AllocsPerOp: wildcardAllocsPerOp(e, spec.pairs, nonExact, frac),
+			})
+		}
+	}
+	return out
+}
+
 // parseGoroutines parses the -goroutines flag ("1,2,4,8").
 func parseGoroutines(s string) ([]int, error) {
 	var out []int
@@ -199,7 +337,10 @@ type cellKey struct {
 // some goroutine counts). CI uses normalized mode because its runners
 // differ from the baseline machine; same-machine runs should use the
 // absolute gate.
-func regressionFailures(baseline, measured []dataplaneResult, tol float64, normalize bool) (fails []string, matched int) {
+// The returned norm is the machine-speed normalizer actually applied
+// (1 when normalize is false), so downstream gates (the wildcard
+// sweep) judge against the same machine-speed reference.
+func regressionFailures(baseline, measured []dataplaneResult, tol float64, normalize bool) (fails []string, matched int, norm float64) {
 	base := make(map[cellKey]dataplaneResult, len(baseline))
 	for _, c := range baseline {
 		base[cellKey{c.Shards, c.Filters, c.Mix, c.Goroutines}] = c
@@ -229,9 +370,9 @@ func regressionFailures(baseline, measured []dataplaneResult, tol float64, norma
 	}
 	if matched == 0 {
 		// A disjoint sweep would otherwise gate nothing and "pass".
-		return []string{"no measured cell matches the baseline (stale trend file, or -goroutines differs from the baseline sweep?)"}, 0
+		return []string{"no measured cell matches the baseline (stale trend file, or -goroutines differs from the baseline sweep?)"}, 0, 1
 	}
-	norm := 1.0
+	norm = 1.0
 	if normalize {
 		var logSum float64
 		n := 0
@@ -260,10 +401,53 @@ func regressionFailures(baseline, measured []dataplaneResult, tol float64, norma
 				g, ratio*100, kind, (1-tol)*100))
 		}
 	}
+	return fails, matched, norm
+}
+
+// wildcardRegressionFailures gates the wildcard/prefix sweep: one
+// geometric-mean throughput floor across all cells (the same
+// noise-vs-collapse argument as the main sweep), plus the exact
+// steady-state allocation gate per cell. norm is the machine-speed
+// normalizer carried over from the main sweep (1 when unnormalized);
+// using the main sweep's ratio keeps a runner that is uniformly slower
+// from failing while still catching the wildcard path collapsing
+// relative to the rest of the engine.
+func wildcardRegressionFailures(baseline, measured []wildcardResult, tol, norm float64) (fails []string, matched int) {
+	type wkey struct {
+		shards, pairs, nonExact int
+		wildFrac                float64
+	}
+	base := make(map[wkey]wildcardResult, len(baseline))
+	for _, c := range baseline {
+		base[wkey{c.Shards, c.Pairs, c.NonExact, c.WildFrac}] = c
+	}
+	var logSum float64
+	for _, m := range measured {
+		b, ok := base[wkey{m.Shards, m.Pairs, m.NonExact, m.WildFrac}]
+		if !ok || b.PPS <= 0 {
+			continue
+		}
+		matched++
+		logSum += math.Log(m.PPS / b.PPS)
+		if m.AllocsPerOp > b.AllocsPerOp && m.AllocsPerOp >= 1 {
+			fails = append(fails, fmt.Sprintf(
+				"wildcard allocs regression: nonexact=%d wildfrac=%.1f: %.2f allocs/op (baseline %.2f)",
+				m.NonExact, m.WildFrac, m.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		return []string{"no measured wildcard cell matches the baseline (stale trend file?)"}, 0
+	}
+	ratio := math.Exp(logSum/float64(matched)) / norm
+	if ratio < 1-tol {
+		fails = append(fails, fmt.Sprintf(
+			"wildcard throughput regression: geomean %.1f%% of baseline (floor %.0f%%)",
+			ratio*100, (1-tol)*100))
+	}
 	return fails, matched
 }
 
-func runRegression(path string, spec sweepSpec, dur time.Duration, tol float64, normalize bool) int {
+func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur time.Duration, tol float64, normalize bool) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %v\n", err)
@@ -278,11 +462,19 @@ func runRegression(path string, spec sweepSpec, dur time.Duration, tol float64, 
 		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no dataplane cells\n", path)
 		return 2
 	}
+	if len(baseline.DataplaneWildcard) == 0 {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no wildcard cells\n", path)
+		return 2
+	}
 	fmt.Fprintf(os.Stderr, "aitf-bench: regression sweep (%v per cell) against %s...\n", dur, path)
 	measured := dataplaneSweep(spec, dur)
-	fails, matched := regressionFailures(baseline.Dataplane, measured, tol, normalize)
+	fails, matched, norm := regressionFailures(baseline.Dataplane, measured, tol, normalize)
+	wmeasured := wildcardSweep(wspec, dur)
+	wfails, wmatched := wildcardRegressionFailures(baseline.DataplaneWildcard, wmeasured, tol, norm)
+	fails = append(fails, wfails...)
 	if len(fails) == 0 {
-		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d of %d cells compared)\n", matched, len(measured))
+		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d+%d of %d+%d cells compared)\n",
+			matched, wmatched, len(measured), len(wmeasured))
 		return 0
 	}
 	for _, f := range fails {
@@ -308,7 +500,7 @@ func main() {
 	}
 
 	if *regress {
-		os.Exit(runRegression(*outPath, defaultSweep(gors), *sweepDur, *regressTol, *regressNorm))
+		os.Exit(runRegression(*outPath, defaultSweep(gors), defaultWildcardSweep(), *sweepDur, *regressTol, *regressNorm))
 	}
 
 	drivers, ids := experiments.All()
@@ -333,10 +525,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "aitf-bench: running data-plane throughput sweep (%v per cell)...\n", *sweepDur)
 	out := benchOutput{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Experiments: results,
-		Dataplane:   dataplaneSweep(defaultSweep(gors), *sweepDur),
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Experiments:       results,
+		Dataplane:         dataplaneSweep(defaultSweep(gors), *sweepDur),
+		DataplaneWildcard: wildcardSweep(defaultWildcardSweep(), *sweepDur),
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

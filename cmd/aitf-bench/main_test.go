@@ -47,6 +47,38 @@ func TestBenchJSONSchemaMatchesCheckedInFile(t *testing.T) {
 	if len(out.Experiments) == 0 {
 		t.Fatal("trend file has no experiment results")
 	}
+	// The wildcard/prefix sweep must be present, reach the million-entry
+	// regime, keep the steady state allocation-free, and include the
+	// linear-scan reference the speedup claims are made against.
+	if len(out.DataplaneWildcard) == 0 {
+		t.Fatal("trend file has no wildcard sweep cells")
+	}
+	maxNonExact, scanRefs := 0, 0
+	for i, c := range out.DataplaneWildcard {
+		if c.Shards < 1 || c.Pairs < 1 || c.NonExact < 1 || c.PPS <= 0 ||
+			c.WildFrac <= 0 || c.WildFrac > 1 {
+			t.Fatalf("wildcard cell %d malformed: %+v", i, c)
+		}
+		if c.AllocsPerOp != 0 {
+			t.Fatalf("wildcard cell %d allocates at steady state: %+v", i, c)
+		}
+		if c.NonExact > maxNonExact {
+			maxNonExact = c.NonExact
+		}
+		if c.ScanPPS > 0 {
+			scanRefs++
+			if c.NonExact >= 4096 && c.PPS < 10*c.ScanPPS {
+				t.Fatalf("wildcard cell %d: indexed match only %.1fx the scan baseline (want >= 10x): %+v",
+					i, c.PPS/c.ScanPPS, c)
+			}
+		}
+	}
+	if maxNonExact < 1<<20 {
+		t.Fatalf("wildcard sweep stops at %d non-exact filters, want >= 1M", maxNonExact)
+	}
+	if scanRefs == 0 {
+		t.Fatal("no wildcard cell carries a scan-baseline reference")
+	}
 }
 
 // TestMeasureDataplaneProducesCells: a tiny sweep cell measures a
@@ -77,6 +109,74 @@ func TestMeasureDataplaneProducesCells(t *testing.T) {
 	}
 }
 
+// TestWildcardRegressionFailures exercises the wildcard gate: uniform
+// collapses fail, the machine-speed normalizer excuses a slow runner,
+// and new steady-state allocations fail regardless of throughput.
+func TestWildcardRegressionFailures(t *testing.T) {
+	mk := func(nonExact int, pps, allocs float64) wildcardResult {
+		return wildcardResult{Shards: 4, Pairs: 4096, NonExact: nonExact,
+			WildFrac: 0.5, PPS: pps, AllocsPerOp: allocs}
+	}
+	baseline := []wildcardResult{mk(4096, 5e6, 0), mk(1<<20, 3e6, 0)}
+
+	if fails, n := wildcardRegressionFailures(baseline,
+		[]wildcardResult{mk(4096, 4.6e6, 0), mk(1<<20, 2.8e6, 0)}, 0.30, 1); len(fails) != 0 || n != 2 {
+		t.Fatalf("small wobble failed (%d matched): %v", n, fails)
+	}
+	if fails, _ := wildcardRegressionFailures(baseline,
+		[]wildcardResult{mk(4096, 2e6, 0), mk(1<<20, 1e6, 0)}, 0.30, 1); len(fails) != 1 {
+		t.Fatalf("uniform collapse not caught: %v", fails)
+	}
+	// The same collapse passes when the main sweep says the whole
+	// machine is 2.5x slower...
+	if fails, _ := wildcardRegressionFailures(baseline,
+		[]wildcardResult{mk(4096, 2e6, 0), mk(1<<20, 1.2e6, 0)}, 0.30, 0.4); len(fails) != 0 {
+		t.Fatalf("normalizer not applied: %v", fails)
+	}
+	// ...but an allocation regression always fails.
+	if fails, _ := wildcardRegressionFailures(baseline,
+		[]wildcardResult{mk(4096, 5e6, 2), mk(1<<20, 3e6, 0)}, 0.30, 1); len(fails) != 1 {
+		t.Fatalf("alloc regression not caught: %v", fails)
+	}
+	// A disjoint sweep fails loudly instead of passing vacuously.
+	if fails, n := wildcardRegressionFailures(baseline,
+		[]wildcardResult{mk(512, 1e6, 0)}, 0.30, 1); len(fails) != 1 || n != 0 {
+		t.Fatalf("disjoint sweep not rejected: %v", fails)
+	}
+}
+
+// TestWildcardSweepProducesCells runs one tiny wildcard cell end to end.
+func TestWildcardSweepProducesCells(t *testing.T) {
+	spec := wildcardSweepSpec{
+		shards: 1, pairs: 256, nonExact: []int{256},
+		wildFracs: []float64{0.5}, scanRefMax: 256,
+	}
+	cells := wildcardSweep(spec, 5*time.Millisecond)
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	c := cells[0]
+	if c.PPS <= 0 || c.ScanPPS <= 0 {
+		t.Fatalf("cell not measured: %+v", c)
+	}
+	if c.AllocsPerOp != 0 {
+		t.Fatalf("steady-state wildcard classify allocates %v/op", c.AllocsPerOp)
+	}
+	buf, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(buf, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"shards", "pairs", "non_exact", "wild_frac", "pps", "scan_pps", "allocs_per_op"} {
+		if _, ok := keys[k]; !ok {
+			t.Fatalf("wildcard cell JSON lacks %q: %s", k, buf)
+		}
+	}
+}
+
 func TestParseGoroutines(t *testing.T) {
 	got, err := parseGoroutines("1, 2,8")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
@@ -99,18 +199,18 @@ func TestRegressionFailures(t *testing.T) {
 	}
 	baseline := []dataplaneResult{mk(1, 10e6, 0), mk(8, 30e6, 0)}
 
-	if fails, n := regressionFailures(baseline, []dataplaneResult{mk(1, 9e6, 0), mk(8, 28e6, 0)}, 0.30, false); len(fails) != 0 || n != 2 {
+	if fails, n, _ := regressionFailures(baseline, []dataplaneResult{mk(1, 9e6, 0), mk(8, 28e6, 0)}, 0.30, false); len(fails) != 0 || n != 2 {
 		t.Fatalf("small wobble failed (%d matched): %v", n, fails)
 	}
-	fails, _ := regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 0), mk(8, 12e6, 0)}, 0.30, false)
+	fails, _, _ := regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 0), mk(8, 12e6, 0)}, 0.30, false)
 	if len(fails) != 1 {
 		t.Fatalf("multi-goroutine collapse not caught: %v", fails)
 	}
-	fails, _ = regressionFailures(baseline, []dataplaneResult{mk(1, 5e6, 0), mk(8, 30e6, 0)}, 0.30, false)
+	fails, _, _ = regressionFailures(baseline, []dataplaneResult{mk(1, 5e6, 0), mk(8, 30e6, 0)}, 0.30, false)
 	if len(fails) != 1 {
 		t.Fatalf("single-goroutine collapse not caught: %v", fails)
 	}
-	fails, _ = regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 2), mk(8, 30e6, 0)}, 0.30, false)
+	fails, _, _ = regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 2), mk(8, 30e6, 0)}, 0.30, false)
 	if len(fails) != 1 {
 		t.Fatalf("alloc regression not caught: %v", fails)
 	}
@@ -118,7 +218,7 @@ func TestRegressionFailures(t *testing.T) {
 	// A sweep disjoint from the baseline must fail loudly, not pass
 	// vacuously.
 	disjoint := []dataplaneResult{{Shards: 2, Filters: 512, Mix: "hit", Goroutines: 3, PPS: 1e6}}
-	if fails, n := regressionFailures(baseline, disjoint, 0.30, false); len(fails) != 1 || n != 0 {
+	if fails, n, _ := regressionFailures(baseline, disjoint, 0.30, false); len(fails) != 1 || n != 0 {
 		t.Fatalf("disjoint sweep not rejected (%d matched): %v", n, fails)
 	}
 
@@ -126,7 +226,7 @@ func TestRegressionFailures(t *testing.T) {
 	// (shards,filters,mix) cell reports once, not per row.
 	allocBase := []dataplaneResult{mk(1, 10e6, 0), mk(2, 20e6, 0), mk(8, 30e6, 0)}
 	allocMeas := []dataplaneResult{mk(1, 10e6, 2), mk(2, 20e6, 2), mk(8, 30e6, 2)}
-	if fails, _ := regressionFailures(allocBase, allocMeas, 0.30, false); len(fails) != 1 {
+	if fails, _, _ := regressionFailures(allocBase, allocMeas, 0.30, false); len(fails) != 1 {
 		t.Fatalf("alloc regression not deduped across goroutine rows: %v", fails)
 	}
 
@@ -134,24 +234,31 @@ func TestRegressionFailures(t *testing.T) {
 	// goroutine-count-relative collapse (the reintroduced-lock shape)
 	// still fails, and so does an alloc regression.
 	uniformSlow := []dataplaneResult{mk(1, 4e6, 0), mk(8, 12e6, 0)} // 2.5x slower runner
-	if fails, _ := regressionFailures(baseline, uniformSlow, 0.30, true); len(fails) != 0 {
+	if fails, _, norm := regressionFailures(baseline, uniformSlow, 0.30, true); len(fails) != 0 {
 		t.Fatalf("uniformly slower machine failed normalized gate: %v", fails)
+	} else if norm < 0.39 || norm > 0.41 {
+		// The returned normalizer feeds the wildcard gate; 2.5x slower
+		// machine => geomean ratio 0.4.
+		t.Fatalf("norm = %v, want ~0.4", norm)
 	}
-	if fails, _ := regressionFailures(baseline, uniformSlow, 0.30, false); len(fails) == 0 {
+	if _, _, norm := regressionFailures(baseline, uniformSlow, 0.30, false); norm != 1 {
+		t.Fatalf("unnormalized gate must return norm 1, got %v", norm)
+	}
+	if fails, _, _ := regressionFailures(baseline, uniformSlow, 0.30, false); len(fails) == 0 {
 		t.Fatal("absolute gate should fail on a 2.5x slower machine")
 	}
 	// A multi-core runner scaling well against a flat single-core
 	// baseline must NOT fail at goroutines=1: normalization never
 	// divides by a geomean above 1.
 	multicore := []dataplaneResult{mk(1, 10e6, 0), mk(8, 100e6, 0)} // flat baseline, 3.3x scaling
-	if fails, _ := regressionFailures(baseline, multicore, 0.30, true); len(fails) != 0 {
+	if fails, _, _ := regressionFailures(baseline, multicore, 0.30, true); len(fails) != 0 {
 		t.Fatalf("healthy multi-core scaling failed normalized gate: %v", fails)
 	}
 	collapsed := []dataplaneResult{mk(1, 5e6, 0), mk(8, 3e6, 0)} // 8-gor collapsed to 0.2x while 1-gor is 0.5x
-	if fails, _ := regressionFailures(baseline, collapsed, 0.30, true); len(fails) != 1 {
+	if fails, _, _ := regressionFailures(baseline, collapsed, 0.30, true); len(fails) != 1 {
 		t.Fatalf("normalized gate missed scaling collapse: %v", fails)
 	}
-	if fails, _ := regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 3), mk(8, 30e6, 0)}, 0.30, true); len(fails) != 1 {
+	if fails, _, _ := regressionFailures(baseline, []dataplaneResult{mk(1, 10e6, 3), mk(8, 30e6, 0)}, 0.30, true); len(fails) != 1 {
 		t.Fatalf("normalized gate missed alloc regression: %v", fails)
 	}
 	// Noise resistance: with several cells per goroutine count, one bad
@@ -168,7 +275,7 @@ func TestRegressionFailures(t *testing.T) {
 		}
 		meas = append(meas, m)
 	}
-	if fails, _ := regressionFailures(base, meas, 0.30, false); len(fails) != 0 {
+	if fails, _, _ := regressionFailures(base, meas, 0.30, false); len(fails) != 0 {
 		t.Fatalf("one noisy cell failed the gate: %v", fails)
 	}
 }

@@ -56,6 +56,11 @@ type Options struct {
 	// DataplaneShards partitions each gateway's classification engine;
 	// 0 keeps one shard (ideal for the single-threaded simulator).
 	DataplaneShards int
+	// AggregationPrefixLen enables the §IV fallback to coarser filters
+	// at every gateway: under filter-table pressure, sibling filters
+	// sharing a destination and a source /N coalesce into one covering
+	// prefix filter (split back on relief). 0 disables aggregation.
+	AggregationPrefixLen int
 }
 
 // DefaultOptions mirrors the paper's worked examples: T = 1 min,
@@ -102,6 +107,7 @@ func (o Options) gatewayConfig() core.GatewayConfig {
 	cfg.ShadowMode = o.ShadowMode
 	cfg.HandshakeTimeout = o.HandshakeTimeout
 	cfg.Default = o.PeerContract
+	cfg.AggregationPrefixLen = o.AggregationPrefixLen
 	return cfg
 }
 

@@ -38,6 +38,12 @@ type Flood struct {
 	// SpoofPerPacket randomizes the source per packet across the given
 	// number of addresses starting at SpoofSrc (0 = no randomization).
 	SpoofPerPacket int
+	// SpoofDwell, when positive (with SpoofPerPacket > 1), rotates the
+	// spoofed source sequentially instead of randomly, dwelling this
+	// long on each sibling: concentrated bursts let every sibling cross
+	// a per-source detection threshold in turn, so each one costs the
+	// defense a fresh filter — the table-exhauster pattern.
+	SpoofDwell sim.Time
 	// Jitter randomizes each inter-packet gap by up to the given
 	// fraction of the nominal interval (0 = perfectly periodic).
 	Jitter float64
@@ -122,7 +128,12 @@ func (f *Flood) emit(now sim.Time) {
 	if f.SpoofSrc != 0 {
 		src = f.SpoofSrc
 		if f.SpoofPerPacket > 1 {
-			off := f.rng().Intn(f.SpoofPerPacket)
+			var off int
+			if f.SpoofDwell > 0 {
+				off = int((now-f.Start)/f.SpoofDwell) % f.SpoofPerPacket
+			} else {
+				off = f.rng().Intn(f.SpoofPerPacket)
+			}
 			src = flow.Addr(uint32(f.SpoofSrc) + uint32(off))
 		}
 	}

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"math/rand"
+	"time"
 
 	"aitf/internal/core"
 	"aitf/internal/flow"
@@ -32,6 +33,11 @@ const (
 	// RequestFlooder sends fabricated filtering requests at high rate —
 	// the malicious-requester adversary of §II-E / experiment E9.
 	RequestFlooder
+	// TableExhauster rotates spoofed sources across a whole /24 sibling
+	// range so every packet's label costs the victim side a distinct
+	// wire-speed filter — the filter-table exhaustion adversary of §IV
+	// that forces gateways to fall back to aggregate prefix filters.
+	TableExhauster
 )
 
 func (b Behavior) String() string {
@@ -44,6 +50,8 @@ func (b Behavior) String() string {
 		return "spoof"
 	case RequestFlooder:
 		return "request-flooder"
+	case TableExhauster:
+		return "table-exhauster"
 	default:
 		return "behavior?"
 	}
@@ -72,9 +80,12 @@ type Profile struct {
 	Start, Stop sim.Time
 	// On and Off shape Pulse behavior; ignored otherwise.
 	On, Off sim.Time
-	// SpoofSrc and SpoofPerPacket shape Spoof behavior.
+	// SpoofSrc and SpoofPerPacket shape Spoof and TableExhauster
+	// behavior; SpoofDwell is the per-sibling burst length of a
+	// TableExhauster (0 picks a default).
 	SpoofSrc       flow.Addr
 	SpoofPerPacket int
+	SpoofDwell     sim.Time
 	// Jitter randomizes inter-packet gaps (fraction of the interval).
 	Jitter float64
 }
@@ -141,6 +152,21 @@ func (p Profile) Launch(rng *rand.Rand) Launched {
 		if p.Behavior == Spoof {
 			fl.SpoofSrc = p.SpoofSrc
 			fl.SpoofPerPacket = p.SpoofPerPacket
+		}
+		if p.Behavior == TableExhauster {
+			// Burst through the sibling range sequentially: each sibling
+			// in turn crosses the victim's per-source detector, so every
+			// distinct spoofed (src, dst) label costs the defense a
+			// fresh filter until it aggregates to the covering /24.
+			fl.SpoofSrc = p.SpoofSrc
+			fl.SpoofPerPacket = p.SpoofPerPacket
+			if fl.SpoofPerPacket <= 1 {
+				fl.SpoofPerPacket = 64
+			}
+			fl.SpoofDwell = p.SpoofDwell
+			if fl.SpoofDwell <= 0 {
+				fl.SpoofDwell = 150 * time.Millisecond
+			}
 		}
 		fl.Launch()
 		return Launched{Profile: p, Flood: fl}

@@ -43,6 +43,8 @@ const (
 	EvEscalated
 	EvDisconnected
 	EvLongBlock
+	EvAggregated
+	EvDeaggregated
 )
 
 var eventNames = map[EventKind]string{
@@ -66,6 +68,8 @@ var eventNames = map[EventKind]string{
 	EvEscalated:           "escalated",
 	EvDisconnected:        "disconnected",
 	EvLongBlock:           "long-block",
+	EvAggregated:          "aggregated",
+	EvDeaggregated:        "deaggregated",
 }
 
 func (k EventKind) String() string {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -90,6 +92,17 @@ type GatewayConfig struct {
 	// (0 or 1 keeps a single shard, which is ideal for the
 	// single-threaded simulator; the wire runtime uses more).
 	DataplaneShards int
+	// AggregationPrefixLen enables the §IV fallback to coarser filters:
+	// when the wire-speed table cannot hold a victim-side filter,
+	// sibling filters sharing a destination and a source /N are
+	// coalesced into one covering prefix filter, and split back apart
+	// when the pressure subsides. 0 disables aggregation (the
+	// hardware-faithful reject-only behaviour); 24 is a typical value.
+	AggregationPrefixLen int
+	// AggregationMinChildren is the smallest sibling group worth
+	// coalescing; values below 2 are treated as 2 (replacing a single
+	// filter frees nothing and only adds collateral).
+	AggregationMinChildren int
 }
 
 // DefaultGatewayConfig returns a cooperative gateway provisioned per
@@ -133,6 +146,17 @@ type GatewayStats struct {
 	Disconnects    uint64
 	LongBlocks     uint64
 	ShadowReblocks uint64
+
+	// Aggregation under filter-table pressure (§IV fallback).
+	Aggregations       uint64 // sibling groups coalesced into a prefix filter
+	AggregatedChildren uint64 // child filters folded across all aggregations
+	AggregateSplits    uint64 // aggregates split back after pressure relief
+	AggregateCovered   uint64 // installs satisfied by a live covering aggregate
+	// AggregateCollateral accumulates, per aggregation, the covered
+	// source-address count minus the actual offenders — the worst-case
+	// collateral-damage exposure the coarser filters accept in exchange
+	// for fitting the table.
+	AggregateCollateral uint64
 }
 
 // vwatch tracks one undesired flow for which this gateway acts (or
@@ -155,6 +179,15 @@ type pending struct {
 	req   *packet.FilterReq
 	nonce uint64
 	timer *sim.Event
+}
+
+// aggregate records one covering prefix filter installed in place of
+// its children under table pressure, with the child snapshots needed to
+// split them back out.
+type aggregate struct {
+	label    flow.Label
+	children []filter.Entry // labels + deadlines at coalesce time
+	exp      sim.Time       // the aggregate filter's deadline
 }
 
 // compliance tracks a stop order sent to a client, pending verification
@@ -185,6 +218,13 @@ type Gateway struct {
 	watches    map[flow.Label]*vwatch
 	pendings   map[flow.Label]*pending
 	compliance map[flow.Label]*compliance
+
+	// aggregates tracks the covering prefix filters this gateway has
+	// coalesced sibling filters into, so installs covered by a live
+	// aggregate are recognised and the children can be split back out
+	// when table pressure subsides.
+	aggregates  map[flow.Label]*aggregate
+	reviewArmed bool // an aggregate-review event is scheduled
 
 	disconnected map[flow.Addr]sim.Time // neighbor -> blocked until
 
@@ -219,6 +259,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		watches:      make(map[flow.Label]*vwatch),
 		pendings:     make(map[flow.Label]*pending),
 		compliance:   make(map[flow.Label]*compliance),
+		aggregates:   make(map[flow.Label]*aggregate),
 		disconnected: make(map[flow.Addr]sim.Time),
 	}
 	// The clock closes over the gateway so the engine reads virtual
@@ -626,13 +667,167 @@ func (g *Gateway) watchGC(w *vwatch) {
 func (g *Gateway) installTemp(w *vwatch) {
 	now := g.now()
 	exp := now + sim.Time(g.cfg.Timers.Ttmp)
-	if err := g.dp.Install(w.label, now, exp); err != nil {
+	if err := g.installVictimFilter(w.label, now, exp); err != nil {
 		g.trace(EvFilterRejected, w.label, err.Error())
 		return
 	}
 	w.tempUntil = exp
 	w.installedAt = now
 	g.trace(EvTempFilterInstalled, w.label, fmt.Sprintf("until %v", exp))
+}
+
+// installVictimFilter installs a victim-side filter, falling back to
+// the §IV aggregation policy when the wire-speed table is full: if a
+// live aggregate already covers the label it is refreshed instead of
+// spending a slot, and on ErrTableFull the gateway coalesces the
+// largest sibling group into a covering prefix filter and retries once.
+func (g *Gateway) installVictimFilter(label flow.Label, now, exp sim.Time) error {
+	if g.cfg.AggregationPrefixLen > 0 {
+		if a := g.coveringAggregate(label); a != nil {
+			// Extend the aggregate so it covers the requested window;
+			// the flow is already being dropped. Record the would-be
+			// filter as a child so a later split-back reinstalls it —
+			// otherwise deaggregation would silently unblock this flow
+			// before its requested window ends.
+			if err := g.dp.Install(a.label, now, exp); err == nil {
+				if exp > a.exp {
+					a.exp = exp
+				}
+				key := label.Key()
+				seen := false
+				for i := range a.children {
+					if a.children[i].Label == key {
+						if exp > a.children[i].ExpiresAt {
+							a.children[i].ExpiresAt = exp
+						}
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					a.children = append(a.children,
+						filter.Entry{Label: key, InstalledAt: now, ExpiresAt: exp})
+				}
+				g.stats.AggregateCovered++
+				return nil
+			}
+		}
+	}
+	err := g.dp.Install(label, now, exp)
+	if err == nil || !errors.Is(err, filter.ErrTableFull) || g.cfg.AggregationPrefixLen <= 0 {
+		return err
+	}
+	if !g.aggregateUnderPressure(now) {
+		return err
+	}
+	return g.dp.Install(label, now, exp)
+}
+
+// coveringAggregate returns the live aggregate covering label, if any.
+func (g *Gateway) coveringAggregate(label flow.Label) *aggregate {
+	now := g.now()
+	for _, a := range g.aggregates {
+		if a.exp > now && a.label.Covers(label) {
+			return a
+		}
+	}
+	return nil
+}
+
+// aggregateUnderPressure coalesces the sibling group that frees the
+// most wire-speed slots into one covering source-prefix filter,
+// reporting whether any slot was freed. The collateral cost (covered
+// address space minus actual offenders) is accounted per aggregation.
+func (g *Gateway) aggregateUnderPressure(now sim.Time) bool {
+	pfx := uint8(g.cfg.AggregationPrefixLen)
+	groups := filter.SiblingGroups(g.dp.FilterEntries(), pfx, g.cfg.AggregationMinChildren)
+	if len(groups) == 0 {
+		return false
+	}
+	best := groups[0]
+	replaced, err := g.dp.Aggregate(best.Aggregate, best.ChildLabels(), now, best.MaxExpiry)
+	if err != nil || replaced < 2 {
+		return false
+	}
+	key := best.Aggregate.Key()
+	a, ok := g.aggregates[key]
+	if !ok {
+		a = &aggregate{label: key}
+		g.aggregates[key] = a
+	}
+	a.children = append(a.children, best.Children...)
+	if best.MaxExpiry > a.exp {
+		a.exp = best.MaxExpiry
+	}
+	g.stats.Aggregations++
+	g.stats.AggregatedChildren += uint64(replaced)
+	// Port-distinct exact children can outnumber the covered sources;
+	// collateral exposure never goes below zero.
+	if c := best.CoveredAddrs() - replaced; c > 0 {
+		g.stats.AggregateCollateral += uint64(c)
+	}
+	g.trace(EvAggregated, best.Aggregate,
+		fmt.Sprintf("%d children, covers %d sources", replaced, best.CoveredAddrs()))
+	g.armAggregateReview()
+	return true
+}
+
+// armAggregateReview schedules the periodic split-back check while any
+// aggregate is outstanding.
+func (g *Gateway) armAggregateReview() {
+	if g.reviewArmed {
+		return
+	}
+	g.reviewArmed = true
+	g.node.Engine().Schedule(sim.Time(g.cfg.Timers.Ttmp), func() { g.aggregateReview() })
+}
+
+// aggregateReview reclaims expired aggregates and — when the table has
+// room again — splits an aggregate back into its still-live children,
+// restoring filter precision (and with it, zero collateral damage).
+func (g *Gateway) aggregateReview() {
+	g.reviewArmed = false
+	now := g.now()
+	// Deterministic order: the simulator's fingerprints hash the trace.
+	keys := make([]flow.Label, 0, len(g.aggregates))
+	for k := range g.aggregates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		a := g.aggregates[k]
+		if a.exp <= now {
+			delete(g.aggregates, k)
+			g.trace(EvDeaggregated, a.label, "expired with its last child")
+			continue
+		}
+		live := a.children[:0]
+		for _, c := range a.children {
+			if c.ExpiresAt > now {
+				live = append(live, c)
+			}
+		}
+		a.children = live
+		// Split back only when the freed precision fits comfortably:
+		// the children need len(live)−1 net slots, and we keep a
+		// quarter of the table as headroom for fresh requests.
+		need := len(live) - 1
+		room := g.cfg.FilterCapacity - g.cfg.FilterCapacity/4 - g.dp.Len()
+		if need >= 0 && need <= room {
+			for _, c := range live {
+				if err := g.dp.Install(c.Label, now, c.ExpiresAt); err != nil {
+					g.trace(EvFilterRejected, c.Label, "split-back: "+err.Error())
+				}
+			}
+			g.dp.Remove(a.label)
+			delete(g.aggregates, k)
+			g.stats.AggregateSplits++
+			g.trace(EvDeaggregated, a.label, fmt.Sprintf("split back %d children", len(live)))
+		}
+	}
+	if len(g.aggregates) > 0 {
+		g.armAggregateReview()
+	}
 }
 
 // sendToAttackerGateway propagates the request to the attack-path node
@@ -749,7 +944,7 @@ func (g *Gateway) resolveExhausted(w *vwatch) {
 		}
 	}
 	exp := now + sim.Time(g.cfg.Timers.T)
-	if err := g.dp.Install(w.label, now, exp); err != nil {
+	if err := g.installVictimFilter(w.label, now, exp); err != nil {
 		g.trace(EvFilterRejected, w.label, err.Error())
 		return
 	}

@@ -7,22 +7,28 @@
 // DRAM shadow cache (internal/filter's resource model, paper §II-B /
 // §IV-B) into N hash shards keyed by the (src, dst) pair of the flow
 // label — the pair is what AITF filtering requests name, so a tuple's
-// exact label, its canonical pair label, and every scannable label with
-// a concrete pair all land in the same shard as the tuple's lookup.
-// Labels that wildcard the source or destination address can match any
-// pair and live in a dedicated overflow segment consulted only while it
-// is non-empty.
+// exact label, its canonical pair label, and every indexable label
+// with a concrete host pair all land in the same shard as the tuple's
+// lookup. Labels that wildcard — or hold only a prefix of — the source
+// or destination address can match tuples hashing anywhere, and live
+// in a dedicated overflow segment consulted only while it is
+// non-empty.
 //
 // The classification read path is lock-free: each shard publishes a
-// match snapshot (a bucketized label map probed at the exact and pair
-// labels, plus a scan list) through an atomic.Pointer, and readers
-// classify against whatever state is current, bumping only atomic
-// counters — they never block, never write shared cache lines beyond
-// their verdict accounting, and never allocate. The control plane
-// (install / remove / expire / log) is RCU-style: writers take a
-// per-shard writer mutex and publish either a replacement for the one
-// bucket they touched (single-entry writes; the slot pointer is the
-// swap) or a whole new view (resizes, expiry sweeps, scan-shape
+// match snapshot through an atomic.Pointer, and readers classify
+// against whatever state is current, bumping only atomic counters —
+// they never block, never write shared cache lines beyond their
+// verdict accounting, and never allocate. A snapshot is a four-level
+// match hierarchy, each level immutable per generation: a bucketized
+// label map probed at the exact and pair labels, a destination-keyed
+// secondary hash index for dst-anchored wildcard shapes, a persistent
+// compressed binary trie over source prefixes (at most 32 nodes walked
+// per lookup), and a residual scan list for the rare anchor-less
+// shapes. The control plane (install / remove / expire / log) is
+// RCU-style: writers take a per-shard writer mutex and publish either
+// a replacement for the one bucket they touched (single-entry writes;
+// the slot pointer is the swap), a path-copied trie root (prefix
+// writes), or a whole new view (resizes, expiry sweeps, scan-shape
 // changes); expiry refreshes mutate the shared entry's atomic deadline
 // without any republish. Readers therefore observe individual writes
 // with per-lookup atomicity, not per-batch isolation — equivalent to
@@ -100,6 +106,7 @@ type Engine struct {
 	sUsed, sPeak atomic.Int64
 
 	installed, rejected, evicted, expired, removed atomic.Uint64
+	aggregates, aggregated                         atomic.Uint64
 
 	sLogged, sExpired, sRejected atomic.Uint64
 
@@ -152,10 +159,12 @@ func (e *Engine) shardIdx(src, dst flow.Addr) uint32 {
 }
 
 // segFor returns the segment that owns a canonical label: the wild
-// overflow segment when src or dst is wildcarded, the pair's hash shard
-// otherwise.
+// overflow segment when src or dst is wildcarded or prefix-granular
+// (such a label matches tuples hashing to any pair shard), the pair's
+// hash shard otherwise.
 func (e *Engine) segFor(label flow.Label) (*shard, bool) {
-	if label.Wildcards&(flow.WildSrc|flow.WildDst) != 0 {
+	if label.Wildcards&(flow.WildSrc|flow.WildDst) != 0 ||
+		label.SrcPrefixLen != 0 || label.DstPrefixLen != 0 {
 		return e.wild, true
 	}
 	return e.shards[e.shardIdx(label.Src, label.Dst)], false
@@ -251,13 +260,7 @@ func (e *Engine) ClassifyInto(batch []*packet.Packet, out []Verdict) []Verdict {
 	out = out[:len(batch)]
 	now := e.clock.Now()
 
-	// The wild segment forces a multi-segment decision per packet;
-	// batching per home shard would reorder it. Fall back to the exact
-	// per-packet path while any wild entries are live (rare: AITF
-	// requests name concrete pairs).
-	slow := e.wildFilters.Load() > 0 ||
-		(e.cfg.ShadowLookup && e.wildShadows.Load() > 0)
-	if len(batch) < smallBatch || len(e.shards) == 1 || slow {
+	if len(batch) < smallBatch || len(e.shards) == 1 {
 		for i, p := range batch {
 			out[i] = e.classifyAt(p.Tuple(), int(p.PayloadLen), now)
 		}
@@ -297,6 +300,19 @@ func (e *Engine) ClassifyInto(batch []*packet.Packet, out []Verdict) []Verdict {
 
 	// pos[si] now points one past shard si's slice; recover the starts.
 	wantShadow := e.cfg.ShadowLookup
+	// The wild segment (wildcard- and prefix-shaped labels) applies to
+	// every packet regardless of home shard; load its snapshots once per
+	// batch. Its indexes (dst hash + source-prefix trie) keep the probe
+	// cheap even when the segment holds most of the table. Skipped
+	// entirely while empty.
+	var wfv *filterView
+	if e.wildFilters.Load() > 0 {
+		wfv = e.wild.fview.Load()
+	}
+	var wsv *shadowView
+	if wantShadow && e.wildShadows.Load() > 0 {
+		wsv = e.wild.sview.Load()
+	}
 	begin := int32(0)
 	for si := 0; si < ns; si++ {
 		end := pos[si]
@@ -324,10 +340,23 @@ func (e *Engine) ClassifyInto(batch []*packet.Packet, out []Verdict) []Verdict {
 				out[pi] = Verdict{Drop: true}
 				continue
 			}
+			if wfv != nil {
+				if fe := wfv.match(exact, pair, tup, now); fe != nil {
+					chargeDrop(e.wild, fe, int(p.PayloadLen))
+					out[pi] = Verdict{Drop: true}
+					continue
+				}
+			}
 			if wantShadow {
 				if se := sv.lookup(exact, pair, tup, now); se != nil {
 					out[pi] = recordShadowHit(s, se)
 					continue
+				}
+				if wsv != nil {
+					if se := wsv.lookup(exact, pair, tup, now); se != nil {
+						out[pi] = recordShadowHit(e.wild, se)
+						continue
+					}
 				}
 			}
 			out[pi] = Verdict{}
@@ -457,16 +486,19 @@ func (e *Engine) evictSoonest() bool {
 	return true
 }
 
-// Remove deletes the filter for label, reporting whether it existed.
-func (e *Engine) Remove(label flow.Label) bool {
-	label = label.Key()
+// removeEntry deletes the filter for label without touching the
+// removal-reason counters; Remove and Aggregate attribute the removal
+// to the right one. It returns the removed entry's deadline so callers
+// can preserve coverage time.
+func (e *Engine) removeEntry(label flow.Label) (exp filter.Time, ok bool) {
 	seg, isWild := e.segFor(label)
 	seg.mu.Lock()
 	fe := seg.fview.Load().get(label)
 	if fe == nil {
 		seg.mu.Unlock()
-		return false
+		return 0, false
 	}
+	exp = fe.expires()
 	seg.fcount--
 	seg.fview.Store(seg.fview.Load().withRemove(seg.fcount, fe))
 	seg.mu.Unlock()
@@ -474,8 +506,57 @@ func (e *Engine) Remove(label flow.Label) bool {
 		e.wildFilters.Add(-1)
 	}
 	e.fUsed.Add(-1)
-	e.removed.Add(1)
-	return true
+	return exp, true
+}
+
+// Remove deletes the filter for label, reporting whether it existed.
+func (e *Engine) Remove(label flow.Label) bool {
+	if _, ok := e.removeEntry(label.Key()); ok {
+		e.removed.Add(1)
+		return true
+	}
+	return false
+}
+
+// Aggregate replaces the child filters with one covering aggregate
+// filter under filter.Table.Aggregate's budget-conservation contract:
+// occupancy changes by exactly 1 − replaced, the aggregate's deadline
+// is raised to the latest child deadline so no child loses coverage
+// time, and child removals count under Aggregated rather than Removed
+// (no double-count). With replaced ≥ 1 the freed slots guarantee the
+// install cannot be rejected for capacity in the single-writer
+// deployments the simulator runs; in concurrent use a racing installer
+// can still win the freed slot, in which case the error is returned and
+// the children stay removed.
+func (e *Engine) Aggregate(agg flow.Label, children []flow.Label, now, exp filter.Time) (replaced int, err error) {
+	agg = agg.Key()
+	for _, c := range children {
+		c = c.Key()
+		if c == agg {
+			continue
+		}
+		if cexp, ok := e.removeEntry(c); ok {
+			if cexp > exp {
+				exp = cexp
+			}
+			replaced++
+		}
+	}
+	e.aggregated.Add(uint64(replaced))
+	seg, _ := e.segFor(agg)
+	existed := seg.fview.Load().get(agg) != nil
+	if err := e.Install(agg, now, exp); err != nil {
+		return replaced, err
+	}
+	if !existed {
+		// Install charged the new entry to Installed; reattribute it to
+		// Aggregates so the Stats occupancy arithmetic stays
+		// single-entry (a refresh of a live aggregate counts nowhere,
+		// exactly as in filter.Table.Aggregate).
+		e.aggregates.Add(1)
+		e.installed.Add(^uint64(0))
+	}
+	return replaced, nil
 }
 
 // Get returns a snapshot of the live filter entry for the exact label.
@@ -554,6 +635,8 @@ func (e *Engine) FilterStats() filter.Stats {
 		Evicted:       e.evicted.Load(),
 		Expired:       e.expired.Load(),
 		Removed:       e.removed.Load(),
+		Aggregates:    e.aggregates.Load(),
+		Aggregated:    e.aggregated.Load(),
 		Drops:         drops,
 		DroppedBytes:  bytes,
 		PeakOccupancy: int(e.fPeak.Load()),

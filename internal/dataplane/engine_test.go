@@ -15,9 +15,9 @@ import (
 // testClock is a manually advanced clock.
 type testClock struct{ now atomic.Int64 }
 
-func (c *testClock) Now() filter.Time          { return filter.Time(c.now.Load()) }
-func (c *testClock) advance(d time.Duration)   { c.now.Add(int64(d)) }
-func (c *testClock) set(t filter.Time)         { c.now.Store(int64(t)) }
+func (c *testClock) Now() filter.Time        { return filter.Time(c.now.Load()) }
+func (c *testClock) advance(d time.Duration) { c.now.Add(int64(d)) }
+func (c *testClock) set(t filter.Time)       { c.now.Store(int64(t)) }
 func newEngine(t *testing.T, shards, fcap, scap int, evict filter.EvictPolicy) (*Engine, *testClock) {
 	t.Helper()
 	ck := &testClock{}

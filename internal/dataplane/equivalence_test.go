@@ -3,6 +3,8 @@ package dataplane
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,18 +15,19 @@ import (
 	"aitf/internal/packet"
 )
 
-// lockedOracle re-implements the engine's verdict semantics the way the
-// pre-snapshot data plane worked: one RWMutex around plain maps. The
-// equivalence tests drive the lock-free snapshot engine and this oracle
-// with the same operation stream and demand identical verdicts and
-// conserved drop accounting — the snapshot swap must never lose,
-// duplicate, or reorder a decision the locked design would have made.
+// lockedOracle re-implements the engine's verdict semantics the
+// simplest way that can be right: one RWMutex around plain maps, with
+// non-exact matching done by scanning every entry against
+// flow.Label.Matches. The equivalence tests drive the indexed lock-free
+// engine and this scan-everything oracle with the same operation stream
+// and demand identical verdicts and conserved drop accounting — neither
+// the snapshot swap discipline nor the dst-index/trie match hierarchy
+// may lose, duplicate, or reorder a decision the naive design would
+// have made.
 type lockedOracle struct {
 	mu      sync.RWMutex
 	filters map[flow.Label]*oracleEntry
 	shadows map[flow.Label]*oracleEntry
-	scanF   int
-	scanS   int
 }
 
 type oracleEntry struct {
@@ -53,21 +56,13 @@ func (o *lockedOracle) install(label flow.Label, exp filter.Time) {
 		return
 	}
 	o.filters[label] = &oracleEntry{label: label, exp: exp}
-	if needsScan(label) {
-		o.scanF++
-	}
 }
 
 func (o *lockedOracle) remove(label flow.Label) {
 	label = label.Key()
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, ok := o.filters[label]; ok {
-		delete(o.filters, label)
-		if needsScan(label) {
-			o.scanF--
-		}
-	}
+	delete(o.filters, label)
 }
 
 func (o *lockedOracle) logShadow(label flow.Label, exp filter.Time) {
@@ -81,21 +76,13 @@ func (o *lockedOracle) logShadow(label flow.Label, exp filter.Time) {
 		return
 	}
 	o.shadows[label] = &oracleEntry{label: label, exp: exp}
-	if needsScan(label) {
-		o.scanS++
-	}
 }
 
 func (o *lockedOracle) removeShadow(label flow.Label) {
 	label = label.Key()
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, ok := o.shadows[label]; ok {
-		delete(o.shadows, label)
-		if needsScan(label) {
-			o.scanS--
-		}
-	}
+	delete(o.shadows, label)
 }
 
 func (o *lockedOracle) expire(now filter.Time) {
@@ -104,9 +91,6 @@ func (o *lockedOracle) expire(now filter.Time) {
 	for l, fe := range o.filters {
 		if fe.exp <= now {
 			delete(o.filters, l)
-			if needsScan(l) {
-				o.scanF--
-			}
 		}
 	}
 }
@@ -117,25 +101,23 @@ func (o *lockedOracle) expireShadows(now filter.Time) {
 	for l, se := range o.shadows {
 		if se.exp <= now {
 			delete(o.shadows, l)
-			if needsScan(l) {
-				o.scanS--
-			}
 		}
 	}
 }
 
-func matchOracle(m map[flow.Label]*oracleEntry, scans int, exact, pair flow.Label, tup flow.Tuple, now filter.Time) *oracleEntry {
+// matchOracle is the naive reference matcher: keyed probes for the two
+// hash shapes, then an unconditional scan of every entry. Deliberately
+// index-free.
+func matchOracle(m map[flow.Label]*oracleEntry, exact, pair flow.Label, tup flow.Tuple, now filter.Time) *oracleEntry {
 	if e, ok := m[exact]; ok && e.exp > now {
 		return e
 	}
 	if e, ok := m[pair]; ok && e.exp > now {
 		return e
 	}
-	if scans > 0 {
-		for _, e := range m {
-			if e.exp > now && e.label.Matches(tup) {
-				return e
-			}
+	for _, e := range m {
+		if e.exp > now && e.label.Matches(tup) {
+			return e
 		}
 	}
 	return nil
@@ -147,12 +129,12 @@ func (o *lockedOracle) classify(tup flow.Tuple, payload int, now filter.Time) (d
 	pair := flow.PairLabel(tup.Src, tup.Dst)
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	if fe := matchOracle(o.filters, o.scanF, exact, pair, tup, now); fe != nil {
+	if fe := matchOracle(o.filters, exact, pair, tup, now); fe != nil {
 		fe.drops++
 		fe.bytes += uint64(payload)
 		return true, false
 	}
-	if se := matchOracle(o.shadows, o.scanS, exact, pair, tup, now); se != nil {
+	if se := matchOracle(o.shadows, exact, pair, tup, now); se != nil {
 		se.reapp++
 		return false, true
 	}
@@ -172,21 +154,33 @@ func (o *lockedOracle) totals() (drops, bytes, hits uint64) {
 	return
 }
 
-// randomLabel draws labels of every shape the engine segments by:
-// exact, canonical pair, scan-shaped (concrete pair, partial
-// wildcards), and wild src/dst labels that land in the overflow
-// segment.
+// randomLabel draws labels of every shape the engine's match hierarchy
+// segments by: exact and canonical pair (hash probes), dst-anchored
+// wildcards (secondary dst index), source prefixes at several lengths
+// (LPM trie, overlapping by construction), destination prefixes and
+// wild-src/dst labels (scan residue / overflow segment).
 func randomLabel(rng *rand.Rand, universe int) flow.Label {
 	src := addr(rng.Intn(universe))
 	dst := addr(rng.Intn(universe) + 1000)
-	switch rng.Intn(10) {
+	switch rng.Intn(14) {
 	case 0: // exact
 		return flow.Exact(src, dst, flow.ProtoUDP, uint16(rng.Intn(4)+1), 80)
-	case 1: // scan-shaped: concrete pair, wildcard ports only
+	case 1: // dst-anchored: concrete pair, wildcard ports only
 		return flow.Label{Src: src, Dst: dst, Proto: flow.ProtoUDP,
 			Wildcards: flow.WildSrcPort | flow.WildDstPort}
 	case 2: // wild source (overflow segment)
 		return flow.FromSource(src)
+	case 3: // dst-anchored: any source toward dst
+		return flow.ToDestination(dst)
+	case 4, 5: // source prefix, length varied so prefixes nest
+		bits := uint8(20 + 4*rng.Intn(4)) // /20, /24, /28, /32
+		return flow.SrcPrefixLabel(src, bits, dst)
+	case 6: // destination prefix (scan residue)
+		return flow.DstPrefixLabel(src, dst, uint8(20+rng.Intn(12)))
+	case 7: // source prefix with concrete proto/ports
+		l := flow.Exact(src, dst, flow.ProtoUDP, uint16(rng.Intn(4)+1), 80)
+		l.SrcPrefixLen = 24
+		return l.Canonical()
 	default: // the canonical AITF pair label
 		return flow.PairLabel(src, dst)
 	}
@@ -410,31 +404,260 @@ func TestSnapshotChurnConservation(t *testing.T) {
 	}
 }
 
+// TestEngineAggregateConservesBudget mirrors the filter.Table contract
+// test against the sharded engine: replacing k children with one
+// aggregate frees exactly k−1 slots of the global budget, attributes
+// removals to Aggregated (not Removed), and preserves coverage time.
+func TestEngineAggregateConservesBudget(t *testing.T) {
+	e, ck := newEngine(t, 4, 8, 8, filter.RejectNew)
+	dst := addr(2000)
+	for i := 0; i < 8; i++ {
+		label := flow.PairLabel(flow.MakeAddr(240, 1, 2, byte(i)), dst)
+		if err := e.Install(label, 0, filter.Time(i+1)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Install(flow.PairLabel(addr(1), dst), 0, time.Minute); err == nil {
+		t.Fatal("engine should be at capacity")
+	}
+	groups := filter.SiblingGroups(e.FilterEntries(), 24, 2)
+	if len(groups) != 1 || len(groups[0].Children) != 8 {
+		t.Fatalf("groups: %+v", groups)
+	}
+	g := groups[0]
+	replaced, err := e.Aggregate(g.Aggregate, g.ChildLabels(), 0, time.Second)
+	if err != nil || replaced != 8 {
+		t.Fatalf("Aggregate replaced %d, err %v", replaced, err)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len after aggregate = %d, want 1", e.Len())
+	}
+	st := e.FilterStats()
+	if st.Aggregates != 1 || st.Aggregated != 8 || st.Removed != 0 {
+		t.Fatalf("aggregation stats: %+v", st)
+	}
+	live := int64(st.Installed) + int64(st.Aggregates) - int64(st.Removed) -
+		int64(st.Aggregated) - int64(st.Expired) - int64(st.Evicted)
+	if live != int64(e.Len()) {
+		t.Fatalf("stats arithmetic %d != occupancy %d (%+v)", live, e.Len(), st)
+	}
+	// Coverage time conserved (latest child deadline) and every child
+	// flow still drops, now via the trie.
+	if en, ok := e.Get(g.Aggregate, 0); !ok || en.ExpiresAt != 8*time.Second {
+		t.Fatalf("aggregate deadline: %+v ok=%v", en, ok)
+	}
+	for i := 0; i < 8; i++ {
+		tup := flow.TupleOf(flow.MakeAddr(240, 1, 2, byte(i)), dst, flow.ProtoUDP, 7, 80)
+		if v := e.ClassifyTuple(tup, 10); !v.Drop {
+			t.Fatalf("child flow %d not dropped by aggregate", i)
+		}
+	}
+	// And the freed budget is genuinely reusable.
+	for i := 0; i < 7; i++ {
+		if err := e.Install(flow.PairLabel(addr(100+i), addr(3000+i)), 0, time.Minute); err != nil {
+			t.Fatalf("freed slot %d not reusable: %v", i, err)
+		}
+	}
+	ck.set(30 * time.Second) // past the aggregate's deadline, not the refills'
+	e.Expire(ck.Now())
+	if e.Len() != 7 {
+		t.Fatalf("aggregate did not expire: %d", e.Len())
+	}
+}
+
+// TestPrefixChurnConservation is the -race workout for the new index
+// structures: concurrent prefix-filter installs, aggregations of
+// sibling pair filters, removals, and expiry sweeps race batch and
+// single-packet classification over traffic that matches via the trie
+// and the dst index, and at the end the engine's cumulative counters
+// must equal exactly what the readers observed — a root swap or bucket
+// swap that dropped or double-counted a verdict would break equality.
+func TestPrefixChurnConservation(t *testing.T) {
+	e, ck := newEngine(t, 4, 4096, 512, filter.RejectNew)
+	ck.set(time.Millisecond)
+	const groups = 16 // /24 sibling groups, each toward its own victim
+	const payload = 64
+	childLabel := func(grp, i int) flow.Label {
+		return flow.PairLabel(flow.MakeAddr(240, 1, byte(grp), byte(i)), addr(2000+grp))
+	}
+	aggLabel := func(grp int) flow.Label {
+		return flow.SrcPrefixLabel(flow.MakeAddr(240, 1, byte(grp), 0), 24, addr(2000+grp))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				grp := rng.Intn(groups)
+				now := ck.Now()
+				switch i % 6 {
+				case 0, 1: // sibling pair filters (aggregation fodder)
+					e.Install(childLabel(grp, rng.Intn(8)), now, now+2*time.Millisecond)
+				case 2: // direct prefix install (trie swap)
+					e.Install(aggLabel(grp), now, now+2*time.Millisecond)
+				case 3: // coalesce whatever siblings are live
+					var children []flow.Label
+					for c := 0; c < 8; c++ {
+						children = append(children, childLabel(grp, c))
+					}
+					e.Aggregate(aggLabel(grp), children, now, now+2*time.Millisecond)
+				case 4:
+					e.Remove(aggLabel(grp))
+					e.RemoveShadow(aggLabel(grp))
+				case 5:
+					e.Expire(now)
+					e.ExpireShadows(now)
+					e.LogShadow(aggLabel(grp), addr(2000+grp), now, now+5*time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ck.advance(10 * time.Microsecond)
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}()
+
+	var seenDrops, seenBytes, seenHits atomic.Uint64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			batch := make([]*packet.Packet, 32)
+			for i := range batch {
+				grp := rng.Intn(groups)
+				// Sibling-space sources, so traffic matches child pair
+				// filters exactly and aggregates via the trie.
+				batch[i] = pkt(flow.MakeAddr(240, 1, byte(grp), byte(rng.Intn(8))), addr(2000+grp), payload)
+			}
+			verdicts := make([]Verdict, 0, len(batch))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				verdicts = e.ClassifyInto(batch, verdicts)
+				for _, v := range verdicts {
+					if v.Drop {
+						seenDrops.Add(1)
+						seenBytes.Add(payload)
+					} else if v.ShadowHit {
+						seenHits.Add(1)
+					}
+				}
+				v := e.ClassifyTuple(batch[i%len(batch)].Tuple(), payload)
+				if v.Drop {
+					seenDrops.Add(1)
+					seenBytes.Add(payload)
+				} else if v.ShadowHit {
+					seenHits.Add(1)
+				}
+			}
+		}(r)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := e.FilterStats()
+	if st.Drops != seenDrops.Load() {
+		t.Fatalf("drops not conserved across swaps: engine %d, verdicts %d", st.Drops, seenDrops.Load())
+	}
+	if st.DroppedBytes != seenBytes.Load() {
+		t.Fatalf("bytes not conserved: engine %d, verdicts %d", st.DroppedBytes, seenBytes.Load())
+	}
+	if hits := e.ShadowStats().Hits; hits != seenHits.Load() {
+		t.Fatalf("shadow hits not conserved: engine %d, verdicts %d", hits, seenHits.Load())
+	}
+	if seenDrops.Load() == 0 {
+		t.Fatal("no drops observed; churn workload is mis-tuned")
+	}
+	sum := 0
+	for i := 0; i < e.Shards(); i++ {
+		sum += e.ShardLen(i)
+	}
+	// The wild segment holds the prefix filters; Len covers all segments.
+	if sum > e.Len() {
+		t.Fatalf("Len %d < shard sum %d", e.Len(), sum)
+	}
+}
+
 // TestClassifySteadyStateZeroAlloc pins the acceptance criterion that
 // the hot loops allocate nothing once warm: both the batch path
 // (ClassifyInto with a caller-owned verdict slice) and the per-packet
-// path (ClassifyTuple), on hit, miss, and shadow-hit traffic.
+// path (ClassifyTuple), on hit, miss, and shadow-hit traffic — over a
+// plain pair table and over a wildcard/prefix-heavy table that keeps
+// the dst index and the source-prefix trie hot. GC is paused for the
+// measurements: a collection mid-loop evicts the engine's sync.Pool
+// scratch and charges the refill to the classify path as phantom
+// allocations.
 func TestClassifySteadyStateZeroAlloc(t *testing.T) {
-	e := WorkloadEngine(4, 4096)
+	if raceEnabled {
+		t.Skip("allocs/op is not meaningful under -race: sync.Pool randomly drops Puts")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+
+	measure := func(name string, e *Engine, batch []*packet.Packet) {
+		verdicts := make([]Verdict, 0, len(batch))
+		verdicts = e.ClassifyInto(batch, verdicts) // warm the scratch pool
+
+		if allocs := testing.AllocsPerRun(200, func() {
+			verdicts = e.ClassifyInto(batch, verdicts)
+		}); allocs != 0 {
+			t.Fatalf("%s: ClassifyInto allocates %v/op at steady state, want 0", name, allocs)
+		}
+		tup := batch[0].Tuple()
+		if allocs := testing.AllocsPerRun(200, func() {
+			e.ClassifyTuple(tup, 512)
+		}); allocs != 0 {
+			t.Fatalf("%s: ClassifyTuple allocates %v/op at steady state, want 0", name, allocs)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(7))
-	batch := WorkloadBatch(rng, 4096, 64, 0.5)
-	verdicts := make([]Verdict, 0, len(batch))
-	verdicts = e.ClassifyInto(batch, verdicts) // warm the scratch pool
+	e := WorkloadEngine(4, 4096)
+	measure("pairs", e, WorkloadBatch(rng, 4096, 64, 0.5))
 
+	// Wildcard/prefix-heavy: as many coarse filters as pairs, half the
+	// traffic matching them, so every packet runs the full hierarchy.
+	we := WildcardWorkloadEngine(4, 2048, 4096)
+	measure("wildcard", we, WildcardWorkloadBatch(rng, 2048, 4096, 64, 0.5))
+
+	// A prefix filter drop specifically (trie-matched verdict).
+	psrc, pdst := workloadPrefixLabel(0)
+	ptup := flow.TupleOf(psrc+7, pdst, flow.ProtoUDP, 1000, 80)
+	if v := we.ClassifyTuple(ptup, 1); !v.Drop {
+		t.Fatal("prefix workload not dropping")
+	}
 	if allocs := testing.AllocsPerRun(200, func() {
-		verdicts = e.ClassifyInto(batch, verdicts)
+		we.ClassifyTuple(ptup, 1)
 	}); allocs != 0 {
-		t.Fatalf("ClassifyInto allocates %v/op at steady state, want 0", allocs)
+		t.Fatalf("trie-hit classify allocates %v/op, want 0", allocs)
 	}
 
-	tup := batch[0].Tuple()
-	if allocs := testing.AllocsPerRun(200, func() {
-		e.ClassifyTuple(tup, 512)
-	}); allocs != 0 {
-		t.Fatalf("ClassifyTuple allocates %v/op at steady state, want 0", allocs)
-	}
-
-	// Shadow-hit path: log a shadow for a miss-range flow and classify it.
+	// Shadow-hit path: log a shadow for a miss-range flow and classify
+	// it; also a prefix-shaped shadow record (trie on the shadow side).
 	src, dst := addr(9999), addr(19999)
 	e.LogShadow(flow.PairLabel(src, dst), dst, 0, time.Hour)
 	shTup := flow.TupleOf(src, dst, flow.ProtoUDP, 1000, 80)
@@ -445,5 +668,16 @@ func TestClassifySteadyStateZeroAlloc(t *testing.T) {
 		e.ClassifyTuple(shTup, 1)
 	}); allocs != 0 {
 		t.Fatalf("shadow-hit classify allocates %v/op, want 0", allocs)
+	}
+	ssrc := flow.MakeAddr(241, 7, 7, 0)
+	e.LogShadow(flow.SrcPrefixLabel(ssrc, 24, dst), dst, 0, time.Hour)
+	pshTup := flow.TupleOf(ssrc+9, dst, flow.ProtoUDP, 1000, 80)
+	if v := e.ClassifyTuple(pshTup, 1); !v.ShadowHit {
+		t.Fatal("prefix shadow not hitting")
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		e.ClassifyTuple(pshTup, 1)
+	}); allocs != 0 {
+		t.Fatalf("prefix shadow-hit classify allocates %v/op, want 0", allocs)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package dataplane
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where allocs/op measurements are meaningless: sync.Pool
+// intentionally drops a random fraction of Puts to widen race
+// coverage, so pooled scratch reallocates even at steady state.
+const raceEnabled = true

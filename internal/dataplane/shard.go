@@ -64,19 +64,63 @@ func (se *sentry) snapshot() filter.ShadowEntry {
 // pairWild is the wildcard pattern of the canonical AITF pair label.
 const pairWild = flow.WildProto | flow.WildSrcPort | flow.WildDstPort
 
-// needsScan reports whether a label can only be matched by a linear
-// scan (its shape is neither exact nor the canonical pair label).
-func needsScan(l flow.Label) bool {
-	return l.Wildcards != 0 && l.Wildcards != pairWild
+// shape partitions canonical labels by the index structure that can
+// match them. The hierarchy (see filterView.match) is: exact → pair
+// hash probes, then the destination-anchored secondary index, then the
+// source-prefix trie, then the residual linear scan list. Only shapes
+// no index anchors — e.g. FromSource wildcards, destination prefixes —
+// fall through to the scan residue, and only the wild overflow segment
+// ever holds those.
+type shape uint8
+
+const (
+	// shapeHash: exact or canonical pair label, found by the main
+	// bucket probes alone.
+	shapeHash shape = iota
+	// shapeDst: a concrete full destination address anchors the label
+	// (wildcard or partially wildcarded elsewhere): the per-destination
+	// secondary hash index matches it in O(probes).
+	shapeDst
+	// shapeSrcPfx: a source prefix anchors the label: the compressed
+	// binary trie matches it in O(32-bit depth).
+	shapeSrcPfx
+	// shapeScan: no usable anchor; linear scan residue.
+	shapeScan
+)
+
+// labelShape classifies a canonical label.
+func labelShape(l flow.Label) shape {
+	if l.SrcPrefixLen == 0 && l.DstPrefixLen == 0 &&
+		(l.Wildcards == 0 || l.Wildcards == pairWild) {
+		return shapeHash
+	}
+	if l.Wildcards&flow.WildSrc == 0 && l.SrcPrefixLen != 0 {
+		return shapeSrcPfx
+	}
+	if l.Wildcards&flow.WildDst == 0 && l.DstPrefixLen == 0 {
+		return shapeDst
+	}
+	return shapeScan
+}
+
+// addrHash mixes a single address into a destination-index bucket.
+func addrHash(a uint32) uint32 {
+	h := uint64(a) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return uint32(h)
 }
 
 // labelHash mixes a canonical label into a bucket index. It must
-// disperse labels that differ only in ports/proto/wildcards, since the
-// per-pair hash of Engine.shardIdx has already consumed the (src, dst)
-// entropy by the time a label reaches a shard's view.
+// disperse labels that differ only in ports/proto/wildcards/prefix
+// lengths, since the per-pair hash of Engine.shardIdx has already
+// consumed the (src, dst) entropy by the time a label reaches a shard's
+// view.
 func labelHash(l flow.Label) uint32 {
 	h := uint64(l.Src)<<32 | uint64(l.Dst)
 	h ^= uint64(l.Proto)<<40 | uint64(l.SrcPort)<<24 | uint64(l.DstPort)<<8 | uint64(l.Wildcards)
+	h ^= uint64(l.SrcPrefixLen)<<56 | uint64(l.DstPrefixLen)<<48
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
@@ -134,12 +178,22 @@ type fslot struct {
 // immutable bucket map, so a single-entry control-plane write replaces
 // exactly one small bucket (O(bucketLoad)) without copying the
 // directory — the RCU grace period is per bucket. Directory resizes,
-// expiry sweeps, and scan-list changes build a whole new view and swap
-// the shard's view pointer instead. Entry objects are shared across
-// bucket generations and views, so the atomic counters inside them
-// never lose updates across a swap.
+// expiry sweeps, and scan-residue changes build a whole new view and
+// swap the shard's view pointer instead. Entry objects are shared
+// across bucket generations and views, so the atomic counters inside
+// them never lose updates across a swap.
+//
+// Non-exact labels live in secondary indexes alongside their main
+// bucket: dst is a destination-keyed hash directory for dst-anchored
+// shapes (same per-slot swap discipline as the main directory), trie is
+// the source-prefix LPM trie (writers path-copy and swap the root), and
+// scan is the residue of shapes with no anchor. Every entry appears in
+// its main bucket regardless of shape, so get/each see exactly one copy.
 type filterView struct {
 	buckets []atomic.Pointer[fbucket]
+	dst     []atomic.Pointer[fbucket]
+	dcount  int // live entries indexed by dst, maintained under the writer lock
+	trie    atomic.Pointer[tnode[fslot]]
 	scan    []*fentry // entries matchable only by linear scan; immutable per view
 }
 
@@ -158,7 +212,9 @@ func (v *filterView) get(l flow.Label) *fentry {
 	return nil
 }
 
-// match finds a live filter covering the tuple. Lock-free.
+// match finds a live filter covering the tuple, walking the match
+// hierarchy: exact probe, pair probe, destination index, source-prefix
+// trie, scan residue. Lock-free.
 func (v *filterView) match(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *fentry {
 	if len(v.buckets) > 0 {
 		mask := uint32(len(v.buckets) - 1)
@@ -181,6 +237,20 @@ func (v *filterView) match(exact, pair flow.Label, tup flow.Tuple, now filter.Ti
 					break
 				}
 			}
+		}
+	}
+	if len(v.dst) > 0 {
+		if bp := v.dst[addrHash(uint32(tup.Dst))&uint32(len(v.dst)-1)].Load(); bp != nil {
+			for i := range *bp {
+				if fe := (*bp)[i].fe; (*bp)[i].label.Matches(tup) && fe.expires() > now {
+					return fe
+				}
+			}
+		}
+	}
+	if n := v.trie.Load(); n != nil {
+		if fe := trieMatchF(n, tup, now); fe != nil {
+			return fe
 		}
 	}
 	for _, fe := range v.scan {
@@ -213,10 +283,17 @@ func buildFilterView(entries []*fentry) *filterView {
 	v.buckets = make([]atomic.Pointer[fbucket], nb)
 	mask := uint32(nb - 1)
 	tmp := make([]fbucket, nb)
+	var dslots []fslot
+	var root *tnode[fslot]
 	for _, fe := range entries {
 		bi := labelHash(fe.label) & mask
 		tmp[bi] = append(tmp[bi], fslot{fe.label, fe})
-		if needsScan(fe.label) {
+		switch labelShape(fe.label) {
+		case shapeDst:
+			dslots = append(dslots, fslot{fe.label, fe})
+		case shapeSrcPfx:
+			root = trieInsert(root, uint32(fe.label.Src), fe.label.SrcPrefixLen, fslot{fe.label, fe})
+		case shapeScan:
 			v.scan = append(v.scan, fe)
 		}
 	}
@@ -226,16 +303,37 @@ func buildFilterView(entries []*fentry) *filterView {
 			v.buckets[i].Store(&b)
 		}
 	}
+	v.trie.Store(root)
+	if len(dslots) > 0 {
+		v.dcount = len(dslots)
+		nd := bucketsFor(v.dcount)
+		v.dst = make([]atomic.Pointer[fbucket], nd)
+		dtmp := make([]fbucket, nd)
+		dmask := uint32(nd - 1)
+		for _, sl := range dslots {
+			di := addrHash(uint32(sl.label.Dst)) & dmask
+			dtmp[di] = append(dtmp[di], sl)
+		}
+		for i := range dtmp {
+			if len(dtmp[i]) > 0 {
+				b := dtmp[i]
+				v.dst[i].Store(&b)
+			}
+		}
+	}
 	return v
 }
 
-// withInsert adds fe, returning the view the shard must publish:
-// the receiver itself after an in-place bucket swap (the common case,
-// O(bucketLoad)), or a freshly built view when the directory must
-// resize or the scan list changes. Caller holds the shard's writer
-// lock; newCount is the entry count after the insert.
+// withInsert adds fe, returning the view the shard must publish: the
+// receiver itself after in-place slot/root swaps (the common case —
+// O(bucketLoad) for hash- and dst-shaped labels, O(depth) for prefix
+// labels), or a freshly built view when a directory must resize or the
+// scan residue changes. Caller holds the shard's writer lock; newCount
+// is the entry count after the insert.
 func (v *filterView) withInsert(newCount int, fe *fentry) *filterView {
-	if needsScan(fe.label) || !bucketsOK(newCount, len(v.buckets)) {
+	sh := labelShape(fe.label)
+	if sh == shapeScan || !bucketsOK(newCount, len(v.buckets)) ||
+		(sh == shapeDst && !bucketsOK(v.dcount+1, len(v.dst))) {
 		live := make([]*fentry, 0, newCount)
 		v.each(func(e *fentry) { live = append(live, e) })
 		return buildFilterView(append(live, fe))
@@ -248,13 +346,30 @@ func (v *filterView) withInsert(newCount int, fe *fentry) *filterView {
 	}
 	nb = append(nb, fslot{fe.label, fe})
 	slot.Store(&nb)
+	switch sh {
+	case shapeDst:
+		v.dcount++
+		dslot := &v.dst[addrHash(uint32(fe.label.Dst))&uint32(len(v.dst)-1)]
+		var db fbucket
+		if bp := dslot.Load(); bp != nil {
+			db = make(fbucket, len(*bp), len(*bp)+1)
+			copy(db, *bp)
+		}
+		db = append(db, fslot{fe.label, fe})
+		dslot.Store(&db)
+	case shapeSrcPfx:
+		v.trie.Store(trieInsert(v.trie.Load(),
+			uint32(fe.label.Src), fe.label.SrcPrefixLen, fslot{fe.label, fe}))
+	}
 	return v
 }
 
 // withRemove deletes fe, with the same publish contract as withInsert;
 // newCount is the entry count after the removal.
 func (v *filterView) withRemove(newCount int, fe *fentry) *filterView {
-	if needsScan(fe.label) || !bucketsOK(newCount, len(v.buckets)) {
+	sh := labelShape(fe.label)
+	if sh == shapeScan || !bucketsOK(newCount, len(v.buckets)) ||
+		(sh == shapeDst && !bucketsOK(v.dcount-1, len(v.dst))) {
 		live := make([]*fentry, 0, newCount)
 		v.each(func(e *fentry) {
 			if e != fe {
@@ -264,21 +379,41 @@ func (v *filterView) withRemove(newCount int, fe *fentry) *filterView {
 		return buildFilterView(live)
 	}
 	slot := &v.buckets[labelHash(fe.label)&uint32(len(v.buckets)-1)]
-	old := slot.Load()
-	if old == nil {
-		return v
-	}
-	if len(*old) <= 1 {
-		slot.Store(nil)
-		return v
-	}
-	nb := make(fbucket, 0, len(*old)-1)
-	for i := range *old {
-		if (*old)[i].fe != fe {
-			nb = append(nb, (*old)[i])
+	if old := slot.Load(); old != nil {
+		if len(*old) <= 1 {
+			slot.Store(nil)
+		} else {
+			nb := make(fbucket, 0, len(*old)-1)
+			for i := range *old {
+				if (*old)[i].fe != fe {
+					nb = append(nb, (*old)[i])
+				}
+			}
+			slot.Store(&nb)
 		}
 	}
-	slot.Store(&nb)
+	switch sh {
+	case shapeDst:
+		v.dcount--
+		dslot := &v.dst[addrHash(uint32(fe.label.Dst))&uint32(len(v.dst)-1)]
+		if old := dslot.Load(); old != nil {
+			if len(*old) <= 1 {
+				dslot.Store(nil)
+			} else {
+				db := make(fbucket, 0, len(*old)-1)
+				for i := range *old {
+					if (*old)[i].fe != fe {
+						db = append(db, (*old)[i])
+					}
+				}
+				dslot.Store(&db)
+			}
+		}
+	case shapeSrcPfx:
+		v.trie.Store(trieRemove(v.trie.Load(),
+			uint32(fe.label.Src), fe.label.SrcPrefixLen,
+			func(s fslot) bool { return s.fe == fe }))
+	}
 	return v
 }
 
@@ -287,9 +422,12 @@ func (v *filterView) withRemove(newCount int, fe *fentry) *filterView {
 // shadowView deliberately hand-mirrors filterView rather than sharing
 // a generic implementation: the probe loops are the hottest code in
 // the engine, and dispatching label()/expires() through a type-param
-// interface would defeat the inlining the flat versions get. Any
-// change to the publish contract (bucketsOK hysteresis, scan rebuild
-// rule, slot-swap discipline) MUST be applied to both copies.
+// interface would defeat the inlining the flat versions get. (The trie
+// in trie.go shares its *structure* generically — insert/remove are
+// control-plane — but its probe loops are likewise hand-mirrored.)
+// Any change to the publish contract (bucketsOK hysteresis, shape
+// classification, dst-index/trie maintenance, scan rebuild rule,
+// slot-swap discipline) MUST be applied to both copies.
 
 // sbucket is one hash bucket of a shadow view; see fbucket.
 type sbucket = []sslot
@@ -301,9 +439,13 @@ type sslot struct {
 }
 
 // shadowView is the published snapshot structure for the shadow cache
-// segment; see filterView for the per-bucket RCU discipline.
+// segment; see filterView for the per-bucket RCU discipline and the
+// secondary-index layout.
 type shadowView struct {
 	buckets []atomic.Pointer[sbucket]
+	dst     []atomic.Pointer[sbucket]
+	dcount  int
+	trie    atomic.Pointer[tnode[sslot]]
 	scan    []*sentry
 }
 
@@ -321,7 +463,8 @@ func (v *shadowView) get(l flow.Label) *sentry {
 	return nil
 }
 
-// lookup finds a live shadow record covering the tuple. Lock-free.
+// lookup finds a live shadow record covering the tuple, walking the
+// same match hierarchy as filterView.match. Lock-free.
 func (v *shadowView) lookup(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *sentry {
 	if len(v.buckets) > 0 {
 		mask := uint32(len(v.buckets) - 1)
@@ -344,6 +487,20 @@ func (v *shadowView) lookup(exact, pair flow.Label, tup flow.Tuple, now filter.T
 					break
 				}
 			}
+		}
+	}
+	if len(v.dst) > 0 {
+		if bp := v.dst[addrHash(uint32(tup.Dst))&uint32(len(v.dst)-1)].Load(); bp != nil {
+			for i := range *bp {
+				if se := (*bp)[i].se; (*bp)[i].label.Matches(tup) && se.expires() > now {
+					return se
+				}
+			}
+		}
+	}
+	if n := v.trie.Load(); n != nil {
+		if se := trieMatchS(n, tup, now); se != nil {
+			return se
 		}
 	}
 	for _, se := range v.scan {
@@ -373,10 +530,17 @@ func buildShadowView(entries []*sentry) *shadowView {
 	v.buckets = make([]atomic.Pointer[sbucket], nb)
 	mask := uint32(nb - 1)
 	tmp := make([]sbucket, nb)
+	var dslots []sslot
+	var root *tnode[sslot]
 	for _, se := range entries {
 		bi := labelHash(se.label) & mask
 		tmp[bi] = append(tmp[bi], sslot{se.label, se})
-		if needsScan(se.label) {
+		switch labelShape(se.label) {
+		case shapeDst:
+			dslots = append(dslots, sslot{se.label, se})
+		case shapeSrcPfx:
+			root = trieInsert(root, uint32(se.label.Src), se.label.SrcPrefixLen, sslot{se.label, se})
+		case shapeScan:
 			v.scan = append(v.scan, se)
 		}
 	}
@@ -386,12 +550,32 @@ func buildShadowView(entries []*sentry) *shadowView {
 			v.buckets[i].Store(&b)
 		}
 	}
+	v.trie.Store(root)
+	if len(dslots) > 0 {
+		v.dcount = len(dslots)
+		nd := bucketsFor(v.dcount)
+		v.dst = make([]atomic.Pointer[sbucket], nd)
+		dtmp := make([]sbucket, nd)
+		dmask := uint32(nd - 1)
+		for _, sl := range dslots {
+			di := addrHash(uint32(sl.label.Dst)) & dmask
+			dtmp[di] = append(dtmp[di], sl)
+		}
+		for i := range dtmp {
+			if len(dtmp[i]) > 0 {
+				b := dtmp[i]
+				v.dst[i].Store(&b)
+			}
+		}
+	}
 	return v
 }
 
 // withInsert / withRemove follow filterView's publish contract.
 func (v *shadowView) withInsert(newCount int, se *sentry) *shadowView {
-	if needsScan(se.label) || !bucketsOK(newCount, len(v.buckets)) {
+	sh := labelShape(se.label)
+	if sh == shapeScan || !bucketsOK(newCount, len(v.buckets)) ||
+		(sh == shapeDst && !bucketsOK(v.dcount+1, len(v.dst))) {
 		live := make([]*sentry, 0, newCount)
 		v.each(func(e *sentry) { live = append(live, e) })
 		return buildShadowView(append(live, se))
@@ -404,11 +588,28 @@ func (v *shadowView) withInsert(newCount int, se *sentry) *shadowView {
 	}
 	nb = append(nb, sslot{se.label, se})
 	slot.Store(&nb)
+	switch sh {
+	case shapeDst:
+		v.dcount++
+		dslot := &v.dst[addrHash(uint32(se.label.Dst))&uint32(len(v.dst)-1)]
+		var db sbucket
+		if bp := dslot.Load(); bp != nil {
+			db = make(sbucket, len(*bp), len(*bp)+1)
+			copy(db, *bp)
+		}
+		db = append(db, sslot{se.label, se})
+		dslot.Store(&db)
+	case shapeSrcPfx:
+		v.trie.Store(trieInsert(v.trie.Load(),
+			uint32(se.label.Src), se.label.SrcPrefixLen, sslot{se.label, se}))
+	}
 	return v
 }
 
 func (v *shadowView) withRemove(newCount int, se *sentry) *shadowView {
-	if needsScan(se.label) || !bucketsOK(newCount, len(v.buckets)) {
+	sh := labelShape(se.label)
+	if sh == shapeScan || !bucketsOK(newCount, len(v.buckets)) ||
+		(sh == shapeDst && !bucketsOK(v.dcount-1, len(v.dst))) {
 		live := make([]*sentry, 0, newCount)
 		v.each(func(e *sentry) {
 			if e != se {
@@ -418,21 +619,41 @@ func (v *shadowView) withRemove(newCount int, se *sentry) *shadowView {
 		return buildShadowView(live)
 	}
 	slot := &v.buckets[labelHash(se.label)&uint32(len(v.buckets)-1)]
-	old := slot.Load()
-	if old == nil {
-		return v
-	}
-	if len(*old) <= 1 {
-		slot.Store(nil)
-		return v
-	}
-	nb := make(sbucket, 0, len(*old)-1)
-	for i := range *old {
-		if (*old)[i].se != se {
-			nb = append(nb, (*old)[i])
+	if old := slot.Load(); old != nil {
+		if len(*old) <= 1 {
+			slot.Store(nil)
+		} else {
+			nb := make(sbucket, 0, len(*old)-1)
+			for i := range *old {
+				if (*old)[i].se != se {
+					nb = append(nb, (*old)[i])
+				}
+			}
+			slot.Store(&nb)
 		}
 	}
-	slot.Store(&nb)
+	switch sh {
+	case shapeDst:
+		v.dcount--
+		dslot := &v.dst[addrHash(uint32(se.label.Dst))&uint32(len(v.dst)-1)]
+		if old := dslot.Load(); old != nil {
+			if len(*old) <= 1 {
+				dslot.Store(nil)
+			} else {
+				db := make(sbucket, 0, len(*old)-1)
+				for i := range *old {
+					if (*old)[i].se != se {
+						db = append(db, (*old)[i])
+					}
+				}
+				dslot.Store(&db)
+			}
+		}
+	case shapeSrcPfx:
+		v.trie.Store(trieRemove(v.trie.Load(),
+			uint32(se.label.Src), se.label.SrcPrefixLen,
+			func(s sslot) bool { return s.se == se }))
+	}
 	return v
 }
 

@@ -1,0 +1,175 @@
+package dataplane
+
+import (
+	"math/bits"
+
+	"aitf/internal/filter"
+	"aitf/internal/flow"
+)
+
+// This file implements the persistent path-compressed binary trie the
+// match views use for source-prefix filters (the coarse labels AITF
+// gateways fall back to under filter-table pressure, §II/§IV). A
+// classification walks at most 32 nodes along the packet's source
+// address instead of scanning every prefix filter, so a table of a
+// million /24 aggregates costs a packet the same handful of probes as a
+// table of ten.
+//
+// The trie follows the same RCU discipline as the views' bucket
+// directories: nodes are immutable once published. A writer (holding
+// the shard's writer mutex) copies only the O(depth) nodes on the path
+// it touches and swaps the view's root pointer; in-flight readers keep
+// walking the old generation. Structure (node shape, insert/remove
+// path-copying) is generic over the slot type so the filter and shadow
+// sides share it; the probe loops stay concrete per side (trieMatchF /
+// trieMatchS below) for the same inlining reasons fbucket/sbucket are
+// hand-mirrored in shard.go.
+
+// tnode is one trie node: key holds the prefix value with its host bits
+// zeroed, plen its length in bits. slots holds the filters installed at
+// exactly (key, plen); children branch on bit plen of the address.
+// Path compression keeps interior nodes only where prefixes diverge, so
+// the walk length is bounded by min(32, distinct prefix branch points).
+type tnode[S any] struct {
+	key   uint32
+	plen  uint8
+	slots []S
+	child [2]*tnode[S]
+}
+
+// prefixMask keeps the top plen bits of a 32-bit address.
+func prefixMask(plen uint8) uint32 {
+	if plen == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - plen)
+}
+
+// bitAt returns bit i of key, counting from the most significant bit.
+func bitAt(key uint32, i uint8) int {
+	return int(key >> (31 - i) & 1)
+}
+
+// trieInsert returns the root of a trie with sl added under (key, plen),
+// sharing every untouched node with the previous generation. key must
+// already be masked to plen bits (canonical labels are).
+func trieInsert[S any](n *tnode[S], key uint32, plen uint8, sl S) *tnode[S] {
+	if n == nil {
+		return &tnode[S]{key: key, plen: plen, slots: []S{sl}}
+	}
+	cl := uint8(bits.LeadingZeros32(n.key ^ key))
+	if cl > n.plen {
+		cl = n.plen
+	}
+	if cl > plen {
+		cl = plen
+	}
+	switch {
+	case cl == n.plen && cl == plen:
+		// Same prefix: replace the node with one holding the extra slot.
+		nn := *n
+		nn.slots = make([]S, len(n.slots)+1)
+		copy(nn.slots, n.slots)
+		nn.slots[len(n.slots)] = sl
+		return &nn
+	case cl == n.plen:
+		// The new prefix extends below n: path-copy into the child.
+		b := bitAt(key, n.plen)
+		nn := *n
+		nn.child[b] = trieInsert(n.child[b], key, plen, sl)
+		return &nn
+	case cl == plen:
+		// The new prefix strictly contains n: insert above it.
+		nn := &tnode[S]{key: key, plen: plen, slots: []S{sl}}
+		nn.child[bitAt(n.key, plen)] = n
+		return nn
+	default:
+		// Prefixes diverge at bit cl: fork with an empty join node.
+		join := &tnode[S]{key: key & prefixMask(cl), plen: cl}
+		join.child[bitAt(n.key, cl)] = n
+		join.child[bitAt(key, cl)] = &tnode[S]{key: key, plen: plen, slots: []S{sl}}
+		return join
+	}
+}
+
+// trieRemove returns the root of a trie with the slots matching gone
+// removed from the node at (key, plen), pruning emptied nodes and
+// re-compressing single-child paths. Untouched nodes are shared; the
+// unmodified root is returned when nothing matched.
+func trieRemove[S any](n *tnode[S], key uint32, plen uint8, gone func(S) bool) *tnode[S] {
+	if n == nil || n.plen > plen || key&prefixMask(n.plen) != n.key {
+		return n
+	}
+	nn := *n
+	if n.plen == plen {
+		kept := make([]S, 0, len(n.slots))
+		for _, s := range n.slots {
+			if !gone(s) {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == len(n.slots) {
+			return n
+		}
+		nn.slots = kept
+	} else {
+		b := bitAt(key, n.plen)
+		nc := trieRemove(n.child[b], key, plen, gone)
+		if nc == n.child[b] {
+			return n
+		}
+		nn.child[b] = nc
+	}
+	if len(nn.slots) == 0 {
+		if nn.child[0] == nil {
+			return nn.child[1]
+		}
+		if nn.child[1] == nil {
+			return nn.child[0]
+		}
+	}
+	return &nn
+}
+
+// trieMatchF walks the filter trie along tup's source address and
+// returns the first live filter whose label covers the tuple. The loop
+// is concrete (no callbacks) so the hot path stays inlineable and
+// allocation-free.
+func trieMatchF(n *tnode[fslot], tup flow.Tuple, now filter.Time) *fentry {
+	key := uint32(tup.Src)
+	for n != nil {
+		if key&prefixMask(n.plen) != n.key {
+			return nil
+		}
+		for i := range n.slots {
+			if fe := n.slots[i].fe; n.slots[i].label.Matches(tup) && fe.expires() > now {
+				return fe
+			}
+		}
+		if n.plen >= 32 {
+			return nil
+		}
+		n = n.child[bitAt(key, n.plen)]
+	}
+	return nil
+}
+
+// trieMatchS mirrors trieMatchF for the shadow side.
+func trieMatchS(n *tnode[sslot], tup flow.Tuple, now filter.Time) *sentry {
+	key := uint32(tup.Src)
+	for n != nil {
+		if key&prefixMask(n.plen) != n.key {
+			return nil
+		}
+		for i := range n.slots {
+			if se := n.slots[i].se; n.slots[i].label.Matches(tup) && se.expires() > now {
+				return se
+			}
+		}
+		if n.plen >= 32 {
+			return nil
+		}
+		n = n.child[bitAt(key, n.plen)]
+	}
+	return nil
+}

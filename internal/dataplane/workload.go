@@ -70,3 +70,93 @@ func WorkloadBatch(rng *rand.Rand, filters, size int, hitFrac float64) []*packet
 	}
 	return batch
 }
+
+// workloadPrefixLabel is the i-th source-prefix filter: a /24 in 240/8
+// toward a per-i destination, so the population stays distinct out to
+// millions of entries (the 2^16 /24s of 240/8 times 256 destinations).
+func workloadPrefixLabel(i int) (src flow.Addr, dst flow.Addr) {
+	return flow.MakeAddr(240, byte(i>>8), byte(i), 0), flow.MakeAddr(203, 99, byte(i>>16), 1)
+}
+
+// workloadWildDst is the destination named by the i-th dst-anchored
+// wildcard filter (distinct across 8 × 2^16 entries).
+func workloadWildDst(i int) flow.Addr {
+	return flow.MakeAddr(198, 48+byte(i>>16)&7, byte(i>>8), byte(i))
+}
+
+// WildcardWorkloadLabels returns the nonExact coarse labels the
+// wildcard workload installs, split evenly between source-/24 prefixes
+// (LPM trie shapes) and dst-anchored wildcards (secondary index
+// shapes). Exposed so scan-reference measurements can run the same
+// population through a naive matcher.
+func WildcardWorkloadLabels(nonExact int) []flow.Label {
+	out := make([]flow.Label, 0, nonExact)
+	for i := 0; i < nonExact; i++ {
+		if i%2 == 0 {
+			src, dst := workloadPrefixLabel(i / 2)
+			out = append(out, flow.SrcPrefixLabel(src, 24, dst))
+		} else {
+			out = append(out, flow.ToDestination(workloadWildDst(i/2)))
+		}
+	}
+	return out
+}
+
+// WildcardWorkloadEngine builds an engine preloaded with exact pair
+// filters plus the WildcardWorkloadLabels coarse population — the §IV
+// fallback shapes whose match cost the indexed path must keep
+// independent of nonExact.
+func WildcardWorkloadEngine(shards, pairs, nonExact int) *Engine {
+	e := New(Config{
+		Shards:         shards,
+		FilterCapacity: pairs + nonExact + 16,
+		ShadowCapacity: 1024,
+		Evict:          filter.RejectNew,
+		ShadowLookup:   true,
+		Clock:          SteadyClock(),
+	})
+	for i := 0; i < pairs; i++ {
+		src, dst := workloadHitPair(i)
+		if err := e.Install(flow.PairLabel(src, dst), 0, time.Hour); err != nil {
+			panic(err)
+		}
+	}
+	for _, label := range WildcardWorkloadLabels(nonExact) {
+		if err := e.Install(label, 0, time.Hour); err != nil {
+			panic(err)
+		}
+	}
+	return e
+}
+
+// WildcardWorkloadBatch builds a batch in which wildFrac of the packets
+// hit the coarse (prefix/wildcard) filter population, and the rest
+// split between exact-pair hits and misses as WorkloadBatch does.
+func WildcardWorkloadBatch(rng *rand.Rand, pairs, nonExact, size int, wildFrac float64) []*packet.Packet {
+	batch := make([]*packet.Packet, size)
+	for j := range batch {
+		if nonExact > 0 && rng.Float64() < wildFrac {
+			i := rng.Intn(nonExact)
+			if i%2 == 0 {
+				src, dst := workloadPrefixLabel(i / 2)
+				src += flow.Addr(rng.Intn(256)) // any sibling inside the /24
+				batch[j] = packet.NewData(src, dst, flow.ProtoUDP, 1000, 80, 512)
+			} else {
+				src := flow.MakeAddr(192, 0, 2, byte(rng.Intn(256)))
+				batch[j] = packet.NewData(src, workloadWildDst(i/2), flow.ProtoUDP, 1000, 80, 512)
+			}
+			continue
+		}
+		if pairs > 0 && rng.Float64() < 0.5 {
+			src, dst := workloadHitPair(rng.Intn(pairs))
+			batch[j] = packet.NewData(src, dst, flow.ProtoUDP, 1000, 80, 512)
+		} else {
+			i := rng.Intn(1 << 16)
+			batch[j] = packet.NewData(
+				flow.MakeAddr(192, 168, byte(i>>8), byte(i)),
+				flow.MakeAddr(203, 0, byte(i>>8), byte(i)),
+				flow.ProtoUDP, 1000, 80, 512)
+		}
+	}
+	return batch
+}

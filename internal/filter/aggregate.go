@@ -1,0 +1,103 @@
+// Aggregation policy: when a victim's gateway runs out of wire-speed
+// filters — the filter-table pressure endgame of AITF §II/§IV, reached
+// when thousands of (often spoofed) sibling sources each cost one pair
+// filter — the gateway falls back to coarser labels, coalescing sibling
+// filters into one covering source-prefix filter. This file holds the
+// pure grouping policy; Table.Aggregate / dataplane.Engine.Aggregate
+// perform the budget-conserving replacement, and core.Gateway decides
+// when pressure warrants it and when relief warrants splitting back.
+package filter
+
+import (
+	"sort"
+
+	"aitf/internal/flow"
+)
+
+// SiblingGroup is a set of installed filters that share a destination
+// and a source /N, together with the prefix label that covers them all.
+type SiblingGroup struct {
+	// Aggregate is the covering label: src/N -> dst, any proto/ports.
+	Aggregate flow.Label
+	// Children are the member filters, in expiry order.
+	Children []Entry
+	// MaxExpiry is the latest child deadline; an aggregate installed
+	// until then costs no child any coverage time.
+	MaxExpiry Time
+}
+
+// Freed is the net table slots released by installing the group's
+// aggregate in place of its children.
+func (g SiblingGroup) Freed() int { return len(g.Children) - 1 }
+
+// CoveredAddrs is how many source addresses the aggregate matches —
+// the denominator of collateral-damage accounting: the aggregate
+// blocks CoveredAddrs sources to stop len(Children) offenders.
+func (g SiblingGroup) CoveredAddrs() int {
+	return 1 << (32 - int(g.Aggregate.SrcPrefixLen))
+}
+
+// ChildLabels returns the member labels, for handing to Aggregate.
+func (g SiblingGroup) ChildLabels() []flow.Label {
+	out := make([]flow.Label, len(g.Children))
+	for i, e := range g.Children {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// SiblingGroups scans installed filters and groups the aggregatable
+// ones — labels with concrete host source and destination addresses
+// (exact, pair, or port/proto wildcards) — by (dst, src/prefixLen).
+// Groups smaller than minChildren are dropped; the rest are returned
+// most-members-first (ties broken by label order) so the caller can
+// coalesce the group that frees the most slots first. prefixLen must be
+// in [1, 31]; minChildren below 2 is raised to 2, since replacing one
+// filter with a broader one frees nothing and only adds collateral.
+func SiblingGroups(entries []Entry, prefixLen uint8, minChildren int) []SiblingGroup {
+	if prefixLen < 1 || prefixLen > 31 {
+		return nil
+	}
+	if minChildren < 2 {
+		minChildren = 2
+	}
+	type gkey struct {
+		src flow.Addr
+		dst flow.Addr
+	}
+	groups := map[gkey][]Entry{}
+	for _, e := range entries {
+		l := e.Label
+		if l.Wildcards&(flow.WildSrc|flow.WildDst) != 0 ||
+			l.SrcPrefixLen != 0 || l.DstPrefixLen != 0 {
+			continue // already coarse, or not anchored to a host pair
+		}
+		k := gkey{src: l.Src.Mask(prefixLen), dst: l.Dst}
+		groups[k] = append(groups[k], e)
+	}
+	out := make([]SiblingGroup, 0, len(groups))
+	for k, members := range groups {
+		if len(members) < minChildren {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].ExpiresAt != members[j].ExpiresAt {
+				return members[i].ExpiresAt < members[j].ExpiresAt
+			}
+			return members[i].Label.String() < members[j].Label.String()
+		})
+		g := SiblingGroup{
+			Aggregate: flow.SrcPrefixLabel(k.src, prefixLen, k.dst),
+			Children:  members,
+			MaxExpiry: members[len(members)-1].ExpiresAt,
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Children) != len(out[j].Children) {
+			return len(out[i].Children) > len(out[j].Children)
+		}
+		return out[i].Aggregate.String() < out[j].Aggregate.String()
+	})
+	return out
+}

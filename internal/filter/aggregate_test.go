@@ -1,0 +1,170 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"aitf/internal/flow"
+)
+
+func aggChild(i int, dst flow.Addr) flow.Label {
+	return flow.PairLabel(flow.MakeAddr(240, 1, 2, byte(i)), dst)
+}
+
+func TestSiblingGroups(t *testing.T) {
+	dst := flow.MakeAddr(10, 0, 0, 9)
+	other := flow.MakeAddr(10, 0, 0, 8)
+	var entries []Entry
+	for i := 0; i < 5; i++ { // five siblings in 240.1.2/24 toward dst
+		entries = append(entries, Entry{Label: aggChild(i, dst), ExpiresAt: Time(i+1) * time.Second})
+	}
+	for i := 0; i < 3; i++ { // three siblings in 240.9.9/24 toward dst
+		entries = append(entries, Entry{
+			Label:     flow.PairLabel(flow.MakeAddr(240, 9, 9, byte(i)), dst),
+			ExpiresAt: time.Minute,
+		})
+	}
+	entries = append(entries,
+		Entry{Label: aggChild(77, other), ExpiresAt: time.Second},               // lone: different dst
+		Entry{Label: flow.FromSource(dst), ExpiresAt: time.Second},              // wildcard: ineligible
+		Entry{Label: flow.SrcPrefixLabel(flow.MakeAddr(240, 1, 2, 0), 24, dst)}, // already coarse
+	)
+
+	groups := SiblingGroups(entries, 24, 2)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(groups), groups)
+	}
+	g := groups[0] // largest first
+	if len(g.Children) != 5 || g.Freed() != 4 {
+		t.Fatalf("biggest group has %d children (freed %d)", len(g.Children), g.Freed())
+	}
+	want := flow.SrcPrefixLabel(flow.MakeAddr(240, 1, 2, 0), 24, dst)
+	if g.Aggregate != want {
+		t.Fatalf("aggregate label %v, want %v", g.Aggregate, want)
+	}
+	if g.MaxExpiry != 5*time.Second {
+		t.Fatalf("MaxExpiry %v", g.MaxExpiry)
+	}
+	if g.CoveredAddrs() != 256 {
+		t.Fatalf("CoveredAddrs %d", g.CoveredAddrs())
+	}
+	for _, c := range g.Children {
+		if !g.Aggregate.Covers(c.Label) {
+			t.Fatalf("aggregate %v does not cover child %v", g.Aggregate, c.Label)
+		}
+	}
+	// Below min size, or with a degenerate prefix length: nothing.
+	if got := SiblingGroups(entries, 24, 6); len(got) != 0 {
+		t.Fatalf("minChildren ignored: %+v", got)
+	}
+	for _, bad := range []uint8{0, 32, 200} {
+		if got := SiblingGroups(entries, bad, 2); got != nil {
+			t.Fatalf("prefixLen %d accepted", bad)
+		}
+	}
+	// minChildren below 2 is raised: singleton groups never form.
+	lone := []Entry{{Label: aggChild(0, dst), ExpiresAt: time.Second}}
+	if got := SiblingGroups(lone, 24, 0); len(got) != 0 {
+		t.Fatalf("singleton aggregated: %+v", got)
+	}
+}
+
+// TestTableAggregateConservesBudget pins the quota contract documented
+// on Table.Aggregate: replacing k children with one aggregate frees
+// exactly k−1 slots, double-counts nothing in the stats arithmetic,
+// leaks nothing through repeated cycles, and preserves coverage time.
+func TestTableAggregateConservesBudget(t *testing.T) {
+	const capacity = 8
+	dst := flow.MakeAddr(10, 0, 0, 9)
+	tb := NewTable(capacity, RejectNew)
+	for i := 0; i < capacity; i++ {
+		if err := tb.Install(aggChild(i, dst), 0, Time(i+1)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Install(aggChild(99, dst), 0, time.Minute); err == nil {
+		t.Fatal("table should be full")
+	}
+
+	groups := SiblingGroups(tb.Entries(), 24, 2)
+	if len(groups) != 1 {
+		t.Fatalf("groups: %+v", groups)
+	}
+	g := groups[0]
+	if err := tb.Aggregate(g.Aggregate, g.ChildLabels(), 0, time.Second); err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len after aggregate = %d, want 1 (k slots freed, 1 consumed)", tb.Len())
+	}
+	st := tb.Stats()
+	if st.Aggregates != 1 || st.Aggregated != uint64(capacity) {
+		t.Fatalf("aggregation stats: %+v", st)
+	}
+	if st.Removed != 0 {
+		t.Fatalf("children double-counted under Removed: %+v", st)
+	}
+	// Single-entry arithmetic balances against live occupancy.
+	live := int64(st.Installed) + int64(st.Aggregates) - int64(st.Removed) -
+		int64(st.Aggregated) - int64(st.Expired) - int64(st.Evicted)
+	if live != int64(tb.Len()) {
+		t.Fatalf("stats arithmetic %d != occupancy %d (%+v)", live, tb.Len(), st)
+	}
+	// Coverage time conserved: the aggregate outlives the latest child
+	// even though the caller asked for less.
+	e, ok := tb.Lookup(g.Aggregate, 0)
+	if !ok || e.ExpiresAt != Time(capacity)*time.Second {
+		t.Fatalf("aggregate deadline %+v, want %v", e, Time(capacity)*time.Second)
+	}
+	// The aggregate still blocks every child flow.
+	if !tb.Match(flow.TupleOf(flow.MakeAddr(240, 1, 2, 3), dst, flow.ProtoUDP, 1, 80), 10, 0) {
+		t.Fatal("aggregate does not match a child flow")
+	}
+
+	// Re-aggregating with the aggregate live refreshes it (no new entry,
+	// no stat churn beyond newly folded children).
+	if err := tb.Install(aggChild(50, dst), 0, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Aggregate(g.Aggregate, []flow.Label{aggChild(50, dst)}, 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st = tb.Stats()
+	if tb.Len() != 1 || st.Aggregates != 1 || st.Aggregated != uint64(capacity+1) {
+		t.Fatalf("refresh cycle: len=%d stats=%+v", tb.Len(), st)
+	}
+	if e, _ := tb.Lookup(g.Aggregate, 0); e.ExpiresAt != 30*time.Second {
+		t.Fatalf("refresh did not extend to late child: %+v", e)
+	}
+
+	// Aggregating nothing present falls back to a plain capacity-checked
+	// install (here: fine, table has room).
+	g2 := flow.SrcPrefixLabel(flow.MakeAddr(241, 0, 0, 0), 24, dst)
+	if err := tb.Aggregate(g2, []flow.Label{aggChild(200, dst)}, 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	// No leak across many cycles: install k children, aggregate, expire.
+	now := Time(0)
+	for cycle := 0; cycle < 20; cycle++ {
+		tb2 := NewTable(capacity, RejectNew)
+		for i := 0; i < capacity; i++ {
+			if err := tb2.Install(aggChild(i, dst), now, now+time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gs := SiblingGroups(tb2.Entries(), 24, 2)
+		if err := tb2.Aggregate(gs[0].Aggregate, gs[0].ChildLabels(), now, now+time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if tb2.Len() != 1 {
+			t.Fatalf("cycle %d: leak, Len=%d", cycle, tb2.Len())
+		}
+		tb2.Expire(now + 2*time.Second)
+		if tb2.Len() != 0 {
+			t.Fatalf("cycle %d: aggregate did not expire", cycle)
+		}
+	}
+}

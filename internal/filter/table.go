@@ -60,12 +60,21 @@ type Entry struct {
 }
 
 // Stats aggregates table counters for experiments.
+//
+// Aggregation accounting is single-entry: a child filter folded into a
+// covering aggregate counts once under Aggregated (not also under
+// Removed), and the aggregate's installation counts once under
+// Aggregates (not also under Installed), so occupancy arithmetic
+// (Installed + Aggregates − Removed − Aggregated − Expired − Evicted =
+// live entries) balances with no double-count.
 type Stats struct {
 	Installed     uint64 // successful Install calls
 	Rejected      uint64 // Install calls that returned ErrTableFull
 	Evicted       uint64 // entries displaced by EvictSoonest
 	Expired       uint64 // entries removed because their TTL passed
 	Removed       uint64 // entries removed explicitly
+	Aggregates    uint64 // covering prefix filters installed by Aggregate
+	Aggregated    uint64 // child filters folded into an aggregate
 	Drops         uint64 // packets dropped by any filter
 	DroppedBytes  uint64
 	PeakOccupancy int // high-water mark of simultaneous filters
@@ -90,9 +99,12 @@ type Table struct {
 // pairWild is the wildcard pattern of flow.PairLabel.
 const pairWild = flow.WildProto | flow.WildSrcPort | flow.WildDstPort
 
-// needsScan reports whether a label can only be matched by scanning.
+// needsScan reports whether a label can only be matched by scanning
+// (its shape is neither exact nor the canonical pair label; prefix
+// granularity on either address defeats the keyed probes too).
 func needsScan(l flow.Label) bool {
-	return l.Wildcards != 0 && l.Wildcards != pairWild
+	return (l.Wildcards != 0 && l.Wildcards != pairWild) ||
+		l.SrcPrefixLen != 0 || l.DstPrefixLen != 0
 }
 
 // NewTable returns a table that holds at most capacity filters.
@@ -154,6 +166,66 @@ func (t *Table) Install(label flow.Label, now, exp Time) error {
 		t.scanable++
 	}
 	t.stats.Installed++
+	if len(t.entries) > t.stats.PeakOccupancy {
+		t.stats.PeakOccupancy = len(t.entries)
+	}
+	return nil
+}
+
+// Aggregate replaces the given child filters with one covering
+// aggregate filter (typically a source-prefix label over sibling pair
+// filters), under a strict budget-conservation contract:
+//
+//   - Occupancy changes by exactly 1 − k, where k is the number of
+//     children actually present: the k slots are freed and exactly one
+//     is consumed, so with k ≥ 1 the aggregate can never be rejected
+//     for capacity and the table never leaks a slot. With k == 0 the
+//     normal Install path (including its capacity check) applies.
+//   - The aggregate's deadline is raised to the latest child deadline
+//     if that is later than exp, so no child loses coverage time.
+//   - Children's drop counters stay in the cumulative Stats.Drops; the
+//     aggregate entry starts counting from zero.
+//
+// It is the caller's job to pass children the aggregate label actually
+// covers; labels not present in the table are skipped.
+func (t *Table) Aggregate(agg flow.Label, children []flow.Label, now, exp Time) error {
+	key := agg.Key()
+	replaced := 0
+	for _, c := range children {
+		ck := c.Key()
+		if ck == key {
+			continue
+		}
+		e, ok := t.entries[ck]
+		if !ok {
+			continue
+		}
+		if e.ExpiresAt > exp {
+			exp = e.ExpiresAt
+		}
+		delete(t.entries, ck)
+		if needsScan(ck) {
+			t.scanable--
+		}
+		replaced++
+	}
+	t.stats.Aggregated += uint64(replaced)
+	if e, ok := t.entries[key]; ok {
+		// Aggregate already installed: refresh, keep its counters.
+		if exp > e.ExpiresAt {
+			e.ExpiresAt = exp
+		}
+		return nil
+	}
+	if replaced == 0 {
+		// Nothing was freed: no special capacity claim to make.
+		return t.Install(agg, now, exp)
+	}
+	t.entries[key] = &Entry{Label: agg, InstalledAt: now, ExpiresAt: exp}
+	if needsScan(key) {
+		t.scanable++
+	}
+	t.stats.Aggregates++
 	if len(t.entries) > t.stats.PeakOccupancy {
 		t.stats.PeakOccupancy = len(t.entries)
 	}

@@ -50,6 +50,15 @@ func (a Addr) Octets() [4]byte {
 	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
 }
 
+// Mask keeps the top bits of the address and zeroes the rest; bits >= 32
+// is the identity.
+func (a Addr) Mask(bits uint8) Addr {
+	if bits >= 32 {
+		return a
+	}
+	return a &^ (1<<(32-bits) - 1)
+}
+
 // Proto identifies a transport protocol in the simulated stack.
 type Proto uint8
 
@@ -99,11 +108,20 @@ const (
 // Label is a wildcardable 5-tuple. The zero Label with Wildcards ==
 // WildAll matches every packet; the zero Label with no wildcards matches
 // only the all-zero tuple.
+//
+// The address fields additionally support prefix granularity: a
+// SrcPrefixLen (DstPrefixLen) in [1, 31] turns Src (Dst) into a prefix
+// matching every address that shares its top N bits — the coarser
+// filter shape AITF gateways fall back to under filter-table pressure
+// (§II, §IV). 0 means the full /32 address; 32 is equivalent to 0 and
+// canonicalizes to it; the prefix length is ignored (and canonicalizes
+// to 0) when the corresponding Wild bit is set.
 type Label struct {
-	Src, Dst         Addr
-	Proto            Proto
-	SrcPort, DstPort uint16
-	Wildcards        Wild
+	Src, Dst                   Addr
+	Proto                      Proto
+	SrcPort, DstPort           uint16
+	Wildcards                  Wild
+	SrcPrefixLen, DstPrefixLen uint8
 }
 
 // Exact returns a fully specified (no wildcard) label.
@@ -127,6 +145,60 @@ func ToDestination(dst Addr) Label {
 	return Label{Dst: dst, Wildcards: WildSrc | WildProto | WildSrcPort | WildDstPort}
 }
 
+// SrcPrefixLabel matches all traffic from the source prefix src/bits to
+// dst, any protocol and ports: the aggregate a gateway installs when it
+// coalesces sibling pair filters (§IV). bits is clamped to [1, 32];
+// 32 degenerates to PairLabel.
+func SrcPrefixLabel(src Addr, bits uint8, dst Addr) Label {
+	l := PairLabel(src, dst)
+	l.SrcPrefixLen = bits
+	return l.Canonical()
+}
+
+// DstPrefixLabel matches all traffic from src to the destination prefix
+// dst/bits, any protocol and ports.
+func DstPrefixLabel(src Addr, dst Addr, bits uint8) Label {
+	l := PairLabel(src, dst)
+	l.DstPrefixLen = bits
+	return l.Canonical()
+}
+
+// srcBits is the effective source prefix length: 0 for a wildcarded
+// source, 32 for a full host address, the prefix length otherwise.
+func (l Label) srcBits() uint8 {
+	if l.Wildcards&WildSrc != 0 {
+		return 0
+	}
+	if l.SrcPrefixLen == 0 || l.SrcPrefixLen >= 32 {
+		return 32
+	}
+	return l.SrcPrefixLen
+}
+
+// dstBits mirrors srcBits for the destination field.
+func (l Label) dstBits() uint8 {
+	if l.Wildcards&WildDst != 0 {
+		return 0
+	}
+	if l.DstPrefixLen == 0 || l.DstPrefixLen >= 32 {
+		return 32
+	}
+	return l.DstPrefixLen
+}
+
+// CoversSrc reports whether the label's source field covers addr
+// (wildcard, containing prefix, or equal host address).
+func (l Label) CoversSrc(a Addr) bool {
+	b := l.srcBits()
+	return l.Src.Mask(b) == a.Mask(b)
+}
+
+// CoversDst reports whether the label's destination field covers addr.
+func (l Label) CoversDst(a Addr) bool {
+	b := l.dstBits()
+	return l.Dst.Mask(b) == a.Mask(b)
+}
+
 // Tuple is a concrete packet 5-tuple to be matched against labels.
 type Tuple struct {
 	Src, Dst         Addr
@@ -146,11 +218,15 @@ func (t Tuple) ExactLabel() Label {
 
 // Matches reports whether the tuple is covered by the label.
 func (l Label) Matches(t Tuple) bool {
-	if l.Wildcards&WildSrc == 0 && l.Src != t.Src {
-		return false
+	if l.Wildcards&WildSrc == 0 {
+		if b := l.srcBits(); l.Src.Mask(b) != t.Src.Mask(b) {
+			return false
+		}
 	}
-	if l.Wildcards&WildDst == 0 && l.Dst != t.Dst {
-		return false
+	if l.Wildcards&WildDst == 0 {
+		if b := l.dstBits(); l.Dst.Mask(b) != t.Dst.Mask(b) {
+			return false
+		}
 	}
 	if l.Wildcards&WildProto == 0 && l.Proto != t.Proto {
 		return false
@@ -165,8 +241,19 @@ func (l Label) Matches(t Tuple) bool {
 }
 
 // Covers reports whether every tuple matched by other is also matched by
-// l (label subsumption). Used to avoid installing redundant filters.
+// l (label subsumption). Used to avoid installing redundant filters and
+// to decide which filters an aggregate prefix filter replaces. Address
+// fields use prefix containment: a shorter prefix covers every longer
+// prefix (and host) inside it, with a wildcard acting as the /0 prefix.
 func (l Label) Covers(other Label) bool {
+	lb, ob := l.srcBits(), other.srcBits()
+	if lb > ob || l.Src.Mask(lb) != other.Src.Mask(lb) {
+		return false
+	}
+	lb, ob = l.dstBits(), other.dstBits()
+	if lb > ob || l.Dst.Mask(lb) != other.Dst.Mask(lb) {
+		return false
+	}
 	check := func(bit Wild, lv, ov uint32) bool {
 		if l.Wildcards&bit != 0 {
 			return true // l matches anything here
@@ -176,21 +263,35 @@ func (l Label) Covers(other Label) bool {
 		}
 		return lv == ov
 	}
-	return check(WildSrc, uint32(l.Src), uint32(other.Src)) &&
-		check(WildDst, uint32(l.Dst), uint32(other.Dst)) &&
-		check(WildProto, uint32(l.Proto), uint32(other.Proto)) &&
+	return check(WildProto, uint32(l.Proto), uint32(other.Proto)) &&
 		check(WildSrcPort, uint32(l.SrcPort), uint32(other.SrcPort)) &&
 		check(WildDstPort, uint32(l.DstPort), uint32(other.DstPort))
 }
 
-// Canonical zeroes every wildcarded field so that equal-meaning labels
-// compare equal and hash identically as map keys.
+// Canonical zeroes every wildcarded field — and masks the host bits off
+// prefixed addresses — so that equal-meaning labels compare equal and
+// hash identically as map keys. Prefix lengths of 32 (or more) mean the
+// whole address and normalize to 0.
 func (l Label) Canonical() Label {
 	if l.Wildcards&WildSrc != 0 {
 		l.Src = 0
+		l.SrcPrefixLen = 0
+	} else if l.SrcPrefixLen != 0 {
+		if l.SrcPrefixLen >= 32 {
+			l.SrcPrefixLen = 0
+		} else {
+			l.Src = l.Src.Mask(l.SrcPrefixLen)
+		}
 	}
 	if l.Wildcards&WildDst != 0 {
 		l.Dst = 0
+		l.DstPrefixLen = 0
+	} else if l.DstPrefixLen != 0 {
+		if l.DstPrefixLen >= 32 {
+			l.DstPrefixLen = 0
+		} else {
+			l.Dst = l.Dst.Mask(l.DstPrefixLen)
+		}
 	}
 	if l.Wildcards&WildProto != 0 {
 		l.Proto = 0
@@ -208,20 +309,24 @@ func (l Label) Canonical() Label {
 func (l Label) Key() Label { return l.Canonical() }
 
 // String renders the label in a compact, parseable form such as
-// "10.0.0.2->10.1.0.9 proto=any sport=* dport=80".
+// "10.0.0.2->10.1.0.9 proto=any sport=* dport=80"; prefixed addresses
+// render in CIDR form ("10.0.3.0/24").
 func (l Label) String() string {
 	var b strings.Builder
-	if l.Wildcards&WildSrc != 0 {
-		b.WriteString("*")
-	} else {
-		b.WriteString(l.Src.String())
+	writeEnd := func(wild bool, a Addr, bits uint8) {
+		if wild {
+			b.WriteString("*")
+			return
+		}
+		b.WriteString(a.String())
+		if bits >= 1 && bits <= 31 {
+			b.WriteByte('/')
+			b.WriteString(strconv.Itoa(int(bits)))
+		}
 	}
+	writeEnd(l.Wildcards&WildSrc != 0, l.Src, l.SrcPrefixLen)
 	b.WriteString("->")
-	if l.Wildcards&WildDst != 0 {
-		b.WriteString("*")
-	} else {
-		b.WriteString(l.Dst.String())
-	}
+	writeEnd(l.Wildcards&WildDst != 0, l.Dst, l.DstPrefixLen)
 	b.WriteString(" proto=")
 	if l.Wildcards&WildProto != 0 {
 		b.WriteString("*")
@@ -257,23 +362,45 @@ func ParseLabel(s string) (Label, error) {
 	if len(ends) != 2 {
 		return Label{}, fmt.Errorf("%w: %q", ErrBadLabel, s)
 	}
-	if ends[0] == "*" {
+	// parseEnd handles one endpoint: "*", "a.b.c.d", or "a.b.c.d/bits".
+	parseEnd := func(s string) (Addr, uint8, Wild, error) {
+		if s == "*" {
+			return 0, 0, 1, nil // wild flag; caller maps to the right bit
+		}
+		addrPart, bitsPart, prefixed := strings.Cut(s, "/")
+		a, err := ParseAddr(addrPart)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+		}
+		if !prefixed {
+			return a, 0, 0, nil
+		}
+		n, err := strconv.ParseUint(bitsPart, 10, 8)
+		if err != nil || n < 1 || n > 32 {
+			return 0, 0, 0, fmt.Errorf("%w: prefix length %q", ErrBadLabel, bitsPart)
+		}
+		if n == 32 {
+			return a, 0, 0, nil // /32 is the full address
+		}
+		return a, uint8(n), 0, nil
+	}
+	a, bits, wild, err := parseEnd(ends[0])
+	if err != nil {
+		return Label{}, err
+	}
+	if wild != 0 {
 		l.Wildcards |= WildSrc
 	} else {
-		a, err := ParseAddr(ends[0])
-		if err != nil {
-			return Label{}, fmt.Errorf("%w: %v", ErrBadLabel, err)
-		}
-		l.Src = a
+		l.Src, l.SrcPrefixLen = a, bits
 	}
-	if ends[1] == "*" {
+	a, bits, wild, err = parseEnd(ends[1])
+	if err != nil {
+		return Label{}, err
+	}
+	if wild != 0 {
 		l.Wildcards |= WildDst
 	} else {
-		a, err := ParseAddr(ends[1])
-		if err != nil {
-			return Label{}, fmt.Errorf("%w: %v", ErrBadLabel, err)
-		}
-		l.Dst = a
+		l.Dst, l.DstPrefixLen = a, bits
 	}
 	for _, f := range fields[1:] {
 		k, v, ok := strings.Cut(f, "=")
@@ -297,6 +424,12 @@ func ParseLabel(s string) (Label, error) {
 				n, err := strconv.ParseUint(strings.TrimPrefix(v, "proto"), 10, 8)
 				if err != nil {
 					return Label{}, fmt.Errorf("%w: proto %q", ErrBadLabel, v)
+				}
+				if n == 0 {
+					// Proto 0 is ProtoAny, which renders as "any": treat a
+					// numeric zero as the wildcard too so parse/format
+					// round-trips.
+					l.Wildcards |= WildProto
 				}
 				l.Proto = Proto(n)
 			}
@@ -325,11 +458,12 @@ func ParseLabel(s string) (Label, error) {
 	return l, nil
 }
 
-// Reverse swaps source and destination (addresses, ports, and their
-// wildcard bits). Useful for addressing replies.
+// Reverse swaps source and destination (addresses, prefix lengths,
+// ports, and their wildcard bits). Useful for addressing replies.
 func (l Label) Reverse() Label {
 	r := l
 	r.Src, r.Dst = l.Dst, l.Src
+	r.SrcPrefixLen, r.DstPrefixLen = l.DstPrefixLen, l.SrcPrefixLen
 	r.SrcPort, r.DstPort = l.DstPort, l.SrcPort
 	r.Wildcards = l.Wildcards &^ (WildSrc | WildDst | WildSrcPort | WildDstPort)
 	if l.Wildcards&WildSrc != 0 {

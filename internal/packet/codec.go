@@ -11,17 +11,20 @@ import (
 
 // Wire format (big endian):
 //
-//	magic(2)=0xA17F  version(1)=1
+//	magic(2)=0xA17F  version(1)=2
 //	header: src(4) dst(4) proto(1) sport(2) dport(2) ttl(1) payloadLen(2)
 //	pathLen(1)  pathLen × { router(4) nonce(8) }
 //	msgKind(1)  0 = data packet, otherwise a Message body follows
 //
-// Label encoding: src(4) dst(4) proto(1) sport(2) dport(2) wildcards(1).
+// Label encoding: src(4) dst(4) proto(1) sport(2) dport(2) wildcards(1)
+// srcPrefixLen(1) dstPrefixLen(1). Version 2 added the two prefix-length
+// bytes so filtering requests can name source/destination prefixes (the
+// aggregate filters of §IV); v1 peers are rejected by the version check.
 
 const (
 	wireMagic   uint16 = 0xA17F
-	wireVersion byte   = 1
-	labelBytes         = 14
+	wireVersion byte   = 2
+	labelBytes         = 16
 
 	// MaxPathLen bounds the route-record shim; paths longer than any
 	// plausible AS-level route are rejected as malformed.
@@ -214,7 +217,7 @@ func appendLabel(b []byte, l flow.Label) []byte {
 	b = append(b, byte(l.Proto))
 	b = binary.BigEndian.AppendUint16(b, l.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, l.DstPort)
-	b = append(b, byte(l.Wildcards))
+	b = append(b, byte(l.Wildcards), l.SrcPrefixLen, l.DstPrefixLen)
 	return b
 }
 
@@ -282,11 +285,13 @@ func (r *reader) header() Header {
 
 func (r *reader) label() flow.Label {
 	return flow.Label{
-		Src:       flow.Addr(r.u32()),
-		Dst:       flow.Addr(r.u32()),
-		Proto:     flow.Proto(r.u8()),
-		SrcPort:   r.u16(),
-		DstPort:   r.u16(),
-		Wildcards: flow.Wild(r.u8()),
+		Src:          flow.Addr(r.u32()),
+		Dst:          flow.Addr(r.u32()),
+		Proto:        flow.Proto(r.u8()),
+		SrcPort:      r.u16(),
+		DstPort:      r.u16(),
+		Wildcards:    flow.Wild(r.u8()),
+		SrcPrefixLen: r.u8(),
+		DstPrefixLen: r.u8(),
 	}
 }

@@ -50,7 +50,7 @@ func TestWireSize(t *testing.T) {
 		t.Fatalf("WireSize with path = %d", p.WireSize())
 	}
 	c := NewControl(srcA, dstA, &VerifyQuery{Flow: flow.PairLabel(srcA, dstA), Nonce: 9})
-	if c.WireSize() != HeaderBytes+1+14+8 {
+	if c.WireSize() != HeaderBytes+1+16+8 {
 		t.Fatalf("control WireSize = %d", c.WireSize())
 	}
 }
@@ -249,9 +249,9 @@ func TestUnmarshalRejectsOverlongEvidence(t *testing.T) {
 		Duration: time.Minute, Round: 1, Victim: dstA,
 		Evidence: []RREntry{{Router: gw1, Nonce: 1}}}
 	b, _ := Marshal(NewControl(gw1, gw2, m))
-	// Evidence length field: after kind(1) stage(1) round(1) label(14)
+	// Evidence length field: after kind(1) stage(1) round(1) label(16)
 	// duration(8) victim(4).
-	idx := 3 + HeaderBytes + 1 + 1 + 1 + 1 + 14 + 8 + 4
+	idx := 3 + HeaderBytes + 1 + 1 + 1 + 1 + 16 + 8 + 4
 	b[idx] = 0xff
 	b[idx+1] = 0xff
 	if _, err := Unmarshal(b); err == nil {

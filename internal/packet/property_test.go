@@ -9,16 +9,24 @@ import (
 	"aitf/internal/flow"
 )
 
-// randLabel draws an arbitrary (canonicalised) flow label.
+// randLabel draws an arbitrary (canonicalised) flow label, including
+// source/destination prefix shapes.
 func randLabel(r *rand.Rand) flow.Label {
-	return flow.Label{
+	l := flow.Label{
 		Src:       flow.Addr(r.Uint32()),
 		Dst:       flow.Addr(r.Uint32()),
 		Proto:     flow.Proto(r.Intn(256)),
 		SrcPort:   uint16(r.Intn(65536)),
 		DstPort:   uint16(r.Intn(65536)),
 		Wildcards: flow.Wild(r.Intn(32)),
-	}.Canonical()
+	}
+	if r.Intn(3) == 0 {
+		l.SrcPrefixLen = uint8(r.Intn(32))
+	}
+	if r.Intn(3) == 0 {
+		l.DstPrefixLen = uint8(r.Intn(32))
+	}
+	return l.Canonical()
 }
 
 func randPath(r *rand.Rand, max int) []RREntry {

@@ -21,6 +21,7 @@ func fuzzSpec(seed int64, ases, army, flags uint8) Spec {
 		Pulsers:       int(army>>2) % 2,
 		Spoofers:      int(army>>4) % 2,
 		ReqFlooders:   int(army>>5) % 2,
+		Exhausters:    int(flags >> 7),
 		NonCoop:       int(flags % 3),
 		AttackRate:    80_000,
 		LegitRate:     6_000,
@@ -51,6 +52,10 @@ func FuzzScenario(f *testing.F) {
 	f.Add(int64(42), uint8(250), uint8(0b1011_0101), uint8(0b0111_1111))
 	f.Add(int64(-7), uint8(3), uint8(1), uint8(64))
 	f.Add(int64(1<<40), uint8(0), uint8(0), uint8(255))
+	// Filter-table exhauster armies (flags bit 7) with and without a
+	// mixed background army.
+	f.Add(int64(11), uint8(6), uint8(0b0001_0110), uint8(0b1000_0000))
+	f.Add(int64(23), uint8(9), uint8(0), uint8(0b1010_1001))
 	f.Fuzz(func(t *testing.T, seed int64, ases, army, flags uint8) {
 		spec := fuzzSpec(seed, ases, army, flags)
 		res := Run(spec)

@@ -39,6 +39,7 @@ func (w *world) check() *Result {
 	}
 	r.Disconnects = w.dep.Log.Count(aitf.EvDisconnected)
 	r.Escalations = w.dep.Log.Count(aitf.EvEscalated)
+	r.Aggregations = w.dep.Log.Count(aitf.EvAggregated)
 
 	w.checkLegitNeverFiltered(r)
 	w.checkBudgets(r)
@@ -76,28 +77,59 @@ func (w *world) protectedSrcs() map[flow.Addr]bool {
 
 func (w *world) checkLegitNeverFiltered(r *Result) {
 	protected := w.protectedSrcs()
+	// Sorted view for deterministic prefix-coverage reporting.
+	sortedProtected := make([]flow.Addr, 0, len(protected))
+	for a := range protected {
+		sortedProtected = append(sortedProtected, a)
+	}
+	sort.Slice(sortedProtected, func(i, j int) bool { return sortedProtected[i] < sortedProtected[j] })
+	// covered reports the first protected source a label's source field
+	// covers. Concrete host sources use the map; prefix sources (the
+	// aggregates installed under table pressure) must not blanket any
+	// protected address either — coarser filters may trade table slots
+	// for collateral only across the attacker's spoofed range, never
+	// across real hosts. Labels that wildcard the source entirely are
+	// dst-scoped and exempt, as before.
+	covered := func(l flow.Label) (flow.Addr, bool) {
+		if l.Wildcards&flow.WildSrc != 0 {
+			return 0, false
+		}
+		if l.SrcPrefixLen == 0 {
+			if protected[l.Src] {
+				return l.Src, true
+			}
+			return 0, false
+		}
+		for _, a := range sortedProtected {
+			if l.CoversSrc(a) {
+				return a, true
+			}
+		}
+		return 0, false
+	}
 	filterish := map[aitf.EventKind]bool{
 		aitf.EvTempFilterInstalled: true,
 		aitf.EvFilterInstalled:     true,
 		aitf.EvShadowLogged:        true,
 		aitf.EvLongBlock:           true,
 		aitf.EvStopOrder:           true,
+		aitf.EvAggregated:          true,
 	}
 	for _, e := range w.dep.Log.Events {
 		if !filterish[e.Kind] {
 			continue
 		}
-		if e.Flow.Wildcards&flow.WildSrc == 0 && protected[e.Flow.Src] {
+		if src, bad := covered(e.Flow); bad {
 			w.violate(r, "legit-filtered", e.Node,
-				"%s names protected source %v (flow %s at %v)", e.Kind, e.Flow.Src, e.Flow, e.T)
+				"%s names protected source %v (flow %s at %v)", e.Kind, src, e.Flow, e.T)
 		}
 	}
 	// Nothing protected may be left in any filter table either.
 	for id, g := range w.dep.Gateways {
 		for _, fe := range g.DataPlane().FilterEntries() {
-			if fe.Label.Wildcards&flow.WildSrc == 0 && protected[fe.Label.Src] {
+			if src, bad := covered(fe.Label); bad {
 				w.violate(r, "legit-filtered", w.topo.Nodes[id].Name,
-					"final filter table holds protected source %v (%s)", fe.Label.Src, fe.Label)
+					"final filter table holds protected source %v (%s)", src, fe.Label)
 			}
 		}
 	}

@@ -81,6 +81,9 @@ type Spec struct {
 	Pulsers     int `json:"pulsers"`
 	Spoofers    int `json:"spoofers"`
 	ReqFlooders int `json:"req_flooders"`
+	// Exhausters are filter-table exhaustion adversaries: spoofed /24
+	// sibling sprays that force the victim gateway to aggregate.
+	Exhausters int `json:"exhausters"`
 	// NonCoop is how many attackers get a colluding (non-cooperative)
 	// gateway on their path.
 	NonCoop int `json:"non_coop"`
@@ -117,6 +120,7 @@ func GenSpec(seed int64) Spec {
 		Pulsers:       rng.Intn(3),
 		Spoofers:      rng.Intn(2),
 		ReqFlooders:   rng.Intn(2),
+		Exhausters:    rng.Intn(2),
 		NonCoop:       rng.Intn(3),
 		AttackRate:    60_000 + 60_000*rng.Float64(),
 		LegitRate:     4_000 + 5_000*rng.Float64(),
@@ -159,6 +163,7 @@ func (s Spec) normalized() Spec {
 	clamp(&s.Pulsers, 0, 16)
 	clamp(&s.Spoofers, 0, 8)
 	clamp(&s.ReqFlooders, 0, 8)
+	clamp(&s.Exhausters, 0, 8)
 	clamp(&s.NonCoop, 0, 16)
 	clamp(&s.Shards, 1, 8)
 	if s.AttackRate < 2.2*detectThreshold {
@@ -201,6 +206,7 @@ type attackerRole struct {
 	on, off   time.Duration
 	spoofSrc  flow.Addr
 	spoofN    int
+	dwell     time.Duration
 	compliant bool
 	launched  attack.Launched
 }
@@ -259,6 +265,7 @@ type Result struct {
 	VictimBytes      uint64 `json:"victim_bytes"`
 	Disconnects      int    `json:"disconnects"`
 	Escalations      int    `json:"escalations"`
+	Aggregations     int    `json:"aggregations"`
 
 	Violations  []Violation `json:"violations"`
 	Fingerprint uint64      `json:"fingerprint"`
@@ -353,6 +360,21 @@ func build(s Spec) *world {
 		case attack.Spoof:
 			a.spoofSrc = flow.MakeAddr(240, 0, byte(i), 1)
 			a.spoofN = 1 + rng.Intn(2)
+		case attack.TableExhauster:
+			// A whole /24 sibling range per exhauster, disjoint from the
+			// Spoof ranges (240.0/16) and from every real host. The burst
+			// rate is doubled (capped below the tail circuit) and the
+			// dwell chosen so each sibling's burst crosses the victim's
+			// detector (≥ 2·2.2·threshold ⇒ ≥ ~12 kB per 90 ms, over the
+			// 7.5 kB window threshold) while ~Ttmp/dwell ≈ 16 sibling
+			// filters overlap — comfortably past the tight table budget.
+			a.spoofSrc = flow.MakeAddr(240, 100+byte(i), 0, 1)
+			a.spoofN = 24 + rng.Intn(41)
+			a.dwell = 90 * time.Millisecond
+			a.rate = 2 * s.AttackRate
+			if a.rate > 5e5 {
+				a.rate = 5e5
+			}
 		}
 		return a
 	}
@@ -364,6 +386,9 @@ func build(s Spec) *world {
 	}
 	for i, r := range take(s.Spoofers) {
 		w.attackers = append(w.attackers, mkAttacker(r, attack.Spoof, i))
+	}
+	for i, r := range take(s.Exhausters) {
+		w.attackers = append(w.attackers, mkAttacker(r, attack.TableExhauster, i))
 	}
 	for i, r := range take(s.ReqFlooders) {
 		fl := mkAttacker(r, attack.RequestFlooder, i)
@@ -393,6 +418,19 @@ func build(s Spec) *world {
 	}
 
 	// ── Deployment wiring ────────────────────────────────────────────
+	// With exhausters in the army, the victims' gateways get a tight
+	// wire-speed budget: enough for the precise filters the rest of the
+	// army needs plus a small margin, so the exhauster's sibling spray
+	// is what overflows it and forces aggregation — while the
+	// aggregation retry keeps the precise filters installable.
+	tightCap := 0
+	if s.Exhausters > 0 {
+		tightCap = 8 + s.Steady + s.Pulsers + 2*s.Spoofers
+	}
+	victimAS := map[int]bool{}
+	for _, v := range w.victims {
+		victimAS[v.as] = true
+	}
 	spec := aitf.TopologySpec{Topo: topo}
 	for as := 0; as < s.ASes; as++ {
 		if !w.deployed[as] {
@@ -402,6 +440,9 @@ func build(s Spec) *world {
 			Node:           nodes.Border[as],
 			Provider:       aitf.NoProvider,
 			NonCooperative: w.nonCoop[as],
+		}
+		if tightCap > 0 && victimAS[as] {
+			gs.FilterCapacity = tightCap
 		}
 		for p := nodes.Parent[as]; p >= 0; p = nodes.Parent[p] {
 			if w.deployed[p] {
@@ -473,6 +514,11 @@ func build(s Spec) *world {
 	opt.DataplaneShards = s.Shards
 	opt.HandshakeTimeout = time.Second
 	opt.CollectTrace = true
+	// Aggregation is always armed: it only engages under filter-table
+	// pressure (which the exhauster army reliably creates), and the
+	// invariants below must hold with aggregated prefix filters exactly
+	// as they do with precise ones.
+	opt.AggregationPrefixLen = 24
 	w.dep = aitf.DeployTopology(opt, spec)
 
 	// ── Workloads ────────────────────────────────────────────────────
@@ -493,7 +539,8 @@ func build(s Spec) *world {
 			On:       sim.Time(a.on),
 			Off:      sim.Time(a.off),
 			SpoofSrc: a.spoofSrc, SpoofPerPacket: a.spoofN,
-			Jitter: 0.2,
+			SpoofDwell: sim.Time(a.dwell),
+			Jitter:     0.2,
 		}.Launch(wrng)
 	}
 	for i := range w.flooders {

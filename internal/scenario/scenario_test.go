@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"testing"
+	"time"
 )
 
 // propertySeeds is how many random scenarios the property test runs.
@@ -47,6 +48,35 @@ func TestScenarioDeterminism(t *testing.T) {
 	// Different seeds must not (in practice) collide.
 	if Run(GenSpec(5)).Fingerprint == Run(GenSpec(6)).Fingerprint {
 		t.Fatal("distinct seeds produced identical fingerprints")
+	}
+}
+
+// TestScenarioExhausterForcesAggregation: filter-table exhausters —
+// spoofed /24-sibling bursts against a victim gateway with a tight
+// wire-speed budget — must actually drive the gateway into the §IV
+// aggregation fallback, and every protocol invariant (legit flows never
+// filtered, budgets, escalation termination, the r-bound) must hold
+// with the aggregated prefix filters in play exactly as without them.
+func TestScenarioExhausterForcesAggregation(t *testing.T) {
+	aggregated := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		s := GenSpec(seed)
+		s.Exhausters = 1
+		s.AttackDur = 5 * time.Second
+		res := Run(s)
+		if res.Failed() {
+			t.Fatalf("seed %d: invariants violated with exhauster army:\n%s", seed, res.Report())
+		}
+		if res.Aggregations > 0 {
+			aggregated++
+		}
+	}
+	// Not every topology routes the spray through a pressured gateway
+	// (ingress filtering, undeployed ASes), but across a dozen seeds
+	// the exhauster must demonstrably force aggregation most of the
+	// time — otherwise it is not exhausting anything.
+	if aggregated < 6 {
+		t.Fatalf("aggregation engaged in only %d/12 exhauster scenarios", aggregated)
 	}
 }
 

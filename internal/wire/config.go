@@ -49,6 +49,10 @@ type GatewayFileConfig struct {
 	// Workers enables the data plane's worker-pool dispatch mode
 	// (0 = classify inline on the receive goroutine).
 	Workers int `json:"workers"`
+	// AggregationPrefixLen enables coalescing sibling filters into a
+	// covering source-/N prefix filter under table pressure; valid
+	// values are 0 (disabled) or 1..31.
+	AggregationPrefixLen int `json:"aggregation_prefix_len"`
 }
 
 // HostFileConfig is the host-specific part of FileConfig.
@@ -104,6 +108,9 @@ func (g *GatewayFileConfig) validate() error {
 	}
 	if g.Capacity < 0 {
 		return fmt.Errorf("%w: filter_capacity %d is negative", ErrBadConfig, g.Capacity)
+	}
+	if g.AggregationPrefixLen < 0 || g.AggregationPrefixLen > 31 {
+		return fmt.Errorf("%w: aggregation_prefix_len %d outside 0..31", ErrBadConfig, g.AggregationPrefixLen)
 	}
 	if g.TMs < 0 || g.TtmpMs < 0 {
 		return fmt.Errorf("%w: negative timer (t_ms %d, ttmp_ms %d)", ErrBadConfig, g.TMs, g.TtmpMs)
@@ -184,15 +191,16 @@ func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, er
 		clients[ca] = contract.DefaultEndHost()
 	}
 	return GatewayConfig{
-		Node:            node,
-		Timers:          tm,
-		FilterCapacity:  c.Gateway.Capacity,
-		Clients:         clients,
-		Default:         contract.DefaultPeer(),
-		Secret:          []byte(c.Gateway.Secret),
-		Logf:            logf,
-		DataplaneShards: c.Gateway.Shards,
-		Workers:         c.Gateway.Workers,
+		Node:                 node,
+		Timers:               tm,
+		FilterCapacity:       c.Gateway.Capacity,
+		Clients:              clients,
+		Default:              contract.DefaultPeer(),
+		Secret:               []byte(c.Gateway.Secret),
+		Logf:                 logf,
+		DataplaneShards:      c.Gateway.Shards,
+		Workers:              c.Gateway.Workers,
+		AggregationPrefixLen: c.Gateway.AggregationPrefixLen,
 	}, nil
 }
 

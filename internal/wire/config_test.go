@@ -58,6 +58,19 @@ func TestParseGatewayConfig(t *testing.T) {
 	if gcfg.Node.NextHop[flow.MakeAddr(10, 9, 0, 2)] != flow.MakeAddr(10, 9, 0, 1) {
 		t.Fatal("multi-hop route not parsed")
 	}
+	// A valid aggregation knob round-trips into the gateway config.
+	withAgg, err := ParseFileConfig([]byte(
+		`{"role":"gateway","addr":"1.1.1.1","gateway":{"aggregation_prefix_len":24}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agcfg, err := withAgg.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agcfg.AggregationPrefixLen != 24 {
+		t.Fatalf("aggregation_prefix_len not propagated: %+v", agcfg.AggregationPrefixLen)
+	}
 	// And the config actually boots a gateway.
 	g, err := NewGateway(gcfg)
 	if err != nil {
@@ -103,6 +116,8 @@ func TestParseConfigErrors(t *testing.T) {
 		"ttmp vs default":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"ttmp_ms":70000}}`,
 		"t vs default":     `{"role":"gateway","addr":"1.1.1.1","gateway":{"t_ms":500}}`,
 		"negative detect":  `{"role":"host","addr":"1.1.1.1","host":{"gateway":"1.1.1.2","detect_bps":-1}}`,
+		"negative aggpfx":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"aggregation_prefix_len":-1}}`,
+		"aggpfx too long":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"aggregation_prefix_len":32}}`,
 	}
 	for name, raw := range cases {
 		if _, err := ParseFileConfig([]byte(raw)); err == nil {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"log"
 	"runtime"
 	"sync"
@@ -58,6 +59,12 @@ type GatewayConfig struct {
 	// data packets are classified and forwarded by a pool instead of
 	// the socket's receive goroutine. 0 classifies inline.
 	Workers int
+	// AggregationPrefixLen enables the §IV filter-table-pressure
+	// fallback: when a victim-side temporary filter is rejected for
+	// capacity, sibling filters sharing a destination and a source /N
+	// are coalesced into one covering prefix filter and the install is
+	// retried. 0 disables aggregation.
+	AggregationPrefixLen int
 }
 
 // Gateway is the wire-mode border router: it stamps route records on
@@ -83,6 +90,7 @@ type Gateway struct {
 	ReqReceived, ReqPoliced, ReqInvalid uint64
 	HandshakesOK, HandshakesFailed      uint64
 	StopOrders                          uint64
+	Aggregations                        uint64
 	// Data-plane stats are updated atomically: with dispatch mode on,
 	// drops are counted from multiple workers at once.
 	FilterDrops uint64
@@ -270,7 +278,7 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 			g.logf("invalid evidence for %v", label)
 			return
 		}
-		if err := g.dp.Install(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
+		if err := g.installWithAggregation(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
 			g.logf("temp filter: %v", err)
 			return
 		}
@@ -316,6 +324,29 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 			}
 		})
 	}
+}
+
+// installWithAggregation is the victim-side install path with the §IV
+// fallback: on ErrTableFull (and with aggregation enabled), coalesce
+// the largest sibling group into a covering prefix filter and retry
+// once. Called under mu.
+func (g *Gateway) installWithAggregation(label flow.Label, now, exp sim.Time) error {
+	err := g.dp.Install(label, now, exp)
+	if err == nil || !errors.Is(err, filter.ErrTableFull) || g.cfg.AggregationPrefixLen <= 0 {
+		return err
+	}
+	groups := filter.SiblingGroups(g.dp.FilterEntries(), uint8(g.cfg.AggregationPrefixLen), 2)
+	if len(groups) == 0 {
+		return err
+	}
+	best := groups[0]
+	replaced, aerr := g.dp.Aggregate(best.Aggregate, best.ChildLabels(), now, best.MaxExpiry)
+	if aerr != nil || replaced < 2 {
+		return err
+	}
+	g.Aggregations++
+	g.logf("table full: aggregated %d siblings into %v", replaced, best.Aggregate)
+	return g.dp.Install(label, now, exp)
 }
 
 func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
