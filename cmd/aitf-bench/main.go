@@ -32,7 +32,9 @@ import (
 	"time"
 
 	"aitf/internal/dataplane"
+	"aitf/internal/detect"
 	"aitf/internal/experiments"
+	"aitf/internal/sim"
 )
 
 // dataplaneResult is one cell of the throughput sweep.
@@ -64,6 +66,20 @@ type wildcardResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// detectResult is one cell of the detection sweep: the sketch engine's
+// batch Observe throughput over a mixed attacker/background workload,
+// across count-min geometries and attacker counts, plus the
+// steady-state allocs/op probe (the observation path must stay 0 so
+// detection can run inside the classification loop).
+type detectResult struct {
+	Width       int     `json:"width"`
+	Depth       int     `json:"depth"`
+	TopK        int     `json:"topk"`
+	Attackers   int     `json:"attackers"`
+	PPS         float64 `json:"pps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 // benchOutput is the schema of the -json file.
 type benchOutput struct {
 	GeneratedAt string               `json:"generated_at"`
@@ -73,6 +89,8 @@ type benchOutput struct {
 	// DataplaneWildcard tracks the indexed wildcard/prefix match path
 	// across table sizes up to one million entries.
 	DataplaneWildcard []wildcardResult `json:"dataplane_wildcard"`
+	// Detect tracks the sketch detection engine (internal/detect).
+	Detect []detectResult `json:"detect"`
 }
 
 const benchBatchSize = 64
@@ -296,6 +314,126 @@ func wildcardSweep(spec wildcardSweepSpec, dur time.Duration) []wildcardResult {
 	return out
 }
 
+// detectSweepSpec enumerates the detection cells: count-min geometry ×
+// attacker count, matching internal/detect's BenchmarkObserve family.
+type detectSweepSpec struct {
+	geoms     []struct{ width, depth int }
+	topk      int
+	attackers []int
+}
+
+func defaultDetectSweep() detectSweepSpec {
+	return detectSweepSpec{
+		geoms:     []struct{ width, depth int }{{1024, 2}, {1024, 4}, {4096, 4}},
+		topk:      128,
+		attackers: []int{4, 64, 1024},
+	}
+}
+
+// measureDetect runs single-goroutine batch observation against a warm
+// engine for the given duration and returns packets/sec. Virtual time
+// advances 500µs per batch so window rotations are exercised at their
+// steady-state cadence.
+func measureDetect(e *detect.Engine, attackers int, dur time.Duration) float64 {
+	rng := rand.New(rand.NewSource(1))
+	batch := detect.WorkloadBatch(rng, attackers, benchBatchSize)
+	out := make([]detect.Detection, 0, benchBatchSize)
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ { // warm every slab, flag what will flag
+		now += 500 * time.Microsecond
+		out = e.Observe(now, batch, out[:0])
+	}
+	var packets uint64
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		now += 500 * time.Microsecond
+		out = e.Observe(now, batch, out[:0])
+		packets += benchBatchSize
+	}
+	return float64(packets) / time.Since(start).Seconds()
+}
+
+// detectAllocsPerOp mirrors classifyAllocsPerOp over the observation
+// workload.
+func detectAllocsPerOp(e *detect.Engine, attackers int) float64 {
+	rng := rand.New(rand.NewSource(99))
+	batch := detect.WorkloadBatch(rng, attackers, benchBatchSize)
+	out := make([]detect.Detection, 0, benchBatchSize)
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += 500 * time.Microsecond
+		out = e.Observe(now, batch, out[:0])
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	const runs = 1000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		now += 500 * time.Microsecond
+		out = e.Observe(now, batch, out[:0])
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}
+
+func detectSweep(spec detectSweepSpec, dur time.Duration) []detectResult {
+	var out []detectResult
+	for _, g := range spec.geoms {
+		for _, att := range spec.attackers {
+			// A fresh engine per cell: attacker count shapes the summary
+			// churn, which is part of what the cell measures.
+			e := detect.WorkloadEngine(g.width, g.depth, spec.topk)
+			out = append(out, detectResult{
+				Width:       g.width,
+				Depth:       g.depth,
+				TopK:        spec.topk,
+				Attackers:   att,
+				PPS:         measureDetect(e, att, dur),
+				AllocsPerOp: detectAllocsPerOp(detect.WorkloadEngine(g.width, g.depth, spec.topk), att),
+			})
+		}
+	}
+	return out
+}
+
+// detectRegressionFailures gates the detection sweep exactly as the
+// wildcard gate does: one geometric-mean throughput floor across all
+// matched cells, normalized by the main sweep's machine-speed ratio,
+// plus the exact steady-state allocation gate per cell.
+func detectRegressionFailures(baseline, measured []detectResult, tol, norm float64) (fails []string, matched int) {
+	type dkey struct{ width, depth, topk, attackers int }
+	base := make(map[dkey]detectResult, len(baseline))
+	for _, c := range baseline {
+		base[dkey{c.Width, c.Depth, c.TopK, c.Attackers}] = c
+	}
+	var logSum float64
+	for _, m := range measured {
+		b, ok := base[dkey{m.Width, m.Depth, m.TopK, m.Attackers}]
+		if !ok || b.PPS <= 0 {
+			continue
+		}
+		matched++
+		logSum += math.Log(m.PPS / b.PPS)
+		if m.AllocsPerOp > b.AllocsPerOp && m.AllocsPerOp >= 1 {
+			fails = append(fails, fmt.Sprintf(
+				"detect allocs regression: width=%d depth=%d attackers=%d: %.2f allocs/op (baseline %.2f)",
+				m.Width, m.Depth, m.Attackers, m.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		return []string{"no measured detect cell matches the baseline (stale trend file?)"}, 0
+	}
+	ratio := math.Exp(logSum/float64(matched)) / norm
+	if ratio < 1-tol {
+		fails = append(fails, fmt.Sprintf(
+			"detect throughput regression: geomean %.1f%% of baseline (floor %.0f%%)",
+			ratio*100, (1-tol)*100))
+	}
+	return fails, matched
+}
+
 // parseGoroutines parses the -goroutines flag ("1,2,4,8").
 func parseGoroutines(s string) ([]int, error) {
 	var out []int
@@ -466,15 +604,22 @@ func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur tim
 		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no wildcard cells\n", path)
 		return 2
 	}
+	if len(baseline.Detect) == 0 {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no detect cells\n", path)
+		return 2
+	}
 	fmt.Fprintf(os.Stderr, "aitf-bench: regression sweep (%v per cell) against %s...\n", dur, path)
 	measured := dataplaneSweep(spec, dur)
 	fails, matched, norm := regressionFailures(baseline.Dataplane, measured, tol, normalize)
 	wmeasured := wildcardSweep(wspec, dur)
 	wfails, wmatched := wildcardRegressionFailures(baseline.DataplaneWildcard, wmeasured, tol, norm)
 	fails = append(fails, wfails...)
+	dmeasured := detectSweep(defaultDetectSweep(), dur)
+	dfails, dmatched := detectRegressionFailures(baseline.Detect, dmeasured, tol, norm)
+	fails = append(fails, dfails...)
 	if len(fails) == 0 {
-		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d+%d of %d+%d cells compared)\n",
-			matched, wmatched, len(measured), len(wmeasured))
+		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d+%d+%d of %d+%d+%d cells compared)\n",
+			matched, wmatched, dmatched, len(measured), len(wmeasured), len(dmeasured))
 		return 0
 	}
 	for _, f := range fails {
@@ -530,6 +675,7 @@ func main() {
 		Experiments:       results,
 		Dataplane:         dataplaneSweep(defaultSweep(gors), *sweepDur),
 		DataplaneWildcard: wildcardSweep(defaultWildcardSweep(), *sweepDur),
+		Detect:            detectSweep(defaultDetectSweep(), *sweepDur),
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -79,6 +79,26 @@ func TestBenchJSONSchemaMatchesCheckedInFile(t *testing.T) {
 	if scanRefs == 0 {
 		t.Fatal("no wildcard cell carries a scan-baseline reference")
 	}
+	// The detection sweep must be present, span several sketch
+	// geometries and attacker counts, and keep observation
+	// allocation-free (detection runs inside the classification loop).
+	if len(out.Detect) == 0 {
+		t.Fatal("trend file has no detection sweep cells")
+	}
+	geoms, atts := map[[2]int]bool{}, map[int]bool{}
+	for i, c := range out.Detect {
+		if c.Width < 1 || c.Depth < 1 || c.TopK < 1 || c.Attackers < 1 || c.PPS <= 0 {
+			t.Fatalf("detect cell %d malformed: %+v", i, c)
+		}
+		if c.AllocsPerOp != 0 {
+			t.Fatalf("detect cell %d allocates at steady state: %+v", i, c)
+		}
+		geoms[[2]int{c.Width, c.Depth}] = true
+		atts[c.Attackers] = true
+	}
+	if len(geoms) < 2 || len(atts) < 2 {
+		t.Fatalf("detect sweep lacks geometry×attackers coverage: %v × %v", geoms, atts)
+	}
 }
 
 // TestMeasureDataplaneProducesCells: a tiny sweep cell measures a
@@ -277,5 +297,72 @@ func TestRegressionFailures(t *testing.T) {
 	}
 	if fails, _, _ := regressionFailures(base, meas, 0.30, false); len(fails) != 0 {
 		t.Fatalf("one noisy cell failed the gate: %v", fails)
+	}
+}
+
+// TestDetectSweepProducesCells runs one tiny detection cell end to end.
+func TestDetectSweepProducesCells(t *testing.T) {
+	spec := detectSweepSpec{
+		geoms:     []struct{ width, depth int }{{256, 2}},
+		topk:      32,
+		attackers: []int{8},
+	}
+	cells := detectSweep(spec, 5*time.Millisecond)
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	c := cells[0]
+	if c.PPS <= 0 {
+		t.Fatalf("cell not measured: %+v", c)
+	}
+	if c.AllocsPerOp != 0 {
+		t.Fatalf("steady-state Observe allocates %v/op", c.AllocsPerOp)
+	}
+	buf, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(buf, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"width", "depth", "topk", "attackers", "pps", "allocs_per_op"} {
+		if _, ok := keys[k]; !ok {
+			t.Fatalf("detect cell JSON lacks %q: %s", k, buf)
+		}
+	}
+}
+
+// TestDetectRegressionFailures exercises the detection gate: uniform
+// collapses fail, the machine-speed normalizer excuses a slow runner,
+// allocation regressions always fail, and a disjoint sweep fails
+// loudly instead of passing vacuously.
+func TestDetectRegressionFailures(t *testing.T) {
+	mk := func(width, att int, pps, allocs float64) detectResult {
+		return detectResult{Width: width, Depth: 4, TopK: 128, Attackers: att, PPS: pps, AllocsPerOp: allocs}
+	}
+	baseline := []detectResult{mk(1024, 4, 20e6, 0), mk(4096, 64, 15e6, 0)}
+
+	if fails, n := detectRegressionFailures(baseline,
+		[]detectResult{mk(1024, 4, 18e6, 0), mk(4096, 64, 14e6, 0)}, 0.30, 1); len(fails) != 0 || n != 2 {
+		t.Fatalf("small wobble failed (%d matched): %v", n, fails)
+	}
+	if fails, _ := detectRegressionFailures(baseline,
+		[]detectResult{mk(1024, 4, 8e6, 0), mk(4096, 64, 6e6, 0)}, 0.30, 1); len(fails) != 1 {
+		t.Fatalf("uniform collapse not caught: %v", fails)
+	}
+	// A uniformly slower machine passes via the carried normalizer...
+	if fails, _ := detectRegressionFailures(baseline,
+		[]detectResult{mk(1024, 4, 8e6, 0), mk(4096, 64, 6e6, 0)}, 0.30, 0.4); len(fails) != 0 {
+		t.Fatalf("normalizer not applied: %v", fails)
+	}
+	// ...but allocations always fail.
+	if fails, _ := detectRegressionFailures(baseline,
+		[]detectResult{mk(1024, 4, 20e6, 3), mk(4096, 64, 15e6, 0)}, 0.30, 1); len(fails) != 1 {
+		t.Fatalf("alloc regression not caught: %v", fails)
+	}
+	if fails, n := detectRegressionFailures(baseline,
+		[]detectResult{mk(512, 2, 1e6, 0)}, 0.30, 1); len(fails) != 1 || n != 0 {
+		t.Fatalf("disjoint sweep not rejected: %v", fails)
 	}
 }

@@ -28,6 +28,20 @@
 //
 //	"host": {"gateway": "10.0.0.1", "detect_bps": 20000, "compliant": true}
 //
+// A gateway can also defend legacy (non-AITF) clients itself: with
+// gateway-side detection configured, it runs a sketch-based
+// heavy-hitter engine (internal/detect) on its data path and files
+// filtering requests on the clients' behalf:
+//
+//	"gateway": {
+//	  "clients":    ["10.0.0.2"],
+//	  "secret":     "vgw-secret",
+//	  "detect_bps": 30000,
+//	  "detect_for": ["10.0.0.2"],
+//	  "detect_window_ms": 250,
+//	  "sketch_width": 1024, "sketch_depth": 4, "detect_topk": 128
+//	}
+//
 // See internal/wire.FileConfig for the full schema.
 package main
 

@@ -6,6 +6,7 @@ import (
 	"aitf/internal/attack"
 	"aitf/internal/contract"
 	"aitf/internal/core"
+	"aitf/internal/detect"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
 	"aitf/internal/netsim"
@@ -61,6 +62,14 @@ type Options struct {
 	// sharing a destination and a source /N coalesce into one covering
 	// prefix filter (split back on relief). 0 disables aggregation.
 	AggregationPrefixLen int
+	// GatewayDetect is the sketch-detection template for gateways that
+	// defend legacy clients (GatewaySpec.DetectFor): the gateway runs
+	// an internal/detect engine on its own data path and files
+	// filtering requests on the clients' behalf. Per-gateway hash
+	// seeds are derived from Seed and the gateway node, so deployments
+	// replay identically. A zero ThresholdBps leaves gateway-side
+	// detection off even where DetectFor is set.
+	GatewayDetect detect.Config
 }
 
 // DefaultOptions mirrors the paper's worked examples: T = 1 min,

@@ -28,6 +28,11 @@ type ChainOptions struct {
 	NonCooperative map[int]bool
 	// AttackerCompliant makes the attacking host obey stop orders.
 	AttackerCompliant bool
+	// GatewayDefendsVictim models the victim as a legacy (non-AITF)
+	// host: it gets no detector of its own, and its gateway runs
+	// Options.GatewayDetect on its behalf instead (GatewaySpec
+	// DetectFor). Requires GatewayDetect.ThresholdBps > 0.
+	GatewayDefendsVictim bool
 }
 
 // DeployChain builds and wires a chain of the given depth through the
@@ -50,6 +55,9 @@ func DeployChain(opt ChainOptions) *ChainDeployment {
 				if opt.IngressFiltering {
 					gs.IngressHosts = []topology.NodeID{host}
 				}
+				if opt.GatewayDefendsVictim && host == ids.Victim {
+					gs.DetectFor = []topology.NodeID{host}
+				}
 			} else {
 				gs.Clients = []topology.NodeID{gws[i-1]}
 			}
@@ -65,7 +73,7 @@ func DeployChain(opt ChainOptions) *ChainDeployment {
 	side(ids.VictimGW, ids.Victim, ids.AttackGW[opt.Depth-1], nil)
 	side(ids.AttackGW, ids.Attacker, ids.VictimGW[opt.Depth-1], opt.NonCooperative)
 	spec.Hosts = []HostSpec{
-		{Node: ids.Victim, Gateway: ids.VictimGW[0], Victim: true},
+		{Node: ids.Victim, Gateway: ids.VictimGW[0], Victim: !opt.GatewayDefendsVictim},
 		{Node: ids.Attacker, Gateway: ids.AttackGW[0], NonCompliant: !opt.AttackerCompliant},
 	}
 

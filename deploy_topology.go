@@ -2,6 +2,7 @@ package aitf
 
 import (
 	"aitf/internal/contract"
+	"aitf/internal/core"
 	"aitf/internal/flow"
 	"aitf/internal/topology"
 )
@@ -40,6 +41,11 @@ type GatewaySpec struct {
 	// FilterCapacity / ShadowCapacity override the Options-derived
 	// budgets when positive.
 	FilterCapacity, ShadowCapacity int
+	// DetectFor lists legacy client hosts this gateway defends with
+	// gateway-side sketch detection (Options.GatewayDetect): the
+	// gateway observes traffic addressed to them and files filtering
+	// requests on their behalf. Empty disables detection here.
+	DetectFor []topology.NodeID
 }
 
 // HostSpec describes one AITF end-host in a generic deployment.
@@ -98,6 +104,17 @@ func DeployTopology(opt Options, spec TopologySpec) *Deployment {
 				a := d.addrOf(h)
 				cfg.IngressValidSrc[a] = []flow.Addr{a}
 			}
+		}
+		if len(gs.DetectFor) > 0 && opt.GatewayDetect.Enabled() {
+			det := opt.GatewayDetect
+			// Distinct, reproducible hash seeds per gateway: collisions
+			// in one gateway's sketch must not replicate at another.
+			det.Seed ^= uint64(opt.Seed)*0x9e3779b97f4a7c15 + (uint64(gs.Node)+1)*0xff51afd7ed558ccd
+			gd := &core.GatewayDetection{Config: det}
+			for _, h := range gs.DetectFor {
+				gd.Protected = append(gd.Protected, d.addrOf(h))
+			}
+			cfg.Detection = gd
 		}
 		d.addGateway(gs.Node, cfg)
 	}

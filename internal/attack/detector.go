@@ -12,7 +12,14 @@ import (
 // RateDetector flags a source as undesired once its received rate
 // exceeds Threshold bytes/second measured over Window. It is the
 // victim-side classifier the paper assumes exists ("we start from the
-// point where the node has identified the undesired flows", §V).
+// point where the node has identified the undesired flows", §V) —
+// an *oracle*: it keeps exact per-source state, so its memory grows
+// with the number of sources and its latency is a model parameter,
+// not a measured one. The production counterpart is internal/detect's
+// sketch-based engine, which measures in constant memory and makes
+// detection latency, false positives and false negatives emergent;
+// the scenario harness swaps between the two behind Spec.Detector to
+// quantify what assuming an oracle hides.
 type RateDetector struct {
 	// Threshold is the classification rate in bytes/second.
 	Threshold float64

@@ -9,6 +9,7 @@ import (
 
 	"aitf/internal/contract"
 	"aitf/internal/dataplane"
+	"aitf/internal/detect"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
 	"aitf/internal/netsim"
@@ -103,6 +104,24 @@ type GatewayConfig struct {
 	// coalescing; values below 2 are treated as 2 (replacing a single
 	// filter frees nothing and only adds collateral).
 	AggregationMinChildren int
+	// Detection, when non-nil and armed, runs a sketch-based
+	// heavy-hitter engine (internal/detect) on the gateway's own data
+	// path, defending the listed protected destinations: legacy
+	// clients that do not speak AITF and cannot file their own
+	// filtering requests. On a detection the gateway plays the victim
+	// itself — temporary filter, shadow log, request to the attacker's
+	// gateway with the route-record evidence it observed, handshake
+	// answered from its own watch state.
+	Detection *GatewayDetection
+}
+
+// GatewayDetection configures gateway-side detection on behalf of
+// legacy (non-AITF) hosts behind this gateway.
+type GatewayDetection struct {
+	detect.Config
+	// Protected lists the destinations the gateway defends; only
+	// traffic addressed to one of them is observed.
+	Protected []flow.Addr
 }
 
 // DefaultGatewayConfig returns a cooperative gateway provisioned per
@@ -146,6 +165,10 @@ type GatewayStats struct {
 	Disconnects    uint64
 	LongBlocks     uint64
 	ShadowReblocks uint64
+
+	// Detections counts gateway-side sketch detections: attacks this
+	// gateway flagged on behalf of a protected legacy client.
+	Detections uint64
 
 	// Aggregation under filter-table pressure (§IV fallback).
 	Aggregations       uint64 // sibling groups coalesced into a prefix filter
@@ -228,6 +251,15 @@ type Gateway struct {
 
 	disconnected map[flow.Addr]sim.Time // neighbor -> blocked until
 
+	// det is the gateway-side sketch detection engine (nil when the
+	// gateway defends no legacy clients); protected gates which
+	// destinations feed it. detRun/detOut are reusable batch-path
+	// scratch buffers.
+	det       *detect.Engine
+	protected map[flow.Addr]bool
+	detRun    []*packet.Packet
+	detOut    []detect.Detection
+
 	stats  GatewayStats
 	tracer Tracer
 	node   *netsim.Node
@@ -273,8 +305,20 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		ShadowLookup:   cfg.ShadowMode != ShadowOff,
 		Clock:          dataplane.ClockFunc(func() filter.Time { return g.now() }),
 	})
+	if d := cfg.Detection; d != nil && d.Enabled() && len(d.Protected) > 0 {
+		g.det = detect.New(d.Config)
+		g.protected = make(map[flow.Addr]bool, len(d.Protected))
+		for _, a := range d.Protected {
+			g.protected[a] = true
+		}
+		g.detOut = make([]detect.Detection, 0, 16)
+	}
 	return g
 }
+
+// Detector exposes the gateway-side detection engine (nil when the
+// gateway defends no legacy clients).
+func (g *Gateway) Detector() *detect.Engine { return g.det }
 
 // Attach binds the gateway to a node and installs it as the node's
 // packet handler.
@@ -402,14 +446,16 @@ func (g *Gateway) handleData(p *packet.Packet, from *netsim.Iface) {
 		p.Release()
 		return
 	}
-	g.applyData(p, from, g.dp.ClassifyTuple(p.Tuple(), int(p.PayloadLen)))
+	g.applyData(p, from, g.dp.ClassifyTuple(p.Tuple(), int(p.PayloadLen)), false)
 }
 
 // applyData finishes data-path handling for a packet whose verdict the
 // data plane has already computed (either one at a time or as part of a
 // batch): protocol liveness bookkeeping, the drop, shadow reappearance
-// handling, and forwarding with route record.
-func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Verdict) {
+// handling, gateway-side detection, and forwarding with route record.
+// observed marks packets the batch path already ran through the
+// detection engine.
+func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Verdict, observed bool) {
 	now := g.now()
 	key := flow.PairLabel(p.Src, p.Dst).Key()
 
@@ -447,6 +493,17 @@ func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Ve
 				p.Release() // the triggering packet is dropped too
 				return
 			}
+		}
+	}
+
+	// Gateway-side detection: delivered traffic toward a protected
+	// legacy client feeds the sketch engine, and a threshold crossing
+	// makes this gateway file the filtering request itself. Filtered
+	// packets never get here — a blocked flow cannot retrigger
+	// detection; its reappearances are the shadow cache's business.
+	if !observed && g.det != nil && g.protected[p.Dst] {
+		if d, ok := g.det.ObserveTuple(now, p.Tuple(), int(p.PayloadLen)); ok {
+			g.selfDetect(d, p.Path)
 		}
 	}
 
@@ -498,8 +555,9 @@ func (g *Gateway) ReceiveBatch(n *netsim.Node, ps []*packet.Packet, from *netsim
 			return
 		}
 		sc.verdicts = g.dp.ClassifyInto(run, sc.verdicts)
+		observed := g.observeRun(run, sc.verdicts)
 		for i, p := range run {
-			g.applyData(p, from, sc.verdicts[i])
+			g.applyData(p, from, sc.verdicts[i], observed)
 		}
 		run = run[:0]
 	}
@@ -522,6 +580,114 @@ func (g *Gateway) ReceiveBatch(n *netsim.Node, ps []*packet.Packet, from *netsim
 	flush()
 	sc.run = run[:0]
 	batchPool.Put(sc)
+}
+
+// observeRun feeds a classified batch run through the gateway-side
+// detection engine using the batch Observe API, before any verdicts
+// are applied (so packets are still alive and carry their route
+// records). Only packets that will be delivered toward a protected
+// destination are observed; each resulting detection is acted on with
+// the evidence of a matching packet from the run. It reports whether
+// the run was observed, so the per-packet path does not observe twice.
+func (g *Gateway) observeRun(run []*packet.Packet, verdicts []dataplane.Verdict) bool {
+	if g.det == nil {
+		return false
+	}
+	sub := g.detRun[:0]
+	for i, p := range run {
+		if !verdicts[i].Drop && g.protected[p.Dst] {
+			sub = append(sub, p)
+		}
+	}
+	if len(sub) > 0 {
+		g.detOut = g.det.Observe(g.now(), sub, g.detOut[:0])
+		for _, d := range g.detOut {
+			for _, p := range sub {
+				if p.Src == d.Src && p.Dst == d.Dst {
+					g.selfDetect(d, p.Path)
+					break
+				}
+			}
+		}
+		// A detection installs a temporary filter mid-run, but the
+		// run's verdicts were computed before the install — the same
+		// stale-verdict hazard GatewayAuto sidesteps by taking the
+		// per-packet path. Re-classify just the flagged flows' packets
+		// so the new filter applies within its own batch; their first
+		// pass was a miss, so the drop is charged exactly once. The
+		// verdict is only replaced when the fresh pass drops (a failed
+		// install must not smuggle in new shadow-hit side effects).
+		for _, d := range g.detOut {
+			for i, p := range run {
+				if !verdicts[i].Drop && p.Src == d.Src && p.Dst == d.Dst {
+					if nv := g.dp.ClassifyTuple(p.Tuple(), int(p.PayloadLen)); nv.Drop {
+						verdicts[i] = nv
+					}
+				}
+			}
+		}
+	}
+	g.detRun = sub[:0]
+	return true
+}
+
+// selfDetect is the gateway-side counterpart of a victim's filtering
+// request (§II-C with the gateway playing both victim and victim's
+// gateway): the sketch engine flagged an undesired flow toward a
+// protected legacy client, so this gateway blocks it and propagates
+// the request itself. The evidence is the route record the offending
+// packet actually carried, completed with this gateway's own stamp —
+// exactly what the client would have presented had it spoken AITF.
+// Naming itself as the victim keeps the §II-E handshake sound: the
+// attacker-side verification query lands here, where the watch state
+// answers it (handleVerifyQuery), rather than at a legacy host that
+// would ignore it.
+func (g *Gateway) selfDetect(d detect.Detection, path []packet.RREntry) {
+	now := g.now()
+	label := d.Label.Canonical()
+	if w, ok := g.watches[label.Key()]; ok {
+		if w.tempUntil > now {
+			return // already being blocked; nothing to add
+		}
+		_, live := g.dp.ShadowGet(label, now)
+		if g.cfg.ShadowMode != ShadowOff && live {
+			// An on-off reappearance of a flow we already fought:
+			// re-block and move the escalation ladder onward instead of
+			// restarting at round 1 (the same takeover the victim-driven
+			// path performs on a re-request).
+			g.dp.ShadowHit(label)
+			g.stats.ShadowReblocks++
+			g.trace(EvShadowHit, label, "gateway re-detection")
+			g.reblockAndEscalate(w)
+			return
+		}
+		delete(g.watches, label.Key())
+	}
+	g.stats.Detections++
+	g.trace(EvAttackDetected, label, fmt.Sprintf("gateway sketch, est %dB for %v", d.EstBytes, d.Dst))
+
+	evidence := make(traceback.AttackPath, 0, len(path)+1)
+	evidence = append(evidence, path...)
+	evidence = append(evidence, packet.RREntry{
+		Router: g.node.Addr(),
+		Nonce:  g.rec.Nonce(rrTuple(label.Src, label.Dst)),
+	})
+	w := &vwatch{
+		label:    label,
+		victim:   g.node.Addr(),
+		evidence: evidence,
+		round:    1,
+	}
+	g.watches[label.Key()] = w
+	g.installTemp(w)
+	if g.cfg.ShadowMode != ShadowOff {
+		if g.dp.LogShadow(label, g.node.Addr(), now, now+sim.Time(g.cfg.Timers.T)) {
+			g.trace(EvShadowLogged, label, "")
+		}
+	}
+	g.sendToAttackerGateway(w)
+	g.scheduleTakeoverCheck(w)
+	g.scheduleWatchGC(w)
 }
 
 func (g *Gateway) handleControl(p *packet.Packet, from *netsim.Iface) {

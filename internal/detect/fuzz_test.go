@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"aitf/internal/flow"
+	"aitf/internal/sim"
+)
+
+// FuzzSketch drives the whole engine — sketch updates, window
+// rotations, top-k churn, baseline folds, estimate queries — from raw
+// fuzz bytes and checks the load-bearing invariant on every query: a
+// count-min estimate is never below the true byte count within the
+// current window. It must also simply not panic, whatever geometry and
+// op sequence the fuzzer invents.
+func FuzzSketch(f *testing.F) {
+	// Seed corpus: a steady flood, a churny mix, and a rotation-heavy
+	// trace.
+	steady := make([]byte, 0, 128)
+	for i := 0; i < 16; i++ {
+		steady = append(steady, 1, 2, 3, 4, 0, 200, byte(i), 0)
+	}
+	f.Add(uint16(64), uint8(2), steady)
+	churn := make([]byte, 0, 128)
+	for i := 0; i < 16; i++ {
+		churn = append(churn, byte(i), byte(i*7), 9, 9, 1, byte(i*13), 255, 1)
+	}
+	f.Add(uint16(16), uint8(1), churn)
+	f.Add(uint16(1), uint8(16), []byte{0, 0, 0, 0, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, width uint16, depth uint8, ops []byte) {
+		cfg := Config{
+			Width:        int(width%2048) + 1,
+			Depth:        int(depth%8) + 1,
+			TopK:         8,
+			Window:       100 * time.Millisecond,
+			ThresholdBps: 40_000,
+			Seed:         uint64(width)*31 + uint64(depth),
+		}
+		e := New(cfg)
+
+		// Shadow model: exact per-key byte counts for the engine's
+		// current window. The engine rotates on boundaries aligned to
+		// its first observation; mirror that alignment exactly.
+		truth := map[uint64]uint64{}
+		var winStart sim.Time
+		started := false
+		now := sim.Time(0)
+
+		// Each op is 8 bytes: src(2) dst(2) size(2) advance(1) kind(1).
+		for len(ops) >= 8 {
+			src := flow.Addr(binary.BigEndian.Uint16(ops[0:2]))
+			dst := flow.Addr(binary.BigEndian.Uint16(ops[2:4]))
+			size := int(binary.BigEndian.Uint16(ops[4:6]))
+			now += sim.Time(ops[6]) * time.Millisecond
+			kind := ops[7]
+			ops = ops[8:]
+
+			if !started {
+				started = true
+				winStart = now
+			}
+			if now-winStart >= cfg.Window {
+				winStart += cfg.Window * ((now - winStart) / cfg.Window)
+				truth = map[uint64]uint64{}
+			}
+
+			switch kind % 3 {
+			case 0, 1: // observe
+				e.ObserveTuple(now, flow.TupleOf(src, dst, flow.ProtoUDP, 1, 2), size)
+				truth[pairKey(src, dst)] += uint64(size)
+				fallthrough
+			case 2: // query
+				est := e.Estimate(now, src, dst)
+				if est < truth[pairKey(src, dst)] {
+					t.Fatalf("estimate %d < true %d for %v->%v (width %d depth %d)",
+						est, truth[pairKey(src, dst)], src, dst, cfg.Width, cfg.Depth)
+				}
+			}
+		}
+		// The heavy-hitter budget must hold whatever happened.
+		if got := e.hh.len(); got > 8 {
+			t.Fatalf("top-k grew past its budget: %d", got)
+		}
+	})
+}

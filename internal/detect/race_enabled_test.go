@@ -1,0 +1,9 @@
+//go:build race
+
+package detect
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where allocs/op measurements are meaningless: the
+// instrumentation itself allocates intermittently, so even a
+// genuinely allocation-free path shows a fractional allocs/op.
+const raceEnabled = true

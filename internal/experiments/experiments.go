@@ -53,7 +53,8 @@ func All() (map[string]Driver, []string) {
 		"E6": E6OnOffAblation,
 		"E7": E7HandshakeSecurity,
 		"E8": E8AITFvsPushback,
-		"E9": E9ContractPolicing,
+		"E9":  E9ContractPolicing,
+		"E13": E13DetectionLatency,
 	}
 	ids := make([]string, 0, len(m))
 	for id := range m {

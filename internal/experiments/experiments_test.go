@@ -12,7 +12,7 @@ import (
 // TestAllDriversRegistered pins the experiment registry to EXPERIMENTS.md.
 func TestAllDriversRegistered(t *testing.T) {
 	drivers, ids := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E13", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -261,5 +261,34 @@ func TestE8DriverRuns(t *testing.T) {
 	res := E8AITFvsPushback()
 	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 6 {
 		t.Fatalf("E8 shape wrong: %+v", res.Tables)
+	}
+}
+
+// TestE13DetectionLatency: the detection-latency experiment measures a
+// non-zero emergent Td for the sketch detectors, every configuration
+// ends with the victim relieved, and real detection costs more
+// delivered attack bytes than the Td=0 oracle.
+func TestE13DetectionLatency(t *testing.T) {
+	res := E13DetectionLatency()
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 4 {
+		t.Fatalf("table shape: %+v", res.Tables)
+	}
+	rows := map[string][]string{}
+	for _, r := range res.Tables[0].Rows {
+		rows[r[0]] = r
+	}
+	for _, sketch := range []string{"sketch host", "sketch gateway"} {
+		r, ok := rows[sketch]
+		if !ok {
+			t.Fatalf("missing row %q", sketch)
+		}
+		if r[1] == "never" || r[1] == "0s" {
+			t.Fatalf("%s: measured Td = %q, want emergent non-zero", sketch, r[1])
+		}
+	}
+	for name, r := range rows {
+		if r[3] != "0 B/s" {
+			t.Fatalf("%s: victim not relieved by run end: %v", name, r)
+		}
 	}
 }

@@ -13,7 +13,11 @@ type Policer struct {
 	tokens float64
 	last   Time
 
-	// Admitted and Dropped count policing decisions.
+	// Admitted and Dropped count policing decisions. Every Allow call
+	// is a decision: a zero-rate policer (no contracted rate, e.g. a
+	// neighbor with a zero Default contract) denies every request and
+	// charges each denial to Dropped, so the policer's own accounting
+	// always agrees with the caller's over-contract counters.
 	Admitted uint64
 	Dropped  uint64
 }
@@ -37,15 +41,24 @@ func (p *Policer) Rate() float64 { return p.rate }
 
 // Allow consumes a token if available, advancing the bucket to now.
 // Calls must pass nondecreasing times; regressions are clamped.
+//
+// The refill must be computed from the elapsed delta, rate·(now−last),
+// never as rate·now − rate·last: at large absolute sim times both
+// products are huge and their float64 difference cancels
+// catastrophically, so the refill drifts (under-admitting a conforming
+// sender) and disagrees with Tokens, which has always used the delta
+// form. TestPolicerLargeTimestampPrecision pins this down.
 func (p *Policer) Allow(now Time) bool {
 	if now > p.last {
-		p.tokens += p.rate * now.Seconds()
-		p.tokens -= p.rate * p.last.Seconds()
+		p.tokens += p.rate * (now - p.last).Seconds()
 		if p.tokens > p.burst {
 			p.tokens = p.burst
 		}
 		p.last = now
 	}
+	// A zero-rate policer holds its initial burst but may never spend
+	// it: no contracted rate means nothing is admitted, and the denial
+	// still counts as a policing decision (see the Dropped doc).
 	if p.rate <= 0 || p.tokens < 1 {
 		p.Dropped++
 		return false

@@ -31,6 +31,7 @@ func fuzzSpec(seed int64, ases, army, flags uint8) Spec {
 		GatewayAuto:      flags&16 != 0,
 		BatchDelivery:    flags&32 != 0,
 		Shards:           1 + int(flags%4),
+		Detector:         int(ases>>6) % 3,
 	}
 	if flags&64 != 0 {
 		s.Overload = true
@@ -56,6 +57,10 @@ func FuzzScenario(f *testing.F) {
 	// mixed background army.
 	f.Add(int64(11), uint8(6), uint8(0b0001_0110), uint8(0b1000_0000))
 	f.Add(int64(23), uint8(9), uint8(0), uint8(0b1010_1001))
+	// Sketch-detector scenarios (ases bit 6) and gateway-side
+	// detection defending legacy victims (ases bit 7).
+	f.Add(int64(31), uint8(0b0100_0110), uint8(0b0110_0110), uint8(0))
+	f.Add(int64(37), uint8(0b1000_0101), uint8(0b0001_0111), uint8(0b1010_0001))
 	f.Fuzz(func(t *testing.T, seed int64, ases, army, flags uint8) {
 		spec := fuzzSpec(seed, ases, army, flags)
 		res := Run(spec)

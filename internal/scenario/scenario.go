@@ -34,6 +34,7 @@ import (
 	"aitf/internal/attack"
 	"aitf/internal/contract"
 	"aitf/internal/core"
+	"aitf/internal/detect"
 	"aitf/internal/flow"
 	"aitf/internal/sim"
 	"aitf/internal/topology"
@@ -62,6 +63,21 @@ const (
 	// settleTime bounds how long after the attack stops escalation
 	// activity may continue (one in-flight round plus slack).
 	settleTime = timerTtmp + 2*time.Second
+)
+
+// Detector kinds selectable per scenario (Spec.Detector). Oracle is
+// the paper's assumption — an exact per-source rate classifier whose
+// latency is essentially its window. Sketch replaces it with the real
+// streaming measurement engine (internal/detect) on each victim host,
+// making detection latency, FPs and FNs emergent. Gateway moves that
+// engine onto the victims' gateways, modelling victims as legacy
+// non-AITF hosts that are defended on their behalf — the deployment
+// scenario where detection, filtering, and the §II-E handshake all
+// live at the border router.
+const (
+	DetectorOracle = iota
+	DetectorSketch
+	DetectorGateway
 )
 
 // Spec is a fully deterministic scenario description. GenSpec derives
@@ -97,6 +113,12 @@ type Spec struct {
 	GatewayAuto      bool `json:"gateway_auto"`
 	BatchDelivery    bool `json:"batch_delivery"`
 	Shards           int  `json:"shards"`
+	// Detector selects the detection machinery: DetectorOracle (exact
+	// per-source rate oracle on victim hosts), DetectorSketch
+	// (internal/detect sketch engine on victim hosts), or
+	// DetectorGateway (sketch engine on the victims' gateways; victims
+	// are legacy hosts with no detector of their own).
+	Detector int `json:"detector"`
 	// Overload deliberately exceeds the victim's tail circuit; the
 	// bandwidth-bound and liveness checks are skipped (congestion
 	// losses are not protocol failures), the others still apply.
@@ -131,6 +153,9 @@ func GenSpec(seed int64) Spec {
 		GatewayAuto:      rng.Float64() < 0.25,
 		BatchDelivery:    rng.Float64() < 0.5,
 		Shards:           1 << rng.Intn(3),
+		// 40% oracle, 40% host-side sketch, 20% gateway-side sketch.
+		Detector: []int{DetectorOracle, DetectorOracle, DetectorSketch,
+			DetectorSketch, DetectorGateway}[rng.Intn(5)],
 	}
 	if rng.Float64() < 0.12 {
 		s.Overload = true
@@ -166,6 +191,7 @@ func (s Spec) normalized() Spec {
 	clamp(&s.Exhausters, 0, 8)
 	clamp(&s.NonCoop, 0, 16)
 	clamp(&s.Shards, 1, 8)
+	clamp(&s.Detector, DetectorOracle, DetectorGateway)
 	if s.AttackRate < 2.2*detectThreshold {
 		s.AttackRate = 2.2 * detectThreshold
 	}
@@ -267,6 +293,17 @@ type Result struct {
 	Escalations      int    `json:"escalations"`
 	Aggregations     int    `json:"aggregations"`
 
+	// Detection accuracy accounting (invariant 5). Detections counts
+	// attack-detected events; FalsePositives counts those naming a
+	// protected legit source (each is also a violation);
+	// MissedAttackers counts steady attackers whose flood crossed an
+	// AITF gateway yet never triggered detection — accounted, not
+	// violated, since the bandwidth bound is what punishes harmful
+	// misses.
+	Detections      int `json:"detections"`
+	FalsePositives  int `json:"false_positives"`
+	MissedAttackers int `json:"missed_attackers"`
+
 	Violations  []Violation `json:"violations"`
 	Fingerprint uint64      `json:"fingerprint"`
 }
@@ -282,11 +319,11 @@ func (r *Result) Report() string {
 	}
 	s := fmt.Sprintf(
 		"%s seed=%d ases=%d hosts=%d gws=%d(noncoop %d) victims=%d attackers=%d legit=%d reqfl=%d "+
-			"events=%d attack=%dB suppressed=%d victim=%dB esc=%d disc=%d fp=%016x",
+			"events=%d attack=%dB suppressed=%d victim=%dB esc=%d disc=%d det=%d/%d/fp%d fp=%016x",
 		status, r.Spec.Seed, r.Spec.ASes, r.Hosts, r.Gateways, r.NonCoopGWs,
 		r.Victims, r.Attackers, r.Legit, r.ReqFlooders,
 		r.Events, r.AttackSent, r.AttackSuppressed, r.VictimBytes,
-		r.Escalations, r.Disconnects, r.Fingerprint)
+		r.Escalations, r.Disconnects, r.Detections, r.MissedAttackers, r.FalsePositives, r.Fingerprint)
 	for _, v := range r.Violations {
 		s += "\n  " + v.String()
 	}
@@ -431,6 +468,14 @@ func build(s Spec) *world {
 	for _, v := range w.victims {
 		victimAS[v.as] = true
 	}
+	// With gateway-side detection, every victim's serving gateway (its
+	// own AS's border — victim ASes always deploy) defends it.
+	detectFor := map[int][]topology.NodeID{}
+	if s.Detector == DetectorGateway {
+		for _, v := range w.victims {
+			detectFor[v.as] = append(detectFor[v.as], v.node)
+		}
+	}
 	spec := aitf.TopologySpec{Topo: topo}
 	for as := 0; as < s.ASes; as++ {
 		if !w.deployed[as] {
@@ -444,6 +489,7 @@ func build(s Spec) *world {
 		if tightCap > 0 && victimAS[as] {
 			gs.FilterCapacity = tightCap
 		}
+		gs.DetectFor = detectFor[as]
 		for p := nodes.Parent[as]; p >= 0; p = nodes.Parent[p] {
 			if w.deployed[p] {
 				gs.Provider = nodes.Border[p]
@@ -492,9 +538,11 @@ func build(s Spec) *world {
 	for as := 0; as < s.ASes; as++ {
 		for _, h := range nodes.Hosts[as] {
 			spec.Hosts = append(spec.Hosts, aitf.HostSpec{
-				Node:         h,
-				Gateway:      servingGW(as),
-				Victim:       victimNode[h],
+				Node:    h,
+				Gateway: servingGW(as),
+				// Gateway-detection scenarios model victims as legacy
+				// hosts: no detector, no requests of their own.
+				Victim:       victimNode[h] && s.Detector != DetectorGateway,
 				NonCompliant: nonCompliant[h],
 			})
 		}
@@ -503,8 +551,32 @@ func build(s Spec) *world {
 	opt := aitf.DefaultOptions()
 	opt.Seed = s.Seed
 	opt.Timers = contract.Timers{T: timerT, Ttmp: timerTtmp, Grace: timerGrace, Penalty: timerPenalty}
-	opt.Detector = func() core.Detector {
-		return attack.NewRateDetector(detectThreshold, detectWindow)
+	switch s.Detector {
+	case DetectorSketch:
+		// Each victim host gets its own engine with a distinct,
+		// seed-derived hash layout (hosts are created in deterministic
+		// spec order, so the counter replays identically).
+		hostSeed := uint64(s.Seed) * 0x9e3779b97f4a7c15
+		n := uint64(0)
+		opt.Detector = func() core.Detector {
+			n++
+			return detect.NewHostDetector(detect.Config{
+				ThresholdBps: detectThreshold,
+				Window:       detectWindow,
+				Seed:         hostSeed + n*0xff51afd7ed558ccd,
+			})
+		}
+	case DetectorGateway:
+		opt.Detector = nil // victims are legacy hosts
+		opt.GatewayDetect = detect.Config{
+			ThresholdBps: detectThreshold,
+			Window:       detectWindow,
+			Seed:         uint64(s.Seed),
+		}
+	default:
+		opt.Detector = func() core.Detector {
+			return attack.NewRateDetector(detectThreshold, detectWindow)
+		}
 	}
 	opt.ShadowMode = aitf.VictimDriven
 	if s.GatewayAuto {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aitf/internal/contract"
+	"aitf/internal/detect"
 	"aitf/internal/flow"
 )
 
@@ -53,6 +54,22 @@ type GatewayFileConfig struct {
 	// covering source-/N prefix filter under table pressure; valid
 	// values are 0 (disabled) or 1..31.
 	AggregationPrefixLen int `json:"aggregation_prefix_len"`
+	// DetectBps arms gateway-side sketch detection: traffic toward the
+	// DetectFor clients above this rate (bytes/second) is flagged and
+	// filtered on their behalf. 0 disables gateway-side detection.
+	DetectBps float64 `json:"detect_bps"`
+	// DetectFor lists the protected legacy client addresses; required
+	// (non-empty) when DetectBps > 0.
+	DetectFor []string `json:"detect_for"`
+	// DetectWindowMs is the detection measurement window in
+	// milliseconds (0 = the engine default, 250).
+	DetectWindowMs int `json:"detect_window_ms"`
+	// SketchWidth / SketchDepth set the count-min geometry and
+	// DetectTopK the heavy-hitter budget (0 = engine defaults:
+	// 1024 × 4, 128).
+	SketchWidth int `json:"sketch_width"`
+	SketchDepth int `json:"sketch_depth"`
+	DetectTopK  int `json:"detect_topk"`
 }
 
 // HostFileConfig is the host-specific part of FileConfig.
@@ -114,6 +131,21 @@ func (g *GatewayFileConfig) validate() error {
 	}
 	if g.TMs < 0 || g.TtmpMs < 0 {
 		return fmt.Errorf("%w: negative timer (t_ms %d, ttmp_ms %d)", ErrBadConfig, g.TMs, g.TtmpMs)
+	}
+	if g.DetectBps < 0 {
+		return fmt.Errorf("%w: detect_bps %v is negative", ErrBadConfig, g.DetectBps)
+	}
+	if g.DetectBps > 0 && len(g.DetectFor) == 0 {
+		return fmt.Errorf("%w: detect_bps set but detect_for is empty", ErrBadConfig)
+	}
+	if g.DetectWindowMs < 0 || g.SketchWidth < 0 || g.SketchDepth < 0 || g.DetectTopK < 0 {
+		return fmt.Errorf("%w: negative detection knob (window %dms, width %d, depth %d, topk %d)",
+			ErrBadConfig, g.DetectWindowMs, g.SketchWidth, g.SketchDepth, g.DetectTopK)
+	}
+	for _, a := range g.DetectFor {
+		if _, err := flow.ParseAddr(a); err != nil {
+			return fmt.Errorf("%w: detect_for %q: %v", ErrBadConfig, a, err)
+		}
 	}
 	// Validate the timers as they will actually be materialised — an
 	// explicit value combined with the other's default must still
@@ -190,7 +222,7 @@ func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, er
 		}
 		clients[ca] = contract.DefaultEndHost()
 	}
-	return GatewayConfig{
+	cfg := GatewayConfig{
 		Node:                 node,
 		Timers:               tm,
 		FilterCapacity:       c.Gateway.Capacity,
@@ -201,7 +233,27 @@ func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, er
 		DataplaneShards:      c.Gateway.Shards,
 		Workers:              c.Gateway.Workers,
 		AggregationPrefixLen: c.Gateway.AggregationPrefixLen,
-	}, nil
+	}
+	if c.Gateway.DetectBps > 0 {
+		cfg.Detect = detect.Config{
+			ThresholdBps: c.Gateway.DetectBps,
+			Window:       time.Duration(c.Gateway.DetectWindowMs) * time.Millisecond,
+			Width:        c.Gateway.SketchWidth,
+			Depth:        c.Gateway.SketchDepth,
+			TopK:         c.Gateway.DetectTopK,
+			// A per-node hash seed: deterministic for a given config,
+			// different across gateways.
+			Seed: uint64(node.Addr),
+		}
+		for _, a := range c.Gateway.DetectFor {
+			fa, err := flow.ParseAddr(a)
+			if err != nil {
+				return GatewayConfig{}, fmt.Errorf("%w: detect_for %q: %v", ErrBadConfig, a, err)
+			}
+			cfg.DetectFor = append(cfg.DetectFor, fa)
+		}
+	}
+	return cfg, nil
 }
 
 // HostConfig materialises a host from the file config.

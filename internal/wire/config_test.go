@@ -77,6 +77,34 @@ func TestParseGatewayConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	g.Close()
+
+	// Gateway-side detection knobs round-trip into the detect config.
+	withDet, err := ParseFileConfig([]byte(
+		`{"role":"gateway","addr":"1.1.1.1","gateway":{
+			"detect_bps":30000,"detect_for":["10.0.0.2","10.0.0.3"],
+			"detect_window_ms":200,"sketch_width":2048,"sketch_depth":5,"detect_topk":64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg, err := withDet.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcfg.Detect.ThresholdBps != 30000 || dcfg.Detect.Window != 200*time.Millisecond ||
+		dcfg.Detect.Width != 2048 || dcfg.Detect.Depth != 5 || dcfg.Detect.TopK != 64 {
+		t.Fatalf("detect config = %+v", dcfg.Detect)
+	}
+	if len(dcfg.DetectFor) != 2 || dcfg.DetectFor[0] != flow.MakeAddr(10, 0, 0, 2) {
+		t.Fatalf("detect_for = %v", dcfg.DetectFor)
+	}
+	dg, err := NewGateway(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Detector() == nil {
+		t.Fatal("detection-configured gateway has no engine")
+	}
+	dg.Close()
 }
 
 func TestParseHostConfig(t *testing.T) {
@@ -118,6 +146,10 @@ func TestParseConfigErrors(t *testing.T) {
 		"negative detect":  `{"role":"host","addr":"1.1.1.1","host":{"gateway":"1.1.1.2","detect_bps":-1}}`,
 		"negative aggpfx":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"aggregation_prefix_len":-1}}`,
 		"aggpfx too long":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"aggregation_prefix_len":32}}`,
+		"gw detect no for": `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":1000}}`,
+		"gw detect neg":    `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":-2,"detect_for":["1.1.1.2"]}}`,
+		"gw detect badfor": `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":1000,"detect_for":["zzz"]}}`,
+		"gw sketch neg":    `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":1000,"detect_for":["1.1.1.2"],"sketch_depth":-1}}`,
 	}
 	for name, raw := range cases {
 		if _, err := ParseFileConfig([]byte(raw)); err == nil {

@@ -10,6 +10,7 @@ import (
 
 	"aitf/internal/contract"
 	"aitf/internal/dataplane"
+	"aitf/internal/detect"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
 	"aitf/internal/packet"
@@ -65,6 +66,15 @@ type GatewayConfig struct {
 	// are coalesced into one covering prefix filter and the install is
 	// retried. 0 disables aggregation.
 	AggregationPrefixLen int
+	// Detect configures the gateway-side sketch detection engine
+	// (internal/detect); armed only when ThresholdBps > 0 and
+	// DetectFor is non-empty.
+	Detect detect.Config
+	// DetectFor lists the legacy (non-AITF) client destinations this
+	// gateway defends: traffic addressed to them is observed, and on a
+	// detection the gateway files the filtering request itself, naming
+	// itself as the victim so it can answer the §II-E handshake.
+	DetectFor []flow.Addr
 }
 
 // Gateway is the wire-mode border router: it stamps route records on
@@ -85,12 +95,21 @@ type Gateway struct {
 	pendings map[flow.Label]*wirePending
 	timers   *timerSet
 
+	// det observes traffic toward protected legacy clients; nil when
+	// gateway-side detection is off. The engine is internally
+	// synchronized, so dispatcher workers feed it without g.mu.
+	det       *detect.Engine
+	protected map[flow.Addr]bool
+
 	// Control-plane stats mirror the simulator gateway's counters
 	// (subset); they are mutated under mu.
 	ReqReceived, ReqPoliced, ReqInvalid uint64
 	HandshakesOK, HandshakesFailed      uint64
 	StopOrders                          uint64
 	Aggregations                        uint64
+	// Detections counts gateway-side sketch detections (attacks
+	// flagged on behalf of protected legacy clients); mutated under mu.
+	Detections uint64
 	// Data-plane stats are updated atomically: with dispatch mode on,
 	// drops are counted from multiple workers at once.
 	FilterDrops uint64
@@ -141,9 +160,19 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		g.disp = dataplane.NewDispatcher(g.dp,
 			dataplane.DispatcherConfig{Workers: cfg.Workers}, g.finishData)
 	}
+	if cfg.Detect.Enabled() && len(cfg.DetectFor) > 0 {
+		g.det = detect.New(cfg.Detect)
+		g.protected = make(map[flow.Addr]bool, len(cfg.DetectFor))
+		for _, a := range cfg.DetectFor {
+			g.protected[a] = true
+		}
+	}
 	n.SetHandler(g)
 	return g, nil
 }
+
+// Detector exposes the gateway-side detection engine (nil when off).
+func (g *Gateway) Detector() *detect.Engine { return g.det }
 
 // Node exposes the transport (for books and addresses).
 func (g *Gateway) Node() *Node { return g.node }
@@ -237,6 +266,21 @@ func (g *Gateway) finishData(p *packet.Packet, v dataplane.Verdict) {
 		// it (the wire runtime's single round has no escalation ladder).
 		atomic.AddUint64(&g.ShadowHits, 1)
 	}
+	// Gateway-side detection: delivered traffic toward a protected
+	// legacy client feeds the sketch engine (internally synchronized,
+	// so dispatcher workers land here safely); a crossing makes this
+	// gateway file the filtering request itself. Taking g.mu on the
+	// rare detection-fired path is safe — finishData is never invoked
+	// with the lock held. In dispatch mode, protected-destination
+	// packets serialize on the engine's lock; at UDP socket rates the
+	// syscall path dominates and this is not the bottleneck, but a
+	// deployment defending a line-rate destination should batch
+	// observations per worker before reaching for more workers.
+	if g.det != nil && g.protected[p.Dst] {
+		if d, ok := g.det.ObserveTuple(wallNow(), p.Tuple(), int(p.PayloadLen)); ok {
+			g.selfDetect(d, p.Path)
+		}
+	}
 	if p.Dst == g.node.Addr() {
 		p.Release()
 		return
@@ -254,9 +298,84 @@ func (g *Gateway) handleControl(p *packet.Packet, from flow.Addr) {
 	switch m := p.Msg.(type) {
 	case *packet.FilterReq:
 		g.handleFilterReq(p, m, from)
+	case *packet.VerifyQuery:
+		g.handleVerifyQuery(p, m)
 	case *packet.VerifyReply:
 		g.handleVerifyReply(m)
 	}
+}
+
+// handleVerifyQuery answers §II-E verification queries for flows this
+// gateway itself asked to have blocked on a legacy client's behalf:
+// the shadow log is the gateway's "I really requested this" memory,
+// exactly as a victim host's wanted-set is. Called under mu.
+func (g *Gateway) handleVerifyQuery(p *packet.Packet, m *packet.VerifyQuery) {
+	if g.det == nil {
+		return // never a self-requesting victim: stay silent
+	}
+	label := m.Flow.Canonical()
+	if _, live := g.dp.ShadowGet(label, wallNow()); !live {
+		return
+	}
+	g.logf("handshake reply to %v for %v", p.Src, label)
+	reply := packet.NewControl(g.node.Addr(), p.Src,
+		&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce})
+	if err := g.node.Originate(reply); err != nil {
+		g.logf("reply: %v", err)
+	}
+	reply.Release()
+}
+
+// selfDetect files the filtering request a protected legacy client
+// cannot file itself: temporary filter, shadow log, and the relay to
+// the attacker's gateway with the evidence the offending packet
+// carried, completed by this gateway's own stamp. The gateway names
+// itself as the victim so the attacker-side handshake query comes back
+// here (handleVerifyQuery).
+func (g *Gateway) selfDetect(d detect.Detection, path []packet.RREntry) {
+	now := wallNow()
+	label := d.Label.Canonical()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.Detections++
+	g.logf("detected undesired flow %v (est %dB) for protected client %v", label, d.EstBytes, d.Dst)
+	if err := g.installWithAggregation(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
+		// The wire-speed table is full even after aggregation: the
+		// temporary filter is lost, but the shadow log and the
+		// attacker-side request below must still go out (as in the
+		// simulator gateway). The engine flags each flow once and the
+		// continuing flood keeps it from re-arming, so bailing here
+		// would silence detection of this flow forever.
+		g.logf("temp filter: %v", err)
+	}
+	g.dp.LogShadow(label, g.node.Addr(), now, now+sim.Time(g.cfg.Timers.T))
+
+	evidence := make([]packet.RREntry, 0, len(path)+1)
+	evidence = append(evidence, path...)
+	evidence = append(evidence, packet.RREntry{
+		Router: g.node.Addr(),
+		Nonce:  g.rec.Nonce(flow.Tuple{Src: label.Src, Dst: label.Dst}),
+	})
+	target, err := traceback.AttackPath(evidence).AttackerGateway()
+	if err != nil || target == g.node.Addr() {
+		// No attacker-side AITF node on the recorded path: our own
+		// temporary filter is the whole defense, as in the simulator's
+		// exhausted-ladder case.
+		return
+	}
+	g.logf("relaying gateway-detected request for %v to attacker gw %v", label, target)
+	relay := packet.NewControl(g.node.Addr(), target, &packet.FilterReq{
+		Stage:    packet.StageToAttackerGW,
+		Flow:     d.Label,
+		Duration: g.cfg.Timers.T,
+		Round:    1,
+		Victim:   g.node.Addr(),
+		Evidence: evidence,
+	})
+	if err := g.node.Originate(relay); err != nil {
+		g.logf("relay: %v", err)
+	}
+	relay.Release()
 }
 
 func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from flow.Addr) {

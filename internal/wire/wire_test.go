@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aitf/internal/contract"
+	"aitf/internal/detect"
 	"aitf/internal/flow"
 	"aitf/internal/packet"
 )
@@ -343,4 +344,145 @@ func TestGarbageDatagramsIgnored(t *testing.T) {
 		defer r.agw.mu.Unlock()
 		return r.agw.HandshakesOK > 0
 	}, "gateway wedged by garbage datagrams")
+}
+
+// TestLiveGatewayDetectionOverUDP runs the gateway-defends-legacy-host
+// scenario over real sockets: the victim host has NO detector of its
+// own (detect_bps 0 — a legacy, non-AITF receiver), its gateway runs
+// the sketch engine for it, and the full round — detection at v_gw,
+// relay, handshake answered by v_gw itself, T filter at a_gw, stop
+// order — completes without the victim sending a single request.
+func TestLiveGatewayDetectionOverUDP(t *testing.T) {
+	var (
+		victimA   = flow.MakeAddr(10, 0, 0, 2)
+		vgwA      = flow.MakeAddr(10, 0, 0, 1)
+		agwA      = flow.MakeAddr(10, 9, 0, 1)
+		attackerA = flow.MakeAddr(10, 9, 0, 2)
+	)
+	tm := testTimers()
+	client := contract.DefaultEndHost()
+	chain := []flow.Addr{victimA, vgwA, agwA, attackerA}
+	routes := func(self flow.Addr) map[flow.Addr]flow.Addr {
+		pos := -1
+		for i, a := range chain {
+			if a == self {
+				pos = i
+			}
+		}
+		nh := make(map[flow.Addr]flow.Addr)
+		for i, a := range chain {
+			if i < pos {
+				nh[a] = chain[pos-1]
+			} else if i > pos {
+				nh[a] = chain[pos+1]
+			}
+		}
+		return nh
+	}
+
+	vgw, err := NewGateway(GatewayConfig{
+		Node:    NodeConfig{Addr: vgwA, Name: "v_gw", NextHop: routes(vgwA)},
+		Timers:  tm,
+		Clients: map[flow.Addr]contract.Contract{victimA: client},
+		Default: contract.DefaultPeer(),
+		Secret:  []byte("vgw-secret"),
+		Detect: detect.Config{
+			ThresholdBps: 20_000,
+			Window:       100 * time.Millisecond,
+		},
+		DetectFor: []flow.Addr{victimA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agw, err := NewGateway(GatewayConfig{
+		Node:    NodeConfig{Addr: agwA, Name: "a_gw", NextHop: routes(agwA)},
+		Timers:  tm,
+		Clients: map[flow.Addr]contract.Contract{attackerA: client},
+		Default: contract.DefaultPeer(),
+		Secret:  []byte("agw-secret"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := NewHost(HostConfig{ // legacy: no detection of its own
+		Node:      NodeConfig{Addr: victimA, Name: "victim", NextHop: routes(victimA)},
+		Gateway:   vgwA,
+		Timers:    tm,
+		Compliant: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := NewHost(HostConfig{
+		Node:      NodeConfig{Addr: attackerA, Name: "attacker", NextHop: routes(attackerA)},
+		Gateway:   agwA,
+		Timers:    tm,
+		Compliant: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := Book{
+		victimA:   victim.Node().UDPAddr().String(),
+		vgwA:      vgw.Node().UDPAddr().String(),
+		agwA:      agw.Node().UDPAddr().String(),
+		attackerA: attacker.Node().UDPAddr().String(),
+	}
+	for _, n := range []*Node{victim.Node(), attacker.Node(), vgw.Node(), agw.Node()} {
+		n.SetBook(book)
+	}
+	victim.Run()
+	attacker.Run()
+	vgw.Run()
+	agw.Run()
+	t.Cleanup(func() {
+		victim.Close()
+		attacker.Close()
+		vgw.Close()
+		agw.Close()
+	})
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				attacker.SendData(victimA, flow.ProtoUDP, 4000, 80, 500) // ~100 kB/s
+			}
+		}
+	}()
+
+	waitUntil(t, 5*time.Second, func() bool {
+		vgw.mu.Lock()
+		defer vgw.mu.Unlock()
+		return vgw.Detections > 0
+	}, "victim gateway never detected the flood")
+
+	waitUntil(t, 5*time.Second, func() bool {
+		agw.mu.Lock()
+		defer agw.mu.Unlock()
+		return agw.HandshakesOK > 0
+	}, "handshake never completed (v_gw must answer as the victim)")
+
+	waitUntil(t, 5*time.Second, func() bool {
+		attacker.mu.Lock()
+		defer attacker.mu.Unlock()
+		return attacker.StopOrdersReceived > 0
+	}, "attacker never received a stop order")
+
+	if got := agw.Filters().Len(); got == 0 {
+		t.Fatal("attacker gateway holds no filter after the gateway-detected round")
+	}
+	victim.mu.Lock()
+	requests := victim.RequestsSent
+	victim.mu.Unlock()
+	if requests != 0 {
+		t.Fatalf("legacy victim sent %d requests itself", requests)
+	}
 }
