@@ -11,8 +11,14 @@
 // With -regress, the sweep is re-run and compared against the
 // committed trend file instead: the command exits non-zero when the
 // geometric-mean throughput at any goroutine count drops more than
-// -regress-tol below the baseline, or when a steady-state cell starts
-// allocating. CI runs this as a cheap perf smoke.
+// -regress-tol below the baseline, when a steady-state cell starts
+// allocating, or when live metrics instrumentation costs more than
+// -instr-tol (default 5%) of uninstrumented throughput — that last
+// gate compares twin engines inside the same run, so it holds on any
+// machine. CI runs this as a cheap perf smoke.
+//
+// -metrics-json additionally writes the instrumented engine's live
+// counter registry in the aitfd /metrics.json snapshot format.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"aitf/internal/dataplane"
 	"aitf/internal/detect"
 	"aitf/internal/experiments"
+	"aitf/internal/obs"
 	"aitf/internal/sim"
 )
 
@@ -66,6 +73,24 @@ type wildcardResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// instrumentedResult is one cell of the instrumentation-overhead
+// sweep: the same workload classified by an engine with the full obs
+// registry attached (counters live, batch-size histogram recording)
+// and by an uninstrumented twin. BasePPS is the uninstrumented
+// reference measured in the same run, so the overhead ratio
+// PPS/BasePPS is machine-independent and can be gated absolutely.
+type instrumentedResult struct {
+	Shards     int     `json:"shards"`
+	Filters    int     `json:"filters"`
+	Mix        string  `json:"mix"`
+	Goroutines int     `json:"goroutines"`
+	PPS        float64 `json:"pps"`
+	BasePPS    float64 `json:"base_pps"`
+	// AllocsPerOp is the instrumented engine's steady-state heap
+	// allocations per ClassifyInto call; instrumentation must keep it 0.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 // detectResult is one cell of the detection sweep: the sketch engine's
 // batch Observe throughput over a mixed attacker/background workload,
 // across count-min geometries and attacker counts, plus the
@@ -89,6 +114,10 @@ type benchOutput struct {
 	// DataplaneWildcard tracks the indexed wildcard/prefix match path
 	// across table sizes up to one million entries.
 	DataplaneWildcard []wildcardResult `json:"dataplane_wildcard"`
+	// DataplaneInstrumented tracks the cost of live metrics on the hot
+	// path: instrumented vs uninstrumented twin engines, same workload,
+	// same run.
+	DataplaneInstrumented []instrumentedResult `json:"dataplane_instrumented"`
 	// Detect tracks the sketch detection engine (internal/detect).
 	Detect []detectResult `json:"detect"`
 }
@@ -194,6 +223,91 @@ func dataplaneSweep(spec sweepSpec, dur time.Duration) []dataplaneResult {
 		}
 	}
 	return out
+}
+
+// defaultInstrumentedSweep picks the overhead cells: mid-size tables,
+// the mixed traffic pattern, serial and parallel offered load. Small on
+// purpose — each cell is measured twice (instrumented and base).
+func defaultInstrumentedSweep(goroutines []int) sweepSpec {
+	gors := []int{1}
+	for _, g := range goroutines {
+		if g > 1 {
+			gors = append(gors, g)
+			break // 1 plus the first parallel count is enough signal
+		}
+	}
+	return sweepSpec{
+		shards:     []int{4},
+		filters:    []int{4096, 65536},
+		mixes:      []string{"mixed"},
+		goroutines: gors,
+	}
+}
+
+// instrumentedSweep measures every cell twice over the same workload:
+// once on an engine carrying the full obs registry (live counters plus
+// the batch-size histogram) and once on an uninstrumented twin built
+// from the same helper. The returned registry is the last cell's, with
+// its counters still live — the -metrics-json snapshot.
+func instrumentedSweep(spec sweepSpec, dur time.Duration) ([]instrumentedResult, *obs.Registry) {
+	var out []instrumentedResult
+	var reg *obs.Registry
+	for _, shards := range spec.shards {
+		for _, filters := range spec.filters {
+			base := dataplane.WorkloadEngine(shards, filters)
+			inst := dataplane.WorkloadEngine(shards, filters)
+			reg = obs.NewRegistry()
+			inst.Instrument(reg)
+			for _, mix := range spec.mixes {
+				allocs := classifyAllocsPerOp(inst, filters, mixFrac[mix])
+				for _, g := range spec.goroutines {
+					out = append(out, instrumentedResult{
+						Shards:      shards,
+						Filters:     filters,
+						Mix:         mix,
+						Goroutines:  g,
+						PPS:         measureDataplane(inst, filters, mixFrac[mix], g, dur),
+						BasePPS:     measureDataplane(base, filters, mixFrac[mix], g, dur),
+						AllocsPerOp: allocs,
+					})
+				}
+			}
+		}
+	}
+	return out, reg
+}
+
+// instrumentedOverheadFailures gates the cost of instrumentation. Both
+// legs of every cell come from the same run on the same machine, so
+// unlike the baseline-file gates this one is absolute: the geometric
+// mean of PPS/BasePPS across cells must stay above 1-maxOverhead
+// (default 5%), and the instrumented steady state must not allocate.
+func instrumentedOverheadFailures(measured []instrumentedResult, maxOverhead float64) []string {
+	var fails []string
+	var logSum float64
+	n := 0
+	for _, m := range measured {
+		if m.BasePPS <= 0 {
+			continue
+		}
+		n++
+		logSum += math.Log(m.PPS / m.BasePPS)
+		if m.AllocsPerOp >= 1 {
+			fails = append(fails, fmt.Sprintf(
+				"instrumented allocs: shards=%d filters=%d mix=%s: %.2f allocs/op (want 0)",
+				m.Shards, m.Filters, m.Mix, m.AllocsPerOp))
+		}
+	}
+	if n == 0 {
+		return []string{"instrumented sweep produced no comparable cells"}
+	}
+	ratio := math.Exp(logSum / float64(n))
+	if ratio < 1-maxOverhead {
+		fails = append(fails, fmt.Sprintf(
+			"instrumentation overhead: geomean %.1f%% of uninstrumented (floor %.0f%%)",
+			ratio*100, (1-maxOverhead)*100))
+	}
+	return fails
 }
 
 // wildcardSweepSpec enumerates the wildcard/prefix cells: non-exact
@@ -585,7 +699,7 @@ func wildcardRegressionFailures(baseline, measured []wildcardResult, tol, norm f
 	return fails, matched
 }
 
-func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur time.Duration, tol float64, normalize bool) int {
+func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur time.Duration, tol, instrTol float64, normalize bool, metricsJSON string) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %v\n", err)
@@ -608,6 +722,10 @@ func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur tim
 		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no detect cells\n", path)
 		return 2
 	}
+	if len(baseline.DataplaneInstrumented) == 0 {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no instrumented cells\n", path)
+		return 2
+	}
 	fmt.Fprintf(os.Stderr, "aitf-bench: regression sweep (%v per cell) against %s...\n", dur, path)
 	measured := dataplaneSweep(spec, dur)
 	fails, matched, norm := regressionFailures(baseline.Dataplane, measured, tol, normalize)
@@ -617,15 +735,47 @@ func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur tim
 	dmeasured := detectSweep(defaultDetectSweep(), dur)
 	dfails, dmatched := detectRegressionFailures(baseline.Detect, dmeasured, tol, norm)
 	fails = append(fails, dfails...)
+	// The instrumentation gate is in-run (instrumented vs base twin on
+	// this machine), so it needs no baseline matching — the baseline
+	// presence check above only keeps the trend file's section alive.
+	imeasured, ireg := instrumentedSweep(defaultInstrumentedSweep(spec.goroutines), dur)
+	fails = append(fails, instrumentedOverheadFailures(imeasured, instrTol)...)
+	if metricsJSON != "" {
+		if err := writeMetricsJSON(metricsJSON, ireg); err != nil {
+			fmt.Fprintf(os.Stderr, "aitf-bench: -metrics-json: %v\n", err)
+			return 2
+		}
+	}
 	if len(fails) == 0 {
-		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d+%d+%d of %d+%d+%d cells compared)\n",
-			matched, wmatched, dmatched, len(measured), len(wmeasured), len(dmeasured))
+		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d+%d+%d of %d+%d+%d cells compared, %d instrumented cells gated)\n",
+			matched, wmatched, dmatched, len(measured), len(wmeasured), len(dmeasured), len(imeasured))
 		return 0
 	}
 	for _, f := range fails {
 		fmt.Fprintf(os.Stderr, "aitf-bench: FAIL: %s\n", f)
 	}
 	return 1
+}
+
+// writeMetricsJSON dumps an instrumented engine's registry in the same
+// JSON snapshot format the aitfd admin endpoint serves at
+// /metrics.json ("-" writes to stdout).
+func writeMetricsJSON(path string, reg *obs.Registry) error {
+	if reg == nil {
+		return fmt.Errorf("no instrumented registry (sweep did not run)")
+	}
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func main() {
@@ -635,7 +785,9 @@ func main() {
 	goroutinesFlag := flag.String("goroutines", "1,2,4,8", "comma-separated goroutine counts for the sweep")
 	regress := flag.Bool("regress", false, "run the sweep and fail on regression vs the -o baseline (skips experiments)")
 	regressTol := flag.Float64("regress-tol", 0.30, "allowed fractional throughput drop before -regress fails")
+	instrTol := flag.Float64("instr-tol", 0.05, "allowed fractional throughput cost of instrumentation before -regress fails")
 	regressNorm := flag.Bool("regress-normalize", false, "normalize -regress by the global geomean ratio (for runners unlike the baseline machine)")
+	metricsJSON := flag.String("metrics-json", "", "write the instrumented sweep's live registry as a JSON metrics snapshot here (\"-\" for stdout)")
 	flag.Parse()
 
 	gors, err := parseGoroutines(*goroutinesFlag)
@@ -645,7 +797,7 @@ func main() {
 	}
 
 	if *regress {
-		os.Exit(runRegression(*outPath, defaultSweep(gors), defaultWildcardSweep(), *sweepDur, *regressTol, *regressNorm))
+		os.Exit(runRegression(*outPath, defaultSweep(gors), defaultWildcardSweep(), *sweepDur, *regressTol, *instrTol, *regressNorm, *metricsJSON))
 	}
 
 	drivers, ids := experiments.All()
@@ -666,16 +818,33 @@ func main() {
 	}
 
 	if !*jsonOut {
+		// -metrics-json without -json still runs the (small)
+		// instrumented sweep so the snapshot reflects live load.
+		if *metricsJSON != "" {
+			_, reg := instrumentedSweep(defaultInstrumentedSweep(gors), *sweepDur)
+			if err := writeMetricsJSON(*metricsJSON, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "aitf-bench: -metrics-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	fmt.Fprintf(os.Stderr, "aitf-bench: running data-plane throughput sweep (%v per cell)...\n", *sweepDur)
+	imeasured, ireg := instrumentedSweep(defaultInstrumentedSweep(gors), *sweepDur)
 	out := benchOutput{
-		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:        runtime.GOMAXPROCS(0),
-		Experiments:       results,
-		Dataplane:         dataplaneSweep(defaultSweep(gors), *sweepDur),
-		DataplaneWildcard: wildcardSweep(defaultWildcardSweep(), *sweepDur),
-		Detect:            detectSweep(defaultDetectSweep(), *sweepDur),
+		GeneratedAt:           time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:            runtime.GOMAXPROCS(0),
+		Experiments:           results,
+		Dataplane:             dataplaneSweep(defaultSweep(gors), *sweepDur),
+		DataplaneWildcard:     wildcardSweep(defaultWildcardSweep(), *sweepDur),
+		DataplaneInstrumented: imeasured,
+		Detect:                detectSweep(defaultDetectSweep(), *sweepDur),
+	}
+	if *metricsJSON != "" {
+		if err := writeMetricsJSON(*metricsJSON, ireg); err != nil {
+			fmt.Fprintf(os.Stderr, "aitf-bench: -metrics-json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"aitf/internal/dataplane"
+	"aitf/internal/obs"
 )
 
 // TestBenchJSONSchemaMatchesCheckedInFile: the committed
@@ -98,6 +101,28 @@ func TestBenchJSONSchemaMatchesCheckedInFile(t *testing.T) {
 	}
 	if len(geoms) < 2 || len(atts) < 2 {
 		t.Fatalf("detect sweep lacks geometry×attackers coverage: %v × %v", geoms, atts)
+	}
+	// The instrumentation-overhead sweep must be present, carry both
+	// legs of every cell, and keep the instrumented steady state
+	// allocation-free. The committed overhead ratio is advisory (the
+	// hard <5% gate runs in-machine via -regress), but a committed
+	// baseline showing instrumentation at half speed would mean the
+	// zero-cost design failed — make that loud.
+	if len(out.DataplaneInstrumented) == 0 {
+		t.Fatal("trend file has no instrumented sweep cells")
+	}
+	for i, c := range out.DataplaneInstrumented {
+		if c.Shards < 1 || c.Filters < 1 || c.Mix == "" || c.Goroutines < 1 ||
+			c.PPS <= 0 || c.BasePPS <= 0 {
+			t.Fatalf("instrumented cell %d malformed: %+v", i, c)
+		}
+		if c.AllocsPerOp != 0 {
+			t.Fatalf("instrumented cell %d allocates at steady state: %+v", i, c)
+		}
+		if c.PPS < 0.5*c.BasePPS {
+			t.Fatalf("instrumented cell %d runs at %.0f%% of uninstrumented: %+v",
+				i, 100*c.PPS/c.BasePPS, c)
+		}
 	}
 }
 
@@ -364,5 +389,89 @@ func TestDetectRegressionFailures(t *testing.T) {
 	if fails, n := detectRegressionFailures(baseline,
 		[]detectResult{mk(512, 2, 1e6, 0)}, 0.30, 1); len(fails) != 1 || n != 0 {
 		t.Fatalf("disjoint sweep not rejected: %v", fails)
+	}
+}
+
+// TestInstrumentedSweepProducesCells: the overhead sweep measures both
+// legs of each cell, keeps the instrumented steady state at 0
+// allocs/op, and leaves a live registry behind for -metrics-json.
+func TestInstrumentedSweepProducesCells(t *testing.T) {
+	spec := sweepSpec{shards: []int{1}, filters: []int{1024},
+		mixes: []string{"mixed"}, goroutines: []int{1}}
+	cells, reg := instrumentedSweep(spec, 5*time.Millisecond)
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.PPS <= 0 || c.BasePPS <= 0 {
+		t.Fatalf("cell missing a leg: %+v", c)
+	}
+	if c.AllocsPerOp != 0 {
+		t.Fatalf("instrumented steady state allocates %v/op, want 0", c.AllocsPerOp)
+	}
+	if reg == nil {
+		t.Fatal("no registry returned")
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expo := buf.String()
+	if err := obs.CheckExposition(expo); err != nil {
+		t.Fatalf("registry exposition invalid: %v", err)
+	}
+	for _, want := range []string{"aitf_dataplane_classified_total", "aitf_dataplane_batch_size_count"} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("registry lacks %s after the sweep:\n%s", want, expo)
+		}
+	}
+}
+
+// TestInstrumentedOverheadFailures exercises the in-run gate: within
+// tolerance passes, a collapse fails, and instrumented allocations
+// fail regardless of throughput.
+func TestInstrumentedOverheadFailures(t *testing.T) {
+	mk := func(pps, base, allocs float64) instrumentedResult {
+		return instrumentedResult{Shards: 4, Filters: 4096, Mix: "mixed",
+			Goroutines: 1, PPS: pps, BasePPS: base, AllocsPerOp: allocs}
+	}
+	if fails := instrumentedOverheadFailures(
+		[]instrumentedResult{mk(0.97e6, 1e6, 0), mk(0.99e6, 1e6, 0)}, 0.05); len(fails) != 0 {
+		t.Fatalf("2%% overhead failed the 5%% gate: %v", fails)
+	}
+	if fails := instrumentedOverheadFailures(
+		[]instrumentedResult{mk(0.80e6, 1e6, 0)}, 0.05); len(fails) != 1 {
+		t.Fatalf("20%% overhead passed the 5%% gate: %v", fails)
+	}
+	if fails := instrumentedOverheadFailures(
+		[]instrumentedResult{mk(1e6, 1e6, 2)}, 0.05); len(fails) != 1 {
+		t.Fatalf("instrumented allocations passed: %v", fails)
+	}
+	if fails := instrumentedOverheadFailures(nil, 0.05); len(fails) != 1 {
+		t.Fatalf("empty sweep passed: %v", fails)
+	}
+}
+
+// TestWriteMetricsJSON: the snapshot file is the /metrics.json shape.
+func TestWriteMetricsJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("aitf_test_total", "test").Add(7)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := writeMetricsJSON(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []map[string]any
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, raw)
+	}
+	if len(snaps) != 1 || snaps[0]["name"] != "aitf_test_total" || snaps[0]["value"] != 7.0 {
+		t.Fatalf("snapshot wrong: %s", raw)
+	}
+	if err := writeMetricsJSON(path, nil); err == nil {
+		t.Fatal("nil registry accepted")
 	}
 }

@@ -16,6 +16,12 @@
 // is a pure function of its spec, so `-seed N` reproduces a failure
 // exactly, and the JSON spec written with -o replays it on any
 // machine.
+//
+// -metrics-json writes the sweep's aggregate counters (scenarios run,
+// violations, attack/suppressed/victim bytes, detection accuracy) in
+// the same JSON snapshot format the aitfd admin endpoint serves at
+// /metrics.json, so CI and dashboards consume one schema for both live
+// nodes and offline sweeps. "-" writes to stdout.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"aitf/internal/obs"
 	"aitf/internal/scenario"
 )
 
@@ -34,24 +41,27 @@ func main() {
 	replay := flag.String("replay", "", "path to a JSON scenario spec to run instead of seeds")
 	minimize := flag.Bool("minimize", false, "on failure, shrink the scenario while it still fails")
 	out := flag.String("o", "", "write each failing spec as JSON here (sweeps splice the seed into the name)")
+	metricsJSON := flag.String("metrics-json", "", "write aggregate sweep counters as a JSON metrics snapshot here (\"-\" for stdout)")
 	quiet := flag.Bool("q", false, "only print failures")
 	flag.Parse()
 
-	if err := run(*seed, *n, *replay, *minimize, *out, *quiet); err != nil {
+	if err := run(*seed, *n, *replay, *minimize, *out, *metricsJSON, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "aitf-scenario: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, n int, replay string, minimize bool, out string, quiet bool) error {
+func run(seed int64, n int, replay string, minimize bool, out, metricsJSON string, quiet bool) error {
 	specs, err := collectSpecs(seed, n, replay)
 	if err != nil {
 		return err
 	}
 
 	failures := 0
+	var results []*scenario.Result
 	for _, spec := range specs {
 		res := scenario.Run(spec)
+		results = append(results, res)
 		if res.Failed() || !quiet {
 			fmt.Println(res.Report())
 		}
@@ -73,10 +83,63 @@ func run(seed int64, n int, replay string, minimize bool, out string, quiet bool
 			return err
 		}
 	}
+	if metricsJSON != "" {
+		if err := writeMetrics(metricsJSON, results); err != nil {
+			return err
+		}
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d scenarios violated invariants", failures, len(specs))
 	}
 	return nil
+}
+
+// writeMetrics aggregates the sweep into an obs registry and writes
+// the same JSON snapshot shape aitfd serves at /metrics.json.
+func writeMetrics(path string, results []*scenario.Result) error {
+	reg := obs.NewRegistry()
+	var (
+		scenarios  = reg.Counter("aitf_scenario_runs_total", "Scenarios executed in this sweep.")
+		failed     = reg.Counter("aitf_scenario_failed_total", "Scenarios with at least one invariant violation.")
+		violations = reg.Counter("aitf_scenario_violations_total", "Individual invariant violations across the sweep.")
+		events     = reg.Counter("aitf_scenario_events_total", "Simulator events processed.")
+		attack     = reg.Counter("aitf_scenario_attack_bytes_total", "Attack bytes launched.")
+		suppressed = reg.Counter("aitf_scenario_suppressed_sends_total", "Attacker sends withheld by stop-order compliance.")
+		victim     = reg.Counter("aitf_scenario_victim_bytes_total", "Bytes that reached victims.")
+		detections = reg.Counter("aitf_scenario_detections_total", "Attack-detected events.")
+		falsePos   = reg.Counter("aitf_scenario_false_positives_total", "Detections naming a protected legitimate source.")
+		missed     = reg.Counter("aitf_scenario_missed_attackers_total", "Steady attackers that crossed an AITF gateway undetected.")
+		escalation = reg.Counter("aitf_scenario_escalations_total", "Filtering-request escalations.")
+		disconnect = reg.Counter("aitf_scenario_disconnects_total", "Non-cooperating gateway disconnections.")
+	)
+	for _, r := range results {
+		scenarios.Inc()
+		if r.Failed() {
+			failed.Inc()
+		}
+		violations.Add(uint64(len(r.Violations)))
+		events.Add(uint64(r.Events))
+		attack.Add(r.AttackSent)
+		suppressed.Add(r.AttackSuppressed)
+		victim.Add(r.VictimBytes)
+		detections.Add(uint64(r.Detections))
+		falsePos.Add(uint64(r.FalsePositives))
+		missed.Add(uint64(r.MissedAttackers))
+		escalation.Add(uint64(r.Escalations))
+		disconnect.Add(uint64(r.Disconnects))
+	}
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func collectSpecs(seed int64, n int, replay string) ([]scenario.Spec, error) {

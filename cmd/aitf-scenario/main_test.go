@@ -78,7 +78,39 @@ func TestSpecPathPerSeed(t *testing.T) {
 // to construct by seed (that is the point of the harness), so only the
 // passing path is exercised end to end here.
 func TestRunReportsFailure(t *testing.T) {
-	if err := run(1, 2, "", false, "", true); err != nil {
+	if err := run(1, 2, "", false, "", "", true); err != nil {
 		t.Fatalf("passing sweep reported error: %v", err)
+	}
+}
+
+// TestRunWritesMetricsJSON: -metrics-json produces the aitfd
+// /metrics.json snapshot shape with the sweep's aggregate counters.
+func TestRunWritesMetricsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run(1, 2, "", false, "", path, true); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []struct {
+		Name  string   `json:"name"`
+		Kind  string   `json:"kind"`
+		Value *float64 `json:"value,omitempty"`
+	}
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		t.Fatalf("metrics snapshot is not JSON: %v\n%s", err, raw)
+	}
+	byName := map[string]*float64{}
+	for _, s := range snaps {
+		byName[s.Name] = s.Value
+	}
+	runs, ok := byName["aitf_scenario_runs_total"]
+	if !ok || runs == nil || *runs != 2 {
+		t.Fatalf("aitf_scenario_runs_total = %v, want 2 (snapshot: %s)", runs, raw)
+	}
+	if v, ok := byName["aitf_scenario_events_total"]; !ok || v == nil || *v == 0 {
+		t.Fatalf("aitf_scenario_events_total missing or zero (snapshot: %s)", raw)
 	}
 }

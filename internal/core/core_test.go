@@ -5,6 +5,7 @@ package core_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -528,5 +529,48 @@ func TestGatewayAnswersHandshakeWhileEscalating(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("round-2 filter missing at a_gw2")
+	}
+}
+
+// TestStatsConcurrentWithClassification hammers Gateway.Stats from
+// scraper goroutines while the simulation classifies a flood on the
+// main goroutine — the exact overlap an admin /metrics endpoint
+// produces against a running deployment. Run under -race this fails if
+// any counter update or Stats read is non-atomic.
+func TestStatsConcurrentWithClassification(t *testing.T) {
+	dep := depth1(aitf.DefaultOptions(), false, true)
+	fl := dep.Flood(dep.Attacker, dep.Victim, floodBps)
+	fl.Launch()
+	vgw, agw := dep.VictimGWs[0], dep.AttackGWs[0]
+
+	// Fixed-count scrapers rather than a stop channel: on a single-P
+	// runner the simulation can finish before a scraper is ever
+	// scheduled, and a stop-channel worker would then exit having
+	// scraped nothing. Every scraper always performs its full quota;
+	// the interleaving with the classifying main goroutine is what the
+	// race detector checks.
+	const scrapersN, scrapesEach = 4, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < scrapersN; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < scrapesEach; j++ {
+				st := vgw.Stats()
+				_ = agw.Stats()
+				// A torn counter read would show up as garbage far
+				// above any plausible packet budget.
+				if st.DataForwarded > 1<<40 {
+					t.Error("implausible DataForwarded snapshot")
+					return
+				}
+			}
+		}()
+	}
+	dep.Run(3 * time.Second)
+	wg.Wait()
+	st := vgw.Stats()
+	if st.DataForwarded == 0 && st.FilterDrops == 0 {
+		t.Fatalf("no traffic classified during the scrape window: %+v", st)
 	}
 }

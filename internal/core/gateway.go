@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aitf/internal/contract"
@@ -341,8 +342,44 @@ func (g *Gateway) Filters() dataplane.TableView { return g.dp.Table() }
 // Shadows exposes the DRAM shadow cache (for experiments).
 func (g *Gateway) Shadows() dataplane.ShadowView { return g.dp.Shadow() }
 
-// Stats returns a copy of the gateway counters.
-func (g *Gateway) Stats() GatewayStats { return g.stats }
+// Stats returns a snapshot of the gateway counters. Every counter is
+// mutated with atomic adds and read here with atomic loads, so Stats
+// is safe to call from any goroutine (an admin scraper, the wire
+// runtime's dispatcher workers) while the gateway is classifying — the
+// snapshot is per-field coherent, not a cross-field transaction, which
+// is all monitoring needs.
+func (g *Gateway) Stats() GatewayStats {
+	return GatewayStats{
+		DataForwarded:   atomic.LoadUint64(&g.stats.DataForwarded),
+		FilterDrops:     atomic.LoadUint64(&g.stats.FilterDrops),
+		DisconnectDrops: atomic.LoadUint64(&g.stats.DisconnectDrops),
+		SpoofDrops:      atomic.LoadUint64(&g.stats.SpoofDrops),
+
+		ReqReceived:  atomic.LoadUint64(&g.stats.ReqReceived),
+		ReqPoliced:   atomic.LoadUint64(&g.stats.ReqPoliced),
+		ReqInvalid:   atomic.LoadUint64(&g.stats.ReqInvalid),
+		ReqAccepted:  atomic.LoadUint64(&g.stats.ReqAccepted),
+		MsgProcessed: atomic.LoadUint64(&g.stats.MsgProcessed),
+
+		HandshakesStarted: atomic.LoadUint64(&g.stats.HandshakesStarted),
+		HandshakesOK:      atomic.LoadUint64(&g.stats.HandshakesOK),
+		HandshakesFailed:  atomic.LoadUint64(&g.stats.HandshakesFailed),
+
+		StopOrders:     atomic.LoadUint64(&g.stats.StopOrders),
+		Escalations:    atomic.LoadUint64(&g.stats.Escalations),
+		Disconnects:    atomic.LoadUint64(&g.stats.Disconnects),
+		LongBlocks:     atomic.LoadUint64(&g.stats.LongBlocks),
+		ShadowReblocks: atomic.LoadUint64(&g.stats.ShadowReblocks),
+
+		Detections: atomic.LoadUint64(&g.stats.Detections),
+
+		Aggregations:        atomic.LoadUint64(&g.stats.Aggregations),
+		AggregatedChildren:  atomic.LoadUint64(&g.stats.AggregatedChildren),
+		AggregateSplits:     atomic.LoadUint64(&g.stats.AggregateSplits),
+		AggregateCovered:    atomic.LoadUint64(&g.stats.AggregateCovered),
+		AggregateCollateral: atomic.LoadUint64(&g.stats.AggregateCollateral),
+	}
+}
 
 // Config returns the gateway's configuration.
 func (g *Gateway) Config() GatewayConfig { return g.cfg }
@@ -406,7 +443,7 @@ func (g *Gateway) Receive(n *netsim.Node, p *packet.Packet, from *netsim.Iface) 
 	if from != nil {
 		peer := from.Neighbor().Addr()
 		if g.disconnected[peer] > now {
-			g.stats.DisconnectDrops++
+			atomic.AddUint64(&g.stats.DisconnectDrops, 1)
 			p.Release()
 			return
 		}
@@ -437,7 +474,7 @@ func (g *Gateway) dropSpoofed(p *packet.Packet, from *netsim.Iface) bool {
 			return false
 		}
 	}
-	g.stats.SpoofDrops++
+	atomic.AddUint64(&g.stats.SpoofDrops, 1)
 	return true
 }
 
@@ -476,7 +513,7 @@ func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Ve
 	}
 
 	if v.Drop {
-		g.stats.FilterDrops++
+		atomic.AddUint64(&g.stats.FilterDrops, 1)
 		p.Release() // the filter bank ate it; recycle the shell
 		return
 	}
@@ -488,7 +525,7 @@ func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Ve
 		g.trace(EvShadowHit, v.Shadow.Label, fmt.Sprintf("reappearance %d", v.Shadow.Reappearances))
 		if g.cfg.ShadowMode == GatewayAuto {
 			if w, ok := g.watches[v.Shadow.Label.Key()]; ok {
-				g.stats.ShadowReblocks++
+				atomic.AddUint64(&g.stats.ShadowReblocks, 1)
 				g.reblockAndEscalate(w)
 				p.Release() // the triggering packet is dropped too
 				return
@@ -517,7 +554,7 @@ func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Ve
 		p.RecordRoute(g.node.Addr(), g.rec.Nonce(rrTuple(p.Src, p.Dst)))
 	}
 	if g.node.Forward(p) {
-		g.stats.DataForwarded++
+		atomic.AddUint64(&g.stats.DataForwarded, 1)
 	}
 }
 
@@ -541,7 +578,7 @@ func (g *Gateway) ReceiveBatch(n *netsim.Node, ps []*packet.Packet, from *netsim
 	if from != nil {
 		peer := from.Neighbor().Addr()
 		if g.disconnected[peer] > now {
-			g.stats.DisconnectDrops += uint64(len(ps))
+			atomic.AddUint64(&g.stats.DisconnectDrops, uint64(len(ps)))
 			for _, p := range ps {
 				p.Release()
 			}
@@ -656,14 +693,14 @@ func (g *Gateway) selfDetect(d detect.Detection, path []packet.RREntry) {
 			// restarting at round 1 (the same takeover the victim-driven
 			// path performs on a re-request).
 			g.dp.ShadowHit(label)
-			g.stats.ShadowReblocks++
+			atomic.AddUint64(&g.stats.ShadowReblocks, 1)
 			g.trace(EvShadowHit, label, "gateway re-detection")
 			g.reblockAndEscalate(w)
 			return
 		}
 		delete(g.watches, label.Key())
 	}
-	g.stats.Detections++
+	atomic.AddUint64(&g.stats.Detections, 1)
 	g.trace(EvAttackDetected, label, fmt.Sprintf("gateway sketch, est %dB for %v", d.EstBytes, d.Dst))
 
 	evidence := make(traceback.AttackPath, 0, len(path)+1)
@@ -691,7 +728,7 @@ func (g *Gateway) selfDetect(d detect.Detection, path []packet.RREntry) {
 }
 
 func (g *Gateway) handleControl(p *packet.Packet, from *netsim.Iface) {
-	g.stats.MsgProcessed++
+	atomic.AddUint64(&g.stats.MsgProcessed, 1)
 	switch m := p.Msg.(type) {
 	case *packet.FilterReq:
 		g.handleFilterReq(p, m, from)
@@ -708,12 +745,12 @@ func (g *Gateway) handleControl(p *packet.Packet, from *netsim.Iface) {
 
 func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from *netsim.Iface) {
 	now := g.now()
-	g.stats.ReqReceived++
+	atomic.AddUint64(&g.stats.ReqReceived, 1)
 	g.trace(EvRequestReceived, m.Flow, fmt.Sprintf("stage %v round %d from %v", m.Stage, m.Round, p.Src))
 
 	// Contract policing per ingress neighbor (§II-B).
 	if from == nil || !g.inPolicer(from.Neighbor().Addr()).Allow(now) {
-		g.stats.ReqPoliced++
+		atomic.AddUint64(&g.stats.ReqPoliced, 1)
 		g.trace(EvRequestPoliced, m.Flow, "over contract rate")
 		return
 	}
@@ -742,12 +779,12 @@ func (g *Gateway) handleVictimSideRequest(p *packet.Packet, m *packet.FilterReq,
 	// the requester or sits behind it.
 	hop := g.node.NextHop(label.Dst)
 	if hop == nil || from == nil || hop.Neighbor() != from.Neighbor() {
-		g.stats.ReqInvalid++
+		atomic.AddUint64(&g.stats.ReqInvalid, 1)
 		g.trace(EvRequestInvalid, label, "requester not on path to flow destination")
 		return
 	}
 	if _, isClient := g.cfg.Clients[from.Neighbor().Addr()]; !isClient {
-		g.stats.ReqInvalid++
+		atomic.AddUint64(&g.stats.ReqInvalid, 1)
 		g.trace(EvRequestInvalid, label, "requester is not a client")
 		return
 	}
@@ -765,7 +802,7 @@ func (g *Gateway) handleVictimSideRequest(p *packet.Packet, m *packet.FilterReq,
 		} else {
 			// Reappearance reported by the victim (VictimDriven mode).
 			g.dp.ShadowHit(label)
-			g.stats.ShadowReblocks++
+			atomic.AddUint64(&g.stats.ShadowReblocks, 1)
 			g.trace(EvShadowHit, label, "victim re-request")
 			if len(m.Evidence) > 0 {
 				w.evidence = traceback.AttackPath(m.Evidence)
@@ -781,11 +818,11 @@ func (g *Gateway) handleVictimSideRequest(p *packet.Packet, m *packet.FilterReq,
 	// floods before they consume any filter.
 	evidence := traceback.AttackPath(m.Evidence)
 	if !g.rec.Verify(evidence, rrTuple(label.Src, label.Dst)) {
-		g.stats.ReqInvalid++
+		atomic.AddUint64(&g.stats.ReqInvalid, 1)
 		g.trace(EvRequestInvalid, label, "evidence lacks our route-record stamp")
 		return
 	}
-	g.stats.ReqAccepted++
+	atomic.AddUint64(&g.stats.ReqAccepted, 1)
 
 	w := &vwatch{
 		label:    label,
@@ -874,7 +911,7 @@ func (g *Gateway) installVictimFilter(label flow.Label, now, exp sim.Time) error
 					a.children = append(a.children,
 						filter.Entry{Label: key, InstalledAt: now, ExpiresAt: exp})
 				}
-				g.stats.AggregateCovered++
+				atomic.AddUint64(&g.stats.AggregateCovered, 1)
 				return nil
 			}
 		}
@@ -925,12 +962,12 @@ func (g *Gateway) aggregateUnderPressure(now sim.Time) bool {
 	if best.MaxExpiry > a.exp {
 		a.exp = best.MaxExpiry
 	}
-	g.stats.Aggregations++
-	g.stats.AggregatedChildren += uint64(replaced)
+	atomic.AddUint64(&g.stats.Aggregations, 1)
+	atomic.AddUint64(&g.stats.AggregatedChildren, uint64(replaced))
 	// Port-distinct exact children can outnumber the covered sources;
 	// collateral exposure never goes below zero.
 	if c := best.CoveredAddrs() - replaced; c > 0 {
-		g.stats.AggregateCollateral += uint64(c)
+		atomic.AddUint64(&g.stats.AggregateCollateral, uint64(c))
 	}
 	g.trace(EvAggregated, best.Aggregate,
 		fmt.Sprintf("%d children, covers %d sources", replaced, best.CoveredAddrs()))
@@ -987,7 +1024,7 @@ func (g *Gateway) aggregateReview() {
 			}
 			g.dp.Remove(a.label)
 			delete(g.aggregates, k)
-			g.stats.AggregateSplits++
+			atomic.AddUint64(&g.stats.AggregateSplits, 1)
 			g.trace(EvDeaggregated, a.label, fmt.Sprintf("split back %d children", len(live)))
 		}
 	}
@@ -1067,7 +1104,7 @@ func (g *Gateway) takeoverCheck(w *vwatch, installedAt sim.Time) {
 // directly to the next attack-path node when we are the top gateway.
 func (g *Gateway) reblockAndEscalate(w *vwatch) {
 	w.round++
-	g.stats.Escalations++
+	atomic.AddUint64(&g.stats.Escalations, 1)
 	g.trace(EvEscalated, w.label, fmt.Sprintf("round %d", w.round))
 	g.installTemp(w)
 	g.scheduleTakeoverCheck(w)
@@ -1116,14 +1153,14 @@ func (g *Gateway) resolveExhausted(w *vwatch) {
 	}
 	w.tempUntil = exp
 	w.installedAt = now
-	g.stats.LongBlocks++
+	atomic.AddUint64(&g.stats.LongBlocks, 1)
 	g.trace(EvLongBlock, w.label, "no cooperative attacker-side gateway; filtering locally for T")
 }
 
 func (g *Gateway) disconnect(neighbor flow.Addr, label flow.Label) {
 	now := g.now()
 	g.disconnected[neighbor] = now + sim.Time(g.cfg.Timers.Penalty)
-	g.stats.Disconnects++
+	atomic.AddUint64(&g.stats.Disconnects, 1)
 	g.trace(EvDisconnected, label, fmt.Sprintf("neighbor %v for %v", neighbor, g.cfg.Timers.Penalty))
 	g.node.Originate(packet.NewControl(g.node.Addr(), neighbor, &packet.Disconnect{
 		Client:  neighbor,
@@ -1146,7 +1183,7 @@ func (g *Gateway) handleAttackerSideRequest(p *packet.Packet, m *packet.FilterRe
 	// own route-record stamp with a valid authenticator (the
 	// traceback substitution).
 	if !g.rec.Verify(m.Evidence, rrTuple(label.Src, label.Dst)) {
-		g.stats.ReqInvalid++
+		atomic.AddUint64(&g.stats.ReqInvalid, 1)
 		g.trace(EvRequestInvalid, label, "no valid route-record stamp for this router")
 		return
 	}
@@ -1156,14 +1193,14 @@ func (g *Gateway) handleAttackerSideRequest(p *packet.Packet, m *packet.FilterRe
 	nonce := g.node.Engine().Rand().Uint64()
 	pend := &pending{req: m, nonce: nonce}
 	g.pendings[label.Key()] = pend
-	g.stats.HandshakesStarted++
+	atomic.AddUint64(&g.stats.HandshakesStarted, 1)
 	g.trace(EvHandshakeQuery, label, fmt.Sprintf("to victim %v", m.Victim))
 	g.node.Originate(packet.NewControl(g.node.Addr(), m.Victim,
 		&packet.VerifyQuery{Flow: m.Flow, Nonce: nonce}))
 	pend.timer = g.node.Engine().Schedule(sim.Time(g.cfg.HandshakeTimeout), func() {
 		if g.pendings[label.Key()] == pend {
 			delete(g.pendings, label.Key())
-			g.stats.HandshakesFailed++
+			atomic.AddUint64(&g.stats.HandshakesFailed, 1)
 			g.trace(EvHandshakeFailed, label, "verification query timed out")
 		}
 	})
@@ -1196,8 +1233,8 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 	}
 	pend.timer.Cancel()
 	delete(g.pendings, label.Key())
-	g.stats.HandshakesOK++
-	g.stats.ReqAccepted++
+	atomic.AddUint64(&g.stats.HandshakesOK, 1)
+	atomic.AddUint64(&g.stats.ReqAccepted, 1)
 	g.trace(EvHandshakeOK, label, "")
 
 	exp := now + sim.Time(g.cfg.Timers.T)
@@ -1226,7 +1263,7 @@ func (g *Gateway) orderClientToStop(label flow.Label) {
 		// our own filter keeps blocking regardless (§IV-C).
 		return
 	}
-	g.stats.StopOrders++
+	atomic.AddUint64(&g.stats.StopOrders, 1)
 	g.trace(EvStopOrder, label, fmt.Sprintf("to %v", client))
 	g.node.Originate(packet.NewControl(g.node.Addr(), client, &packet.FilterReq{
 		Stage:    packet.StageToAttacker,
@@ -1266,7 +1303,7 @@ func (g *Gateway) handleStopOrder(p *packet.Packet, m *packet.FilterReq) {
 	}
 	// Only our own provider may order us around.
 	if g.cfg.Provider == 0 || p.Src != g.cfg.Provider {
-		g.stats.ReqInvalid++
+		atomic.AddUint64(&g.stats.ReqInvalid, 1)
 		g.trace(EvRequestInvalid, m.Flow, "stop order not from provider")
 		return
 	}

@@ -47,6 +47,7 @@ import (
 
 	"aitf/internal/filter"
 	"aitf/internal/flow"
+	"aitf/internal/obs"
 	"aitf/internal/packet"
 )
 
@@ -109,6 +110,15 @@ type Engine struct {
 	aggregates, aggregated                         atomic.Uint64
 
 	sLogged, sExpired, sRejected atomic.Uint64
+
+	// classified counts packets classified (batch paths add the whole
+	// batch size in one atomic add, so the per-packet cost is ~zero).
+	classified atomic.Uint64
+	// batchHist, when instrumented, observes ClassifyInto batch sizes.
+	// It is an atomic pointer so Instrument can race with live
+	// classification; nil (the uninstrumented default) costs one
+	// predictable branch per batch.
+	batchHist atomic.Pointer[obs.Histogram]
 
 	scratch sync.Pool // *batchScratch, for ClassifyInto bucketing
 }
@@ -183,6 +193,7 @@ func (e *Engine) allSegs(fn func(*shard, bool)) {
 // ClassifyTuple classifies a single concrete tuple of payloadBytes
 // payload at the engine clock's current time.
 func (e *Engine) ClassifyTuple(tup flow.Tuple, payloadBytes int) Verdict {
+	e.classified.Add(1)
 	return e.classifyAt(tup, payloadBytes, e.clock.Now())
 }
 
@@ -258,6 +269,10 @@ func (e *Engine) ClassifyInto(batch []*packet.Packet, out []Verdict) []Verdict {
 		out = make([]Verdict, len(batch))
 	}
 	out = out[:len(batch)]
+	e.classified.Add(uint64(len(batch)))
+	if h := e.batchHist.Load(); h != nil {
+		h.Observe(uint64(len(batch)))
+	}
 	now := e.clock.Now()
 
 	if len(batch) < smallBatch || len(e.shards) == 1 {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,6 +13,7 @@ import (
 
 	"aitf/internal/filter"
 	"aitf/internal/flow"
+	"aitf/internal/obs"
 	"aitf/internal/packet"
 )
 
@@ -679,5 +681,26 @@ func TestClassifySteadyStateZeroAlloc(t *testing.T) {
 		e.ClassifyTuple(pshTup, 1)
 	}); allocs != 0 {
 		t.Fatalf("prefix shadow-hit classify allocates %v/op, want 0", allocs)
+	}
+
+	// Instrumented leg: with the obs registry wired in (classified
+	// counter + batch-size histogram live), the hot paths must still
+	// allocate nothing — instrumentation that costs allocations would
+	// be turned off in production, defeating its purpose.
+	ie := WorkloadEngine(4, 4096)
+	reg := obs.NewRegistry()
+	ie.Instrument(reg)
+	before := ie.Classified()
+	measure("instrumented", ie, WorkloadBatch(rng, 4096, 64, 0.5))
+	if ie.Classified() <= before {
+		t.Fatal("instrumented engine did not advance aitf_dataplane_classified_total")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "aitf_dataplane_classified_total") ||
+		!strings.Contains(sb.String(), "aitf_dataplane_batch_size_count") {
+		t.Fatalf("instrumented exposition missing dataplane metrics:\n%s", sb.String())
 	}
 }

@@ -1,0 +1,27 @@
+package detect
+
+import (
+	"aitf/internal/obs"
+)
+
+// Instrument registers the engine's counters into r under the
+// aitf_detect_* namespace. All metrics are func instruments reading
+// Stats() at scrape time (one lock acquisition per metric per scrape,
+// nothing on the observation path). Call at most once per registry.
+func (e *Engine) Instrument(r *obs.Registry) {
+	r.CounterFunc("aitf_detect_packets_total",
+		"Packets observed by the detection engine.",
+		func() uint64 { return e.Stats().Packets })
+	r.CounterFunc("aitf_detect_bytes_total",
+		"Payload bytes observed by the detection engine.",
+		func() uint64 { return e.Stats().Bytes })
+	r.CounterFunc("aitf_detect_detections_total",
+		"Heavy-hitter threshold crossings reported.",
+		func() uint64 { return e.Stats().Detections })
+	r.CounterFunc("aitf_detect_rotations_total",
+		"Measurement window boundaries crossed.",
+		func() uint64 { return e.Stats().Rotations })
+	r.CounterFunc("aitf_detect_evictions_total",
+		"Space-saving summary displacements under source churn.",
+		func() uint64 { return e.Stats().Evictions })
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where allocs/op measurements are meaningless (the runtime
+// instruments allocations and sync.Pool drops Puts at random).
+const raceEnabled = true

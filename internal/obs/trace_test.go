@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 16 {
+		t.Fatalf("cap = %d, want minimum 16", r.Cap())
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Node: "gw", Kind: "k", At: time.Duration(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || r.Len() != 3 {
+		t.Fatalf("len = %d/%d, want 3", len(got), r.Len())
+	}
+	for i, e := range got {
+		if e.At != time.Duration(i) {
+			t.Fatalf("snapshot out of order: %v", got)
+		}
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 40; i++ {
+		r.Record(Event{At: time.Duration(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 16 || r.Len() != 16 {
+		t.Fatalf("wrapped len = %d, want 16", len(got))
+	}
+	// Oldest retained record is #24, newest #39.
+	if got[0].At != 24 || got[15].At != 39 {
+		t.Fatalf("wrapped window = [%v, %v], want [24, 39]", got[0].At, got[15].At)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Node: "n", At: time.Duration(w*1000 + i)})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		for _, e := range r.Snapshot() {
+			if e.Node != "n" {
+				t.Errorf("torn record: %+v", e)
+			}
+		}
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("len = %d, want 64", r.Len())
+	}
+}
+
+func TestTraceLogsAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	tr := NewTrace(NewRing(16), logger)
+
+	tr.Info(Event{Node: "gwA", Kind: "filter-installed", Flow: "1.2.3.4->5.6.7.8", At: time.Second})
+	tr.Debug(Event{Node: "gwA", Kind: "packet-seen"}) // below level: ring only
+
+	out := buf.String()
+	if !strings.Contains(out, "filter-installed") || !strings.Contains(out, "node=gwA") ||
+		!strings.Contains(out, "flow=1.2.3.4->5.6.7.8") {
+		t.Errorf("slog line missing fields: %q", out)
+	}
+	if strings.Contains(out, "packet-seen") {
+		t.Errorf("debug event logged at info level: %q", out)
+	}
+	if got := tr.Ring().Snapshot(); len(got) != 2 {
+		t.Fatalf("ring has %d events, want 2 (both levels recorded)", len(got))
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Info(Event{Kind: "x"}) // must not panic
+	if tr.Ring() != nil {
+		t.Fatal("nil trace ring should be nil")
+	}
+	if tr.Logger() == nil {
+		t.Fatal("nil trace logger should fall back to default")
+	}
+}

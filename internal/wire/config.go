@@ -9,6 +9,7 @@ import (
 	"aitf/internal/contract"
 	"aitf/internal/detect"
 	"aitf/internal/flow"
+	"aitf/internal/obs"
 )
 
 // FileConfig is the JSON configuration consumed by cmd/aitfd. One file
@@ -22,6 +23,10 @@ type FileConfig struct {
 	Name string `json:"name"`
 	// Listen is the UDP listen address.
 	Listen string `json:"listen"`
+	// Admin is the admin HTTP listen address (e.g. "127.0.0.1:9100")
+	// serving /metrics, /healthz, /trace, and /debug/pprof. Empty
+	// disables the admin endpoint.
+	Admin string `json:"admin,omitempty"`
 	// Book maps protocol addresses to UDP endpoints.
 	Book map[string]string `json:"book"`
 	// Routes maps destination addresses to next-hop addresses.
@@ -201,8 +206,9 @@ func (c *FileConfig) NodeConfig() (NodeConfig, error) {
 	}, nil
 }
 
-// GatewayConfig materialises a gateway from the file config.
-func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, error) {
+// GatewayConfig materialises a gateway from the file config. trace may
+// be nil (no ring, default slog).
+func (c *FileConfig) GatewayConfig(trace *obs.Trace) (GatewayConfig, error) {
 	node, err := c.NodeConfig()
 	if err != nil {
 		return GatewayConfig{}, err
@@ -229,7 +235,7 @@ func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, er
 		Clients:              clients,
 		Default:              contract.DefaultPeer(),
 		Secret:               []byte(c.Gateway.Secret),
-		Logf:                 logf,
+		Trace:                trace,
 		DataplaneShards:      c.Gateway.Shards,
 		Workers:              c.Gateway.Workers,
 		AggregationPrefixLen: c.Gateway.AggregationPrefixLen,
@@ -256,8 +262,9 @@ func (c *FileConfig) GatewayConfig(logf func(string, ...any)) (GatewayConfig, er
 	return cfg, nil
 }
 
-// HostConfig materialises a host from the file config.
-func (c *FileConfig) HostConfig(logf func(string, ...any)) (HostConfig, error) {
+// HostConfig materialises a host from the file config. trace may be
+// nil (no ring, default slog).
+func (c *FileConfig) HostConfig(trace *obs.Trace) (HostConfig, error) {
 	node, err := c.NodeConfig()
 	if err != nil {
 		return HostConfig{}, err
@@ -275,6 +282,6 @@ func (c *FileConfig) HostConfig(logf func(string, ...any)) (HostConfig, error) {
 		Timers:    contract.DefaultTimers(),
 		DetectBps: c.Host.DetectBps,
 		Compliant: c.Host.Compliant,
-		Logf:      logf,
+		Trace:     trace,
 	}, nil
 }

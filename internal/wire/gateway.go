@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"context"
 	"errors"
-	"log"
+	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 	"aitf/internal/detect"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
+	"aitf/internal/obs"
 	"aitf/internal/packet"
 	"aitf/internal/sim"
 	"aitf/internal/traceback"
@@ -51,8 +54,12 @@ type GatewayConfig struct {
 	Secret []byte
 	// HandshakeTimeout bounds the verification handshake.
 	HandshakeTimeout time.Duration
-	// Logf, when set, receives human-readable protocol events.
-	Logf func(format string, args ...any)
+	// Trace receives structured protocol events: milestones (temp
+	// filter installs, handshakes, stop orders) are recorded into its
+	// ring buffer and logged at Info through its slog logger; chattier
+	// diagnostics go to the logger at Debug. nil records nothing and
+	// logs through slog.Default() (quiet at the default Info level).
+	Trace *obs.Trace
 	// DataplaneShards partitions the classification engine; 0 picks
 	// GOMAXPROCS (rounded up to a power of two by the engine).
 	DataplaneShards int
@@ -199,10 +206,25 @@ func (g *Gateway) Filters() dataplane.TableView { return g.dp.Table() }
 // Shadows exposes the shadow cache for inspection.
 func (g *Gateway) Shadows() dataplane.ShadowView { return g.dp.Shadow() }
 
+// logf emits a Debug-level diagnostic through the trace logger. The
+// enabled check keeps the Sprintf off every call when debug logging is
+// off (the default).
 func (g *Gateway) logf(format string, args ...any) {
-	if g.cfg.Logf != nil {
-		g.cfg.Logf("["+g.node.Name()+"] "+format, args...)
+	if l := g.cfg.Trace.Logger(); l.Enabled(context.Background(), slog.LevelDebug) {
+		l.Debug(fmt.Sprintf(format, args...), "node", g.node.Name())
 	}
+}
+
+// event records a protocol milestone: into the trace ring always, and
+// as an Info-level structured log line when enabled.
+func (g *Gateway) event(kind string, label flow.Label, detail string) {
+	g.cfg.Trace.Info(obs.Event{
+		At:     time.Duration(wallNow()),
+		Node:   g.node.Name(),
+		Kind:   kind,
+		Flow:   label.String(),
+		Detail: detail,
+	})
 }
 
 func (g *Gateway) policer(peer flow.Addr) *filter.Policer {
@@ -317,7 +339,7 @@ func (g *Gateway) handleVerifyQuery(p *packet.Packet, m *packet.VerifyQuery) {
 	if _, live := g.dp.ShadowGet(label, wallNow()); !live {
 		return
 	}
-	g.logf("handshake reply to %v for %v", p.Src, label)
+	g.event("handshake-reply", label, "to attacker gw "+p.Src.String())
 	reply := packet.NewControl(g.node.Addr(), p.Src,
 		&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce})
 	if err := g.node.Originate(reply); err != nil {
@@ -338,7 +360,7 @@ func (g *Gateway) selfDetect(d detect.Detection, path []packet.RREntry) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.Detections++
-	g.logf("detected undesired flow %v (est %dB) for protected client %v", label, d.EstBytes, d.Dst)
+	g.event("attack-detected", label, fmt.Sprintf("est %dB for protected client %v", d.EstBytes, d.Dst))
 	if err := g.installWithAggregation(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
 		// The wire-speed table is full even after aggregation: the
 		// temporary filter is lost, but the shadow log and the
@@ -363,7 +385,7 @@ func (g *Gateway) selfDetect(d detect.Detection, path []packet.RREntry) {
 		// exhausted-ladder case.
 		return
 	}
-	g.logf("relaying gateway-detected request for %v to attacker gw %v", label, target)
+	g.event("request-sent", label, "gateway-detected relay to attacker gw "+target.String())
 	relay := packet.NewControl(g.node.Addr(), target, &packet.FilterReq{
 		Stage:    packet.StageToAttackerGW,
 		Flow:     d.Label,
@@ -383,7 +405,7 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 	g.ReqReceived++
 	if !g.policer(from).Allow(now) {
 		g.ReqPoliced++
-		g.logf("policed request for %v", m.Flow)
+		g.event("request-policed", m.Flow.Canonical(), "from "+from.String())
 		return
 	}
 	label := m.Flow.Canonical()
@@ -394,7 +416,7 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 		evidence := traceback.AttackPath(m.Evidence)
 		if !g.rec.Verify(evidence, flow.Tuple{Src: label.Src, Dst: label.Dst}) {
 			g.ReqInvalid++
-			g.logf("invalid evidence for %v", label)
+			g.event("request-invalid", label, "bad evidence")
 			return
 		}
 		if err := g.installWithAggregation(label, now, now+sim.Time(g.cfg.Timers.Ttmp)); err != nil {
@@ -406,7 +428,7 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 		if err != nil {
 			return
 		}
-		g.logf("temp filter for %v; relaying to attacker gw %v", label, target)
+		g.event("temp-filter-installed", label, "relaying to attacker gw "+target.String())
 		req := *m
 		req.Stage = packet.StageToAttackerGW
 		relay := packet.NewControl(g.node.Addr(), target, &req)
@@ -418,7 +440,7 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 		// Attacker-side: verify our stamp then handshake the victim.
 		if !g.rec.Verify(traceback.AttackPath(m.Evidence), flow.Tuple{Src: label.Src, Dst: label.Dst}) {
 			g.ReqInvalid++
-			g.logf("invalid evidence for %v", label)
+			g.event("request-invalid", label, "bad evidence")
 			return
 		}
 		if prev, ok := g.pendings[label.Key()]; ok {
@@ -426,7 +448,7 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 		}
 		pend := &wirePending{req: m, nonce: randNonce()}
 		g.pendings[label.Key()] = pend
-		g.logf("handshake query to %v for %v", m.Victim, label)
+		g.event("handshake-query", label, "to victim "+m.Victim.String())
 		query := packet.NewControl(g.node.Addr(), m.Victim,
 			&packet.VerifyQuery{Flow: m.Flow, Nonce: pend.nonce})
 		if err := g.node.Originate(query); err != nil {
@@ -439,7 +461,7 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 			if g.pendings[label.Key()] == pend {
 				delete(g.pendings, label.Key())
 				g.HandshakesFailed++
-				g.logf("handshake timed out for %v", label)
+				g.event("handshake-failed", label, "timeout")
 			}
 		})
 	}
@@ -464,7 +486,7 @@ func (g *Gateway) installWithAggregation(label flow.Label, now, exp sim.Time) er
 		return err
 	}
 	g.Aggregations++
-	g.logf("table full: aggregated %d siblings into %v", replaced, best.Aggregate)
+	g.event("aggregated", best.Aggregate, fmt.Sprintf("table full: coalesced %d siblings", replaced))
 	return g.dp.Install(label, now, exp)
 }
 
@@ -482,9 +504,10 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 		g.logf("filter: %v", err)
 		return
 	}
-	g.logf("handshake OK; filtering %v for %v", label, g.cfg.Timers.T)
+	g.event("handshake-ok", label, "filtering for "+g.cfg.Timers.T.String())
 	// Tell the attacking client to stop (§II-C ii).
 	g.StopOrders++
+	g.event("stop-order", label, "to attacker "+label.Src.String())
 	order := packet.NewControl(g.node.Addr(), label.Src, &packet.FilterReq{
 		Stage:    packet.StageToAttacker,
 		Flow:     m.Flow,
@@ -498,4 +521,3 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 }
 
 var _ Handler = (*Gateway)(nil)
-var _ = log.Printf // keep log imported for default Logf wiring in cmd

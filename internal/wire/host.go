@@ -1,11 +1,15 @@
 package wire
 
 import (
+	"context"
+	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"aitf/internal/contract"
 	"aitf/internal/flow"
+	"aitf/internal/obs"
 	"aitf/internal/packet"
 	"aitf/internal/sim"
 )
@@ -24,8 +28,10 @@ type HostConfig struct {
 	DetectWindow time.Duration
 	// Compliant hosts honour stop orders.
 	Compliant bool
-	// Logf, when set, receives human-readable protocol events.
-	Logf func(format string, args ...any)
+	// Trace receives structured protocol events (see
+	// GatewayConfig.Trace); nil records nothing and logs through
+	// slog.Default().
+	Trace *obs.Trace
 }
 
 // Host is the wire-mode end-host: victim (detect, request, answer
@@ -83,10 +89,23 @@ func (h *Host) Run() { h.node.Run() }
 // Close stops the host.
 func (h *Host) Close() error { return h.node.Close() }
 
+// logf emits a Debug-level diagnostic through the trace logger.
 func (h *Host) logf(format string, args ...any) {
-	if h.cfg.Logf != nil {
-		h.cfg.Logf("["+h.node.Name()+"] "+format, args...)
+	if l := h.cfg.Trace.Logger(); l.Enabled(context.Background(), slog.LevelDebug) {
+		l.Debug(fmt.Sprintf(format, args...), "node", h.node.Name())
 	}
+}
+
+// event records a protocol milestone into the trace ring and the
+// structured log.
+func (h *Host) event(kind string, label flow.Label, detail string) {
+	h.cfg.Trace.Info(obs.Event{
+		At:     time.Duration(wallNow()),
+		Node:   h.node.Name(),
+		Kind:   kind,
+		Flow:   label.String(),
+		Detail: detail,
+	})
 }
 
 // Handle implements Handler. Hosts never forward, so every path is
@@ -129,7 +148,7 @@ func (h *Host) observe(p *packet.Packet) {
 	}
 	if h.rateBytes[p.Src] > h.cfg.DetectBps*h.cfg.DetectWindow.Seconds() {
 		h.flagged[p.Src] = true
-		h.logf("detected undesired flow from %v", p.Src)
+		h.event("attack-detected", label, "undesired flow from "+p.Src.String())
 		h.request(label, p.Path)
 	}
 }
@@ -137,7 +156,7 @@ func (h *Host) observe(p *packet.Packet) {
 func (h *Host) request(label flow.Label, evidence []packet.RREntry) {
 	h.wanted[label.Key()] = time.Now().Add(h.cfg.Timers.T)
 	h.RequestsSent++
-	h.logf("filtering request for %v", label)
+	h.event("request-sent", label, "to gateway "+h.cfg.Gateway.String())
 	req := packet.NewControl(h.node.Addr(), h.cfg.Gateway, &packet.FilterReq{
 		Stage:    packet.StageToVictimGW,
 		Flow:     label,
@@ -157,7 +176,7 @@ func (h *Host) handleControl(p *packet.Packet) {
 	case *packet.VerifyQuery:
 		key := m.Flow.Canonical().Key()
 		if exp, ok := h.wanted[key]; ok && time.Now().Before(exp) {
-			h.logf("handshake reply to %v", p.Src)
+			h.event("handshake-reply", m.Flow.Canonical(), "to attacker gw "+p.Src.String())
 			reply := packet.NewControl(h.node.Addr(), p.Src,
 				&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce})
 			if err := h.node.Originate(reply); err != nil {
@@ -172,9 +191,9 @@ func (h *Host) handleControl(p *packet.Packet) {
 		h.StopOrdersReceived++
 		if h.cfg.Compliant {
 			h.stopOrders[m.Flow.Canonical().Key()] = time.Now().Add(m.Duration)
-			h.logf("stop order for %v: complying", m.Flow)
+			h.event("stop-order", m.Flow.Canonical(), "complying")
 		} else {
-			h.logf("stop order for %v: ignoring", m.Flow)
+			h.event("stop-order", m.Flow.Canonical(), "ignoring")
 		}
 	}
 }

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"sync/atomic"
+
+	"aitf/internal/obs"
+)
+
+// GatewayStats is a point-in-time snapshot of the wire gateway's
+// protocol counters, safe to take from any goroutine (an admin
+// scraper, a test) while the gateway runs.
+type GatewayStats struct {
+	ReqReceived, ReqPoliced, ReqInvalid uint64
+	HandshakesOK, HandshakesFailed      uint64
+	StopOrders                          uint64
+	Aggregations                        uint64
+	Detections                          uint64
+	FilterDrops, ShadowHits             uint64
+}
+
+// Stats snapshots the control-plane counters under the gateway lock
+// (they are mutated there) and the data-plane counters atomically.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GatewayStats{
+		ReqReceived:      g.ReqReceived,
+		ReqPoliced:       g.ReqPoliced,
+		ReqInvalid:       g.ReqInvalid,
+		HandshakesOK:     g.HandshakesOK,
+		HandshakesFailed: g.HandshakesFailed,
+		StopOrders:       g.StopOrders,
+		Aggregations:     g.Aggregations,
+		Detections:       g.Detections,
+		FilterDrops:      atomic.LoadUint64(&g.FilterDrops),
+		ShadowHits:       atomic.LoadUint64(&g.ShadowHits),
+	}
+}
+
+// RegisterMetrics registers the gateway's full observability surface
+// into r: control-plane counters under aitf_gateway_*, transport
+// counters under aitf_node_*, and the data-plane and detection engines
+// under their own namespaces. All instruments are read at scrape time;
+// nothing is added to the packet paths beyond the engines' own
+// instrumentation. Call at most once per registry.
+func (g *Gateway) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("aitf_gateway_requests_received_total",
+		"Filtering requests received.",
+		func() uint64 { return g.Stats().ReqReceived })
+	r.CounterFunc("aitf_gateway_requests_policed_total",
+		"Filtering requests dropped by the contract policer.",
+		func() uint64 { return g.Stats().ReqPoliced })
+	r.CounterFunc("aitf_gateway_requests_invalid_total",
+		"Filtering requests rejected for bad route-record evidence.",
+		func() uint64 { return g.Stats().ReqInvalid })
+	r.CounterFunc("aitf_gateway_handshakes_ok_total",
+		"Three-way handshakes completed.",
+		func() uint64 { return g.Stats().HandshakesOK })
+	r.CounterFunc("aitf_gateway_handshakes_failed_total",
+		"Three-way handshakes timed out.",
+		func() uint64 { return g.Stats().HandshakesFailed })
+	r.CounterFunc("aitf_gateway_stop_orders_total",
+		"Stop orders sent to attacking clients.",
+		func() uint64 { return g.Stats().StopOrders })
+	r.CounterFunc("aitf_gateway_aggregations_total",
+		"Sibling-filter groups coalesced under table pressure.",
+		func() uint64 { return g.Stats().Aggregations })
+	r.CounterFunc("aitf_gateway_detections_total",
+		"Attacks detected on behalf of protected legacy clients.",
+		func() uint64 { return g.Stats().Detections })
+	g.node.registerMetrics(r)
+	g.dp.Instrument(r)
+	if g.det != nil {
+		g.det.Instrument(r)
+	}
+}
+
+// HostStats is a point-in-time snapshot of a wire host's counters.
+type HostStats struct {
+	BytesReceived      uint64
+	RequestsSent       uint64
+	StopOrdersReceived uint64
+	SuppressedSends    uint64
+}
+
+// Stats snapshots the host counters under the host lock.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HostStats{
+		BytesReceived:      h.BytesReceived,
+		RequestsSent:       h.RequestsSent,
+		StopOrdersReceived: h.StopOrdersReceived,
+		SuppressedSends:    h.SuppressedSends,
+	}
+}
+
+// RegisterMetrics registers the host's counters into r under the
+// aitf_host_* namespace plus the transport's aitf_node_* counters.
+// Call at most once per registry.
+func (h *Host) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("aitf_host_bytes_received_total",
+		"Payload bytes of delivered data packets.",
+		func() uint64 { return h.Stats().BytesReceived })
+	r.CounterFunc("aitf_host_requests_sent_total",
+		"Filtering requests issued.",
+		func() uint64 { return h.Stats().RequestsSent })
+	r.CounterFunc("aitf_host_stop_orders_received_total",
+		"Provider stop orders received.",
+		func() uint64 { return h.Stats().StopOrdersReceived })
+	r.CounterFunc("aitf_host_suppressed_sends_total",
+		"Packets withheld for stop-order compliance.",
+		func() uint64 { return h.Stats().SuppressedSends })
+	h.node.registerMetrics(r)
+}
+
+// Counts returns the node's total packets sent and received.
+func (n *Node) Counts() (sent, received uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Sent, n.Received
+}
+
+// registerMetrics registers the transport counters.
+func (n *Node) registerMetrics(r *obs.Registry) {
+	r.CounterFunc("aitf_node_packets_sent_total",
+		"Datagrams sent by the node's UDP transport.",
+		func() uint64 { s, _ := n.Counts(); return s })
+	r.CounterFunc("aitf_node_packets_received_total",
+		"Datagrams received by the node's UDP transport.",
+		func() uint64 { _, rcv := n.Counts(); return rcv })
+}
