@@ -39,6 +39,7 @@
 package aitf
 
 import (
+	"aitf/internal/alloc"
 	"aitf/internal/contract"
 	"aitf/internal/core"
 	"aitf/internal/filter"
@@ -70,6 +71,9 @@ type (
 	ShadowMode = core.ShadowMode
 	// Params tunes link delays/bandwidths of the standard topologies.
 	Params = topology.Params
+	// AllocationPolicy configures the collateral-aware filter
+	// allocator (internal/alloc) on gateways.
+	AllocationPolicy = alloc.Policy
 )
 
 // Shadow-mode values (see core.ShadowMode).

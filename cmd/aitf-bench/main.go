@@ -120,6 +120,11 @@ type benchOutput struct {
 	DataplaneInstrumented []instrumentedResult `json:"dataplane_instrumented"`
 	// Detect tracks the sketch detection engine (internal/detect).
 	Detect []detectResult `json:"detect"`
+	// Alloc contrasts the fixed-/24 aggregation fallback with the
+	// collateral-aware allocator on the deterministic §IV-B pressure
+	// workload (internal/experiments.AllocSweep). The simulator runs in
+	// virtual time, so the cells are byte-exact on every machine.
+	Alloc []experiments.AllocCell `json:"alloc"`
 }
 
 const benchBatchSize = 64
@@ -548,6 +553,66 @@ func detectRegressionFailures(baseline, measured []detectResult, tol, norm float
 	return fails, matched
 }
 
+// allocRegressionFailures gates the collateral-allocation contrast.
+// The simulator is deterministic, so two gates apply: the in-run
+// property (the allocator must beat the fixed policy on collateral at
+// equal-or-better attack suppression — the reason internal/alloc
+// exists), and byte-exact equality against the committed baseline,
+// which catches unintended behavior drift anywhere in the
+// detect→alloc→dataplane chain. Intentional behavior changes
+// regenerate the trend file with -json.
+func allocRegressionFailures(baseline, measured []experiments.AllocCell) (fails []string, matched int) {
+	cells := make(map[string]experiments.AllocCell, len(measured))
+	for _, m := range measured {
+		cells[m.Policy] = m
+	}
+	fixed, okF := cells["fixed24"]
+	alloc, okA := cells["alloc"]
+	if !okF || !okA {
+		return []string{"alloc sweep missing a policy cell"}, 0
+	}
+	if fixed.Aggregations == 0 || alloc.Aggregations == 0 {
+		fails = append(fails, fmt.Sprintf(
+			"alloc workload no longer forces aggregation (fixed=%d alloc=%d)",
+			fixed.Aggregations, alloc.Aggregations))
+	}
+	if alloc.LegitBytes <= fixed.LegitBytes {
+		fails = append(fails, fmt.Sprintf(
+			"allocator collateral win lost: %d legit B delivered vs fixed %d",
+			alloc.LegitBytes, fixed.LegitBytes))
+	}
+	if alloc.AttackBytes > fixed.AttackBytes {
+		fails = append(fails, fmt.Sprintf(
+			"allocator attack suppression regressed: %d attack B delivered vs fixed %d",
+			alloc.AttackBytes, fixed.AttackBytes))
+	}
+	if alloc.CollateralAddrs >= fixed.CollateralAddrs {
+		fails = append(fails, fmt.Sprintf(
+			"allocator covered-addr collateral %d not below fixed %d",
+			alloc.CollateralAddrs, fixed.CollateralAddrs))
+	}
+	base := make(map[string]experiments.AllocCell, len(baseline))
+	for _, b := range baseline {
+		base[b.Policy] = b
+	}
+	for _, m := range measured {
+		b, ok := base[m.Policy]
+		if !ok {
+			continue
+		}
+		matched++
+		if m != b {
+			fails = append(fails, fmt.Sprintf(
+				"alloc cell %q drifted from the deterministic baseline: measured %+v, baseline %+v",
+				m.Policy, m, b))
+		}
+	}
+	if matched == 0 {
+		return []string{"no measured alloc cell matches the baseline (stale trend file?)"}, 0
+	}
+	return fails, matched
+}
+
 // parseGoroutines parses the -goroutines flag ("1,2,4,8").
 func parseGoroutines(s string) ([]int, error) {
 	var out []int
@@ -726,6 +791,10 @@ func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur tim
 		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no instrumented cells\n", path)
 		return 2
 	}
+	if len(baseline.Alloc) == 0 {
+		fmt.Fprintf(os.Stderr, "aitf-bench: -regress: %s has no alloc cells\n", path)
+		return 2
+	}
 	fmt.Fprintf(os.Stderr, "aitf-bench: regression sweep (%v per cell) against %s...\n", dur, path)
 	measured := dataplaneSweep(spec, dur)
 	fails, matched, norm := regressionFailures(baseline.Dataplane, measured, tol, normalize)
@@ -735,6 +804,9 @@ func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur tim
 	dmeasured := detectSweep(defaultDetectSweep(), dur)
 	dfails, dmatched := detectRegressionFailures(baseline.Detect, dmeasured, tol, norm)
 	fails = append(fails, dfails...)
+	ameasured := experiments.AllocSweep()
+	afails, amatched := allocRegressionFailures(baseline.Alloc, ameasured)
+	fails = append(fails, afails...)
 	// The instrumentation gate is in-run (instrumented vs base twin on
 	// this machine), so it needs no baseline matching — the baseline
 	// presence check above only keeps the trend file's section alive.
@@ -747,8 +819,9 @@ func runRegression(path string, spec sweepSpec, wspec wildcardSweepSpec, dur tim
 		}
 	}
 	if len(fails) == 0 {
-		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d+%d+%d of %d+%d+%d cells compared, %d instrumented cells gated)\n",
-			matched, wmatched, dmatched, len(measured), len(wmeasured), len(dmeasured), len(imeasured))
+		fmt.Fprintf(os.Stderr, "aitf-bench: no perf regression (%d+%d+%d+%d of %d+%d+%d+%d cells compared, %d instrumented cells gated)\n",
+			matched, wmatched, dmatched, amatched,
+			len(measured), len(wmeasured), len(dmeasured), len(ameasured), len(imeasured))
 		return 0
 	}
 	for _, f := range fails {
@@ -839,6 +912,7 @@ func main() {
 		DataplaneWildcard:     wildcardSweep(defaultWildcardSweep(), *sweepDur),
 		DataplaneInstrumented: imeasured,
 		Detect:                detectSweep(defaultDetectSweep(), *sweepDur),
+		Alloc:                 experiments.AllocSweep(),
 	}
 	if *metricsJSON != "" {
 		if err := writeMetricsJSON(*metricsJSON, ireg); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"aitf/internal/dataplane"
+	"aitf/internal/experiments"
 	"aitf/internal/obs"
 )
 
@@ -123,6 +124,33 @@ func TestBenchJSONSchemaMatchesCheckedInFile(t *testing.T) {
 			t.Fatalf("instrumented cell %d runs at %.0f%% of uninstrumented: %+v",
 				i, 100*c.PPS/c.BasePPS, c)
 		}
+	}
+	// The collateral-allocation contrast must be present with both
+	// policy cells, and the committed cells must still show the win the
+	// allocator exists for: strictly more legit bytes delivered at
+	// equal-or-better attack suppression, with lower covered-address
+	// collateral.
+	if len(out.Alloc) != 2 {
+		t.Fatalf("trend file has %d alloc cells, want 2", len(out.Alloc))
+	}
+	apol := map[string]int{}
+	for i, c := range out.Alloc {
+		if c.Attackers < 1 || c.FilterCapacity < 1 || c.Aggregations == 0 ||
+			c.AttackBytes == 0 || c.LegitBytes == 0 {
+			t.Fatalf("alloc cell %d malformed: %+v", i, c)
+		}
+		apol[c.Policy] = i
+	}
+	fixedI, okF := apol["fixed24"]
+	allocI, okA := apol["alloc"]
+	if !okF || !okA {
+		t.Fatalf("alloc section lacks a policy cell: %+v", out.Alloc)
+	}
+	fixed, alloced := out.Alloc[fixedI], out.Alloc[allocI]
+	if alloced.LegitBytes <= fixed.LegitBytes || alloced.AttackBytes > fixed.AttackBytes ||
+		alloced.CollateralAddrs >= fixed.CollateralAddrs {
+		t.Fatalf("committed alloc cells lost the collateral win: fixed=%+v alloc=%+v",
+			fixed, alloced)
 	}
 }
 
@@ -473,5 +501,56 @@ func TestWriteMetricsJSON(t *testing.T) {
 	}
 	if err := writeMetricsJSON(path, nil); err == nil {
 		t.Fatal("nil registry accepted")
+	}
+}
+
+// TestAllocRegressionFailures exercises the collateral-allocation gate:
+// identical deterministic cells pass, any byte drift from the baseline
+// fails, and losing the allocator's collateral win fails even when the
+// baseline agrees.
+func TestAllocRegressionFailures(t *testing.T) {
+	fixed := experiments.AllocCell{Policy: "fixed24", Attackers: 12, FilterCapacity: 4,
+		AttackBytes: 100, LegitBytes: 50, Aggregations: 2, CollateralAddrs: 500, CollateralBytes: 40}
+	alloced := experiments.AllocCell{Policy: "alloc", Attackers: 12, FilterCapacity: 4,
+		AttackBytes: 100, LegitBytes: 80, Aggregations: 2, CollateralAddrs: 20, CollateralBytes: 10}
+	base := []experiments.AllocCell{fixed, alloced}
+
+	if fails, matched := allocRegressionFailures(base, base); len(fails) != 0 || matched != 2 {
+		t.Fatalf("identical cells failed: %v (matched %d)", fails, matched)
+	}
+	// The simulator is deterministic: any drift from the committed
+	// baseline is a behavior change and must fail.
+	drift := []experiments.AllocCell{fixed, alloced}
+	drift[1].LegitBytes++
+	if fails, _ := allocRegressionFailures(base, drift); len(fails) == 0 {
+		t.Fatal("baseline drift passed")
+	}
+	// Losing the collateral win fails even with a matching baseline.
+	tied := alloced
+	tied.LegitBytes = fixed.LegitBytes
+	tiedSet := []experiments.AllocCell{fixed, tied}
+	if fails, _ := allocRegressionFailures(tiedSet, tiedSet); len(fails) == 0 {
+		t.Fatal("lost collateral win passed")
+	}
+	// So does regressed attack suppression or covered-addr collateral.
+	worse := alloced
+	worse.AttackBytes = fixed.AttackBytes + 1
+	worseSet := []experiments.AllocCell{fixed, worse}
+	if fails, _ := allocRegressionFailures(worseSet, worseSet); len(fails) == 0 {
+		t.Fatal("attack-suppression regression passed")
+	}
+	cover := alloced
+	cover.CollateralAddrs = fixed.CollateralAddrs
+	coverSet := []experiments.AllocCell{fixed, cover}
+	if fails, _ := allocRegressionFailures(coverSet, coverSet); len(fails) == 0 {
+		t.Fatal("covered-addr regression passed")
+	}
+	// A sweep missing a policy cell fails loudly.
+	if fails, matched := allocRegressionFailures(base, base[:1]); len(fails) == 0 || matched != 0 {
+		t.Fatalf("missing cell: fails=%v matched=%d", fails, matched)
+	}
+	// So does a baseline that matches nothing (stale trend file).
+	if fails, matched := allocRegressionFailures(nil, base); len(fails) == 0 || matched != 0 {
+		t.Fatalf("empty baseline: fails=%v matched=%d", fails, matched)
 	}
 }

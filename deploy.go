@@ -3,6 +3,7 @@ package aitf
 import (
 	"time"
 
+	"aitf/internal/alloc"
 	"aitf/internal/attack"
 	"aitf/internal/contract"
 	"aitf/internal/core"
@@ -62,6 +63,12 @@ type Options struct {
 	// sharing a destination and a source /N coalesce into one covering
 	// prefix filter (split back on relief). 0 disables aggregation.
 	AggregationPrefixLen int
+	// Allocation, when non-nil, replaces the fixed AggregationPrefixLen
+	// trigger at every gateway with the collateral-aware allocator
+	// (internal/alloc): candidate prefixes at multiple lengths, priced
+	// in estimated collateral legit bytes, chosen by greedy weighted
+	// set-cover and refined each review tick.
+	Allocation *alloc.Policy
 	// GatewayDetect is the sketch-detection template for gateways that
 	// defend legacy clients (GatewaySpec.DetectFor): the gateway runs
 	// an internal/detect engine on its own data path and files
@@ -117,6 +124,7 @@ func (o Options) gatewayConfig() core.GatewayConfig {
 	cfg.HandshakeTimeout = o.HandshakeTimeout
 	cfg.Default = o.PeerContract
 	cfg.AggregationPrefixLen = o.AggregationPrefixLen
+	cfg.Allocation = o.Allocation
 	return cfg
 }
 

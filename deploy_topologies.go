@@ -122,6 +122,14 @@ type ManyToOneOptions struct {
 	Attackers, Legit int
 	// AttackersCompliant makes attacking hosts obey stop orders.
 	AttackersCompliant bool
+	// GatewayDefendsVictim models the victim as a legacy (non-AITF)
+	// host: it gets no detector of its own, and its gateway runs
+	// Options.GatewayDetect on its behalf instead (GatewaySpec
+	// DetectFor). Requires GatewayDetect.ThresholdBps > 0. This also
+	// arms the gateway's traffic view, so the collateral-aware
+	// allocator prices aggregates from measured pairs instead of the
+	// covered-address fallback.
+	GatewayDefendsVictim bool
 }
 
 // DeployManyToOne builds the resource-experiment topology: every host
@@ -131,14 +139,19 @@ func DeployManyToOne(opt ManyToOneOptions) *ManyToOneDeployment {
 	topo, ids := topology.ManyToOne(opt.Attackers, opt.Legit, opt.Params)
 
 	spec := TopologySpec{Topo: topo}
-	site := func(host, gw topology.NodeID, nonCompliant, detect bool) {
+	site := func(host, gw topology.NodeID, nonCompliant, victim bool) {
 		gs := GatewaySpec{Node: gw, Provider: NoProvider, Clients: []topology.NodeID{host}}
 		if opt.IngressFiltering && gw != ids.VictimGW {
 			gs.IngressHosts = []topology.NodeID{host}
 		}
+		if victim && opt.GatewayDefendsVictim {
+			gs.DetectFor = []topology.NodeID{host}
+		}
 		spec.Gateways = append(spec.Gateways, gs)
 		spec.Hosts = append(spec.Hosts, HostSpec{
-			Node: host, Gateway: gw, Victim: detect, NonCompliant: nonCompliant,
+			Node: host, Gateway: gw,
+			Victim:       victim && !opt.GatewayDefendsVictim,
+			NonCompliant: nonCompliant,
 		})
 	}
 	site(ids.Victim, ids.VictimGW, false, true)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aitf/internal/alloc"
 	"aitf/internal/contract"
 	"aitf/internal/dataplane"
 	"aitf/internal/detect"
@@ -105,6 +106,17 @@ type GatewayConfig struct {
 	// coalescing; values below 2 are treated as 2 (replacing a single
 	// filter frees nothing and only adds collateral).
 	AggregationMinChildren int
+	// Allocation, when non-nil, replaces the fixed-length aggregation
+	// trigger with the collateral-aware allocator (internal/alloc):
+	// on table pressure candidate prefixes are scored at every
+	// configured length by estimated collateral legit bytes — using
+	// the gateway's detection engine as the traffic view when armed —
+	// and the cheapest set freeing the needed slots is installed.
+	// Outstanding aggregates are also re-evaluated each review tick
+	// and refined to deeper prefixes as the table relaxes. When set,
+	// AggregationPrefixLen is ignored (kept as the fixed-policy
+	// baseline for comparison runs).
+	Allocation *alloc.Policy
 	// Detection, when non-nil and armed, runs a sketch-based
 	// heavy-hitter engine (internal/detect) on the gateway's own data
 	// path, defending the listed protected destinations: legacy
@@ -181,6 +193,16 @@ type GatewayStats struct {
 	// collateral-damage exposure the coarser filters accept in exchange
 	// for fitting the table.
 	AggregateCollateral uint64
+	// AggregateCollateralBytes accumulates, per aggregation, the
+	// estimated legitimate bytes per detection window the installed
+	// aggregate blocks (alloc.Assess pricing: measured unflagged pair
+	// estimates under the prefix, baseline fallback otherwise). Both
+	// the fixed policy and the allocator account it, so the two are
+	// directly comparable.
+	AggregateCollateralBytes uint64
+	// AggregateRefinements counts review-tick re-allocations that
+	// replaced a live aggregate with deeper, cheaper prefixes.
+	AggregateRefinements uint64
 }
 
 // vwatch tracks one undesired flow for which this gateway acts (or
@@ -373,11 +395,13 @@ func (g *Gateway) Stats() GatewayStats {
 
 		Detections: atomic.LoadUint64(&g.stats.Detections),
 
-		Aggregations:        atomic.LoadUint64(&g.stats.Aggregations),
-		AggregatedChildren:  atomic.LoadUint64(&g.stats.AggregatedChildren),
-		AggregateSplits:     atomic.LoadUint64(&g.stats.AggregateSplits),
-		AggregateCovered:    atomic.LoadUint64(&g.stats.AggregateCovered),
-		AggregateCollateral: atomic.LoadUint64(&g.stats.AggregateCollateral),
+		Aggregations:             atomic.LoadUint64(&g.stats.Aggregations),
+		AggregatedChildren:       atomic.LoadUint64(&g.stats.AggregatedChildren),
+		AggregateSplits:          atomic.LoadUint64(&g.stats.AggregateSplits),
+		AggregateCovered:         atomic.LoadUint64(&g.stats.AggregateCovered),
+		AggregateCollateral:      atomic.LoadUint64(&g.stats.AggregateCollateral),
+		AggregateCollateralBytes: atomic.LoadUint64(&g.stats.AggregateCollateralBytes),
+		AggregateRefinements:     atomic.LoadUint64(&g.stats.AggregateRefinements),
 	}
 }
 
@@ -885,7 +909,7 @@ func (g *Gateway) installTemp(w *vwatch) {
 // spending a slot, and on ErrTableFull the gateway coalesces the
 // largest sibling group into a covering prefix filter and retries once.
 func (g *Gateway) installVictimFilter(label flow.Label, now, exp sim.Time) error {
-	if g.cfg.AggregationPrefixLen > 0 {
+	if g.aggregationEnabled() {
 		if a := g.coveringAggregate(label); a != nil {
 			// Extend the aggregate so it covers the requested window;
 			// the flow is already being dropped. Record the would-be
@@ -917,13 +941,40 @@ func (g *Gateway) installVictimFilter(label flow.Label, now, exp sim.Time) error
 		}
 	}
 	err := g.dp.Install(label, now, exp)
-	if err == nil || !errors.Is(err, filter.ErrTableFull) || g.cfg.AggregationPrefixLen <= 0 {
+	if err == nil || !errors.Is(err, filter.ErrTableFull) || !g.aggregationEnabled() {
 		return err
 	}
-	if !g.aggregateUnderPressure(now) {
+	freed := false
+	if g.cfg.Allocation != nil {
+		freed = g.allocateUnderPressure(now)
+	} else {
+		freed = g.aggregateUnderPressure(now)
+	}
+	if !freed {
 		return err
 	}
 	return g.dp.Install(label, now, exp)
+}
+
+// aggregationEnabled reports whether either coarse-filter fallback —
+// the fixed prefix length or the collateral-aware allocator — is on.
+func (g *Gateway) aggregationEnabled() bool {
+	return g.cfg.Allocation != nil || g.cfg.AggregationPrefixLen > 0
+}
+
+// allocConfig materialises the allocator configuration for this
+// gateway: the deployable policy plus the live traffic view (the
+// gateway-side detection engine, when armed).
+func (g *Gateway) allocConfig(policy alloc.Policy) alloc.Config {
+	cfg := alloc.Config{Policy: policy}
+	if g.cfg.AggregationMinChildren > cfg.MinChildren {
+		cfg.MinChildren = g.cfg.AggregationMinChildren
+	}
+	if g.det != nil {
+		cfg.Traffic = alloc.DetectTraffic{Eng: g.det}
+		cfg.WindowSeconds = g.det.Config().Window.Seconds()
+	}
+	return cfg
 }
 
 // coveringAggregate returns the live aggregate covering label, if any.
@@ -969,10 +1020,85 @@ func (g *Gateway) aggregateUnderPressure(now sim.Time) bool {
 	if c := best.CoveredAddrs() - replaced; c > 0 {
 		atomic.AddUint64(&g.stats.AggregateCollateral, uint64(c))
 	}
+	// Price the fixed-policy choice with the same rule the allocator
+	// uses, so fixed and collateral-aware runs report comparable
+	// estimated-collateral-bytes.
+	priced := alloc.Assess(best, g.allocConfig(alloc.Policy{PrefixLens: []uint8{pfx}}))
+	atomic.AddUint64(&g.stats.AggregateCollateralBytes, uint64(priced.LegitBytes))
 	g.trace(EvAggregated, best.Aggregate,
 		fmt.Sprintf("%d children, covers %d sources", replaced, best.CoveredAddrs()))
 	g.armAggregateReview()
 	return true
+}
+
+// allocateUnderPressure is the collateral-aware counterpart of
+// aggregateUnderPressure: it asks the allocator for the aggregate set
+// that frees a slot at minimum estimated collateral legit bytes and
+// installs it, reporting whether any slot was freed.
+func (g *Gateway) allocateUnderPressure(now sim.Time) bool {
+	cfg := g.allocConfig(*g.cfg.Allocation)
+	plan := alloc.Choose(g.dp.FilterEntries(), 1, cfg)
+	freed := false
+	for _, pick := range plan.Picks {
+		if g.applyPick(pick, now) {
+			freed = true
+		}
+	}
+	if freed {
+		g.armAggregateReview()
+	}
+	return freed
+}
+
+// applyPick installs one allocator pick: the covering filter replaces
+// its children in the data plane, the gateway's aggregate records are
+// merged (absorbing any nested aggregate the pick folds), and the
+// collateral accounting is updated.
+func (g *Gateway) applyPick(pick alloc.Candidate, now sim.Time) bool {
+	replaced, err := g.dp.Aggregate(pick.Aggregate, pick.ChildLabels(), now, pick.MaxExpiry)
+	if err != nil || replaced < 2 {
+		return false
+	}
+	g.recordAggregate(pick)
+	atomic.AddUint64(&g.stats.Aggregations, 1)
+	atomic.AddUint64(&g.stats.AggregatedChildren, uint64(replaced))
+	if c := pick.CoveredAddrs() - replaced; c > 0 {
+		atomic.AddUint64(&g.stats.AggregateCollateral, uint64(c))
+	}
+	atomic.AddUint64(&g.stats.AggregateCollateralBytes, uint64(pick.LegitBytes))
+	g.trace(EvAggregated, pick.Aggregate,
+		fmt.Sprintf("%d children, covers %d sources, est %dB/window collateral",
+			replaced, pick.CoveredAddrs(), uint64(pick.LegitBytes)))
+	return true
+}
+
+// recordAggregate merges one installed pick into the gateway's
+// aggregate records. A pick that folded a nested aggregate absorbs its
+// recorded children, so a later split-back still restores every
+// original pair filter.
+func (g *Gateway) recordAggregate(pick alloc.Candidate) *aggregate {
+	key := pick.Aggregate.Key()
+	a, ok := g.aggregates[key]
+	if !ok {
+		a = &aggregate{label: key}
+		g.aggregates[key] = a
+	}
+	for _, c := range pick.Children {
+		ck := c.Label.Key()
+		if inner, ok := g.aggregates[ck]; ok && ck != key {
+			a.children = append(a.children, inner.children...)
+			if inner.exp > a.exp {
+				a.exp = inner.exp
+			}
+			delete(g.aggregates, ck)
+			continue
+		}
+		a.children = append(a.children, c)
+	}
+	if pick.MaxExpiry > a.exp {
+		a.exp = pick.MaxExpiry
+	}
+	return a
 }
 
 // armAggregateReview schedules the periodic split-back check while any
@@ -997,8 +1123,12 @@ func (g *Gateway) aggregateReview() {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	refined := false
 	for _, k := range keys {
-		a := g.aggregates[k]
+		a, ok := g.aggregates[k]
+		if !ok {
+			continue // consumed by an earlier refinement this tick
+		}
 		if a.exp <= now {
 			delete(g.aggregates, k)
 			g.trace(EvDeaggregated, a.label, "expired with its last child")
@@ -1017,20 +1147,106 @@ func (g *Gateway) aggregateReview() {
 		need := len(live) - 1
 		room := g.cfg.FilterCapacity - g.cfg.FilterCapacity/4 - g.dp.Len()
 		if need >= 0 && need <= room {
+			// Remove the aggregate before reinstalling the children.
+			// The review runs atomically within one simulator event, so
+			// nothing slips through the gap — whereas install-first
+			// transiently needed len(live)+1 slots, which overflows a
+			// small table (capacity < 4 keeps no headroom quarter) and
+			// silently rejected a child before its deadline.
+			g.dp.Remove(a.label)
 			for _, c := range live {
 				if err := g.dp.Install(c.Label, now, c.ExpiresAt); err != nil {
 					g.trace(EvFilterRejected, c.Label, "split-back: "+err.Error())
 				}
 			}
-			g.dp.Remove(a.label)
 			delete(g.aggregates, k)
 			atomic.AddUint64(&g.stats.AggregateSplits, 1)
 			g.trace(EvDeaggregated, a.label, fmt.Sprintf("split back %d children", len(live)))
+			continue
+		}
+		// Full precision does not fit. Under the allocator, adapt to
+		// the shifting attack mix instead of waiting: re-plan this
+		// aggregate's children at strictly deeper prefixes, spending
+		// the spare room on precision (at most one aggregate per tick
+		// to bound review work).
+		if g.cfg.Allocation != nil && !refined {
+			refined = g.refineAggregate(k, a, live, now, room)
 		}
 	}
 	if len(g.aggregates) > 0 {
 		g.armAggregateReview()
 	}
+}
+
+// refineAggregate replaces one live aggregate with a deeper, cheaper
+// cover chosen by the allocator over its recorded children, plus exact
+// filters for the children the deeper cover leaves out. It fires only
+// when the re-plan fits the spare room and strictly shrinks the
+// covered address space, so each refinement monotonically reduces
+// collateral exposure.
+func (g *Gateway) refineAggregate(k flow.Label, a *aggregate, live []filter.Entry, now sim.Time, room int) bool {
+	if len(live) < 2 || room < 1 {
+		return false
+	}
+	var lens []uint8
+	for _, l := range g.cfg.Allocation.Lens() {
+		if l > a.label.SrcPrefixLen {
+			lens = append(lens, l)
+		}
+	}
+	if len(lens) == 0 {
+		return false
+	}
+	cfg := g.allocConfig(alloc.Policy{
+		PrefixLens:  lens,
+		MinChildren: g.cfg.Allocation.MinChildren,
+	})
+	// The replacement set may occupy this aggregate's slot plus the
+	// spare room: len(live) − freed ≤ 1 + room.
+	requiredFreed := len(live) - 1 - room
+	if requiredFreed < 1 {
+		requiredFreed = 1
+	}
+	plan := alloc.Choose(live, requiredFreed, cfg)
+	if plan.Freed < requiredFreed || len(plan.Picks) == 0 {
+		return false
+	}
+	current := filter.SiblingGroup{Aggregate: a.label}
+	uncovered := len(live) - (plan.Freed + len(plan.Picks))
+	if plan.CoveredAddrs+uncovered >= current.CoveredAddrs() {
+		return false // no precision gained
+	}
+	g.dp.Remove(a.label)
+	delete(g.aggregates, k)
+	covered := make(map[flow.Label]bool)
+	for _, pick := range plan.Picks {
+		if _, err := g.dp.Aggregate(pick.Aggregate, pick.ChildLabels(), now, pick.MaxExpiry); err != nil {
+			g.trace(EvFilterRejected, pick.Aggregate, "refine: "+err.Error())
+			continue
+		}
+		g.recordAggregate(pick)
+		for _, c := range pick.Children {
+			covered[c.Label.Key()] = true
+		}
+		atomic.AddUint64(&g.stats.AggregateCollateralBytes, uint64(pick.LegitBytes))
+		g.trace(EvAggregated, pick.Aggregate,
+			fmt.Sprintf("refined: %d children, covers %d sources, est %dB/window collateral",
+				len(pick.Children), pick.CoveredAddrs(), uint64(pick.LegitBytes)))
+	}
+	// Children the deeper cover leaves out go back to exact filters at
+	// their original deadlines — never past them.
+	for _, c := range live {
+		if covered[c.Label.Key()] {
+			continue
+		}
+		if err := g.dp.Install(c.Label, now, c.ExpiresAt); err != nil {
+			g.trace(EvFilterRejected, c.Label, "refine split: "+err.Error())
+		}
+	}
+	atomic.AddUint64(&g.stats.AggregateRefinements, 1)
+	g.trace(EvDeaggregated, a.label,
+		fmt.Sprintf("refined into %d deeper aggregates", len(plan.Picks)))
+	return true
 }
 
 // sendToAttackerGateway propagates the request to the attack-path node

@@ -55,6 +55,7 @@ func All() (map[string]Driver, []string) {
 		"E8": E8AITFvsPushback,
 		"E9":  E9ContractPolicing,
 		"E13": E13DetectionLatency,
+		"E15": E15CollateralAllocation,
 	}
 	ids := make([]string, 0, len(m))
 	for id := range m {

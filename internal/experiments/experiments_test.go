@@ -12,7 +12,7 @@ import (
 // TestAllDriversRegistered pins the experiment registry to EXPERIMENTS.md.
 func TestAllDriversRegistered(t *testing.T) {
 	drivers, ids := All()
-	want := []string{"E1", "E13", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E13", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -290,5 +290,36 @@ func TestE13DetectionLatency(t *testing.T) {
 		if r[3] != "0 B/s" {
 			t.Fatalf("%s: victim not relieved by run end: %v", name, r)
 		}
+	}
+}
+
+// TestE15AllocSweep pins the collateral-contrast cells: both policies
+// aggregate under pressure, and the allocator delivers strictly more
+// legit bytes at equal-or-better attack suppression with strictly
+// lower covered-address collateral.
+func TestE15AllocSweep(t *testing.T) {
+	cells := AllocSweep()
+	if len(cells) != 2 || cells[0].Policy != "fixed24" || cells[1].Policy != "alloc" {
+		t.Fatalf("sweep shape: %+v", cells)
+	}
+	fixed, alloc := cells[0], cells[1]
+	if fixed.Aggregations == 0 || alloc.Aggregations == 0 {
+		t.Fatalf("pressure did not force aggregation: %+v", cells)
+	}
+	if alloc.LegitBytes <= fixed.LegitBytes {
+		t.Fatalf("allocator delivered %d legit B vs fixed %d — no collateral win",
+			alloc.LegitBytes, fixed.LegitBytes)
+	}
+	if alloc.AttackBytes > fixed.AttackBytes {
+		t.Fatalf("allocator let through %d attack B vs fixed %d",
+			alloc.AttackBytes, fixed.AttackBytes)
+	}
+	if alloc.CollateralAddrs >= fixed.CollateralAddrs {
+		t.Fatalf("allocator covered-addr collateral %d not below fixed %d",
+			alloc.CollateralAddrs, fixed.CollateralAddrs)
+	}
+	if alloc.CollateralBytes >= fixed.CollateralBytes {
+		t.Fatalf("allocator estimated collateral %d B not below fixed %d B",
+			alloc.CollateralBytes, fixed.CollateralBytes)
 	}
 }

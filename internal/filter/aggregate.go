@@ -9,6 +9,7 @@
 package filter
 
 import (
+	"math"
 	"sort"
 
 	"aitf/internal/flow"
@@ -30,11 +31,27 @@ type SiblingGroup struct {
 // aggregate in place of its children.
 func (g SiblingGroup) Freed() int { return len(g.Children) - 1 }
 
-// CoveredAddrs is how many source addresses the aggregate matches —
-// the denominator of collateral-damage accounting: the aggregate
-// blocks CoveredAddrs sources to stop len(Children) offenders.
+// CoveredAddrs is how many IPv4 source addresses the aggregate
+// matches — the denominator of collateral-damage accounting: the
+// aggregate blocks CoveredAddrs sources to stop len(Children)
+// offenders. The unit is a count of addresses, not bytes. Degenerate
+// prefix lengths (0, meaning a host or wildcard label rather than a
+// prefix, or ≥ 32) cover the whole space or a single host; the count
+// clamps to math.MaxInt where 2^32 does not fit in int, instead of
+// shifting past the word size and wrapping on 32-bit platforms.
 func (g SiblingGroup) CoveredAddrs() int {
-	return 1 << (32 - int(g.Aggregate.SrcPrefixLen))
+	bits := uint(g.Aggregate.SrcPrefixLen)
+	switch {
+	case g.Aggregate.Wildcards&flow.WildSrc != 0:
+		bits = 0 // wildcard source: the whole address space
+	case bits == 0 || bits >= 32:
+		return 1 // host label: exactly one source address
+	}
+	n := uint64(1) << (32 - bits)
+	if n > uint64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return int(n)
 }
 
 // ChildLabels returns the member labels, for handing to Aggregate.
@@ -84,7 +101,7 @@ func SiblingGroups(entries []Entry, prefixLen uint8, minChildren int) []SiblingG
 			if members[i].ExpiresAt != members[j].ExpiresAt {
 				return members[i].ExpiresAt < members[j].ExpiresAt
 			}
-			return members[i].Label.String() < members[j].Label.String()
+			return labelLess(members[i].Label, members[j].Label)
 		})
 		g := SiblingGroup{
 			Aggregate: flow.SrcPrefixLabel(k.src, prefixLen, k.dst),
@@ -97,7 +114,36 @@ func SiblingGroups(entries []Entry, prefixLen uint8, minChildren int) []SiblingG
 		if len(out[i].Children) != len(out[j].Children) {
 			return len(out[i].Children) > len(out[j].Children)
 		}
-		return out[i].Aggregate.String() < out[j].Aggregate.String()
+		return labelLess(out[i].Aggregate, out[j].Aggregate)
 	})
 	return out
+}
+
+// labelLess is a total order over labels for deterministic tie-breaks.
+// Both SiblingGroups sorts run exactly when the gateway is out of
+// wire-speed filters, so the comparison must not format strings (or
+// allocate at all) per call the way Label.String() ordering did.
+func labelLess(a, b flow.Label) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcPrefixLen != b.SrcPrefixLen {
+		return a.SrcPrefixLen < b.SrcPrefixLen
+	}
+	if a.DstPrefixLen != b.DstPrefixLen {
+		return a.DstPrefixLen < b.DstPrefixLen
+	}
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Wildcards < b.Wildcards
 }

@@ -1,6 +1,7 @@
 package filter
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -167,4 +168,211 @@ func TestTableAggregateConservesBudget(t *testing.T) {
 			t.Fatalf("cycle %d: aggregate did not expire", cycle)
 		}
 	}
+}
+
+// TestCoveredAddrsDegenerate pins CoveredAddrs' unit (a count of IPv4
+// source addresses) across the label shapes an aggregate can take:
+// genuine prefixes, host labels (SrcPrefixLen 0 or ≥ 32), and
+// wildcard sources. The degenerate shapes must clamp instead of
+// shifting past the int word size, which used to wrap on 32-bit
+// platforms.
+func TestCoveredAddrsDegenerate(t *testing.T) {
+	dst := flow.MakeAddr(10, 0, 0, 9)
+	src := flow.MakeAddr(240, 1, 2, 0)
+	mk := func(l flow.Label) SiblingGroup { return SiblingGroup{Aggregate: l} }
+
+	if got := mk(flow.SrcPrefixLabel(src, 24, dst)).CoveredAddrs(); got != 256 {
+		t.Fatalf("/24 covers %d, want 256", got)
+	}
+	if got := mk(flow.SrcPrefixLabel(src, 16, dst)).CoveredAddrs(); got != 65536 {
+		t.Fatalf("/16 covers %d, want 65536", got)
+	}
+	// Monotone: deeper prefixes always cover fewer addresses.
+	prev := math.MaxInt
+	for bits := uint8(1); bits <= 31; bits++ {
+		got := mk(flow.SrcPrefixLabel(src, bits, dst)).CoveredAddrs()
+		if got <= 0 || got >= prev {
+			t.Fatalf("/%d covers %d (prev %d): not positive-monotone", bits, got, prev)
+		}
+		prev = got
+	}
+	// A host label (prefix length 0 means "no prefix", i.e. exact
+	// source) covers exactly one address.
+	if got := mk(flow.PairLabel(src, dst)).CoveredAddrs(); got != 1 {
+		t.Fatalf("host label covers %d, want 1", got)
+	}
+	// A wildcard source covers the whole space, clamped to what int
+	// holds on this platform.
+	wild := mk(flow.ToDestination(dst)) // *->dst
+	got := wild.CoveredAddrs()
+	if got <= 0 {
+		t.Fatalf("wildcard coverage wrapped to %d", got)
+	}
+	if uint64(got) != uint64(1)<<32 && got != math.MaxInt {
+		t.Fatalf("wildcard covers %d, want 2^32 (or MaxInt clamp)", got)
+	}
+}
+
+// TestLabelLessTotalOrder checks the allocation-free comparator used by
+// the table-pressure sorts is a strict total order (never both ways,
+// equal labels unordered) and allocates nothing per comparison.
+func TestLabelLessTotalOrder(t *testing.T) {
+	dst := flow.MakeAddr(10, 0, 0, 9)
+	labels := []flow.Label{
+		flow.PairLabel(flow.MakeAddr(240, 1, 2, 3), dst),
+		flow.PairLabel(flow.MakeAddr(240, 1, 2, 4), dst),
+		flow.PairLabel(flow.MakeAddr(240, 1, 2, 3), flow.MakeAddr(10, 0, 0, 8)),
+		flow.SrcPrefixLabel(flow.MakeAddr(240, 1, 2, 0), 24, dst),
+		flow.SrcPrefixLabel(flow.MakeAddr(240, 1, 2, 0), 28, dst),
+		flow.FromSource(dst),
+		flow.Exact(flow.MakeAddr(240, 1, 2, 3), dst, flow.ProtoUDP, 5000, 80),
+		flow.Exact(flow.MakeAddr(240, 1, 2, 3), dst, flow.ProtoTCP, 5000, 80),
+	}
+	for i, a := range labels {
+		for j, b := range labels {
+			lt, gt := labelLess(a, b), labelLess(b, a)
+			if lt && gt {
+				t.Fatalf("labels %d,%d ordered both ways", i, j)
+			}
+			if i == j && (lt || gt) {
+				t.Fatalf("label %d ordered against itself", i)
+			}
+			if i != j && a != b && !lt && !gt {
+				t.Fatalf("distinct labels %d,%d unordered", i, j)
+			}
+		}
+	}
+	a, b := labels[0], labels[3]
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = labelLess(a, b)
+		_ = labelLess(b, a)
+	}); allocs != 0 {
+		t.Fatalf("labelLess allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkSiblingGroups guards the table-pressure grouping path: it
+// runs exactly when the gateway is out of wire-speed filters, so its
+// cost (and especially its per-comparison allocations, formerly a
+// String() call per sort step) is on the attack-response latency path.
+func BenchmarkSiblingGroups(b *testing.B) {
+	dst := flow.MakeAddr(10, 0, 0, 9)
+	var entries []Entry
+	for i := 0; i < 256; i++ {
+		entries = append(entries, Entry{
+			// Same deadline everywhere: every comparison falls through
+			// to the label tie-break.
+			Label:     flow.PairLabel(flow.MakeAddr(240, 1, byte(i/32), byte(i%32)), dst),
+			ExpiresAt: time.Second,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := SiblingGroups(entries, 24, 2); len(got) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// TestTableAggregateRefreshConservesStats locks in the stats
+// conservation contract for *repeated* aggregation into an existing
+// aggregate — the refresh path: each round folds only the children
+// actually present (counted once in Aggregated, never in Removed),
+// installs no second aggregate entry, and keeps the occupancy identity
+//
+//	Installed + Aggregates − Removed − Aggregated − Expired − Evicted == Len
+//
+// exact, while the aggregate's deadline only ever ratchets upward.
+func TestTableAggregateRefreshConservesStats(t *testing.T) {
+	const capacity = 8
+	dst := flow.MakeAddr(10, 0, 0, 9)
+	tb := NewTable(capacity, RejectNew)
+	agg := flow.SrcPrefixLabel(flow.MakeAddr(240, 1, 2, 0), 24, dst)
+
+	conserved := func(when string) {
+		t.Helper()
+		st := tb.Stats()
+		live := int64(st.Installed) + int64(st.Aggregates) - int64(st.Removed) -
+			int64(st.Aggregated) - int64(st.Expired) - int64(st.Evicted)
+		if live != int64(tb.Len()) {
+			t.Fatalf("%s: stats arithmetic %d != occupancy %d (%+v)", when, live, tb.Len(), st)
+		}
+	}
+
+	// Round 0 installs the aggregate the normal way, with a deadline
+	// beyond the refresh rounds so it stays live throughout.
+	for i := 0; i < 4; i++ {
+		if err := tb.Install(aggChild(i, dst), 0, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Aggregate(agg, []flow.Label{
+		aggChild(0, dst), aggChild(1, dst), aggChild(2, dst), aggChild(3, dst),
+	}, 0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	conserved("round 0")
+
+	// Rounds 1..5 repeatedly aggregate fresh children into the already
+	// installed aggregate.
+	var wantAggregated uint64 = 4
+	var lastDeadline Time
+	for round := 1; round <= 5; round++ {
+		now := Time(round) * time.Second
+		a, b := aggChild(10+2*round, dst), aggChild(11+2*round, dst)
+		childExp := now + Time(round)*time.Second
+		if err := tb.Install(a, now, childExp); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Install(b, now, childExp); err != nil {
+			t.Fatal(err)
+		}
+		// The children list includes the aggregate's own key (must be
+		// skipped, not folded into itself) and an absent label (must be
+		// skipped without counting).
+		children := []flow.Label{agg, a, b, aggChild(200+round, dst)}
+		if err := tb.Aggregate(agg, children, now, now); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		wantAggregated += 2
+		st := tb.Stats()
+		if st.Aggregates != 1 {
+			t.Fatalf("round %d: refresh installed a second aggregate: %+v", round, st)
+		}
+		if st.Aggregated != wantAggregated {
+			t.Fatalf("round %d: Aggregated %d, want %d (absent/self children must not count)",
+				round, st.Aggregated, wantAggregated)
+		}
+		if st.Removed != 0 {
+			t.Fatalf("round %d: children leaked into Removed: %+v", round, st)
+		}
+		if tb.Len() != 1 {
+			t.Fatalf("round %d: occupancy %d, want 1", round, tb.Len())
+		}
+		conserved("refresh round")
+		e, ok := tb.Lookup(agg, now)
+		if !ok {
+			t.Fatalf("round %d: aggregate missing", round)
+		}
+		if e.ExpiresAt < childExp || e.ExpiresAt < lastDeadline {
+			t.Fatalf("round %d: deadline %v regressed (child %v, last %v)",
+				round, e.ExpiresAt, childExp, lastDeadline)
+		}
+		lastDeadline = e.ExpiresAt
+	}
+
+	// A refresh with no present children is a pure deadline extension:
+	// no counter moves.
+	before := tb.Stats()
+	if err := tb.Aggregate(agg, nil, 10*time.Second, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if after := tb.Stats(); after != before {
+		t.Fatalf("child-free refresh moved stats: %+v -> %+v", before, after)
+	}
+	if e, _ := tb.Lookup(agg, 10*time.Second); e.ExpiresAt != 2*time.Minute {
+		t.Fatalf("child-free refresh did not extend deadline: %+v", e)
+	}
+	conserved("child-free refresh")
 }

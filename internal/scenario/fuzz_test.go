@@ -32,6 +32,7 @@ func fuzzSpec(seed int64, ases, army, flags uint8) Spec {
 		BatchDelivery:    flags&32 != 0,
 		Shards:           1 + int(flags%4),
 		Detector:         int(ases>>6) % 3,
+		CollateralAlloc:  ases&8 != 0,
 	}
 	if flags&64 != 0 {
 		s.Overload = true
@@ -61,6 +62,10 @@ func FuzzScenario(f *testing.F) {
 	// detection defending legacy victims (ases bit 7).
 	f.Add(int64(31), uint8(0b0100_0110), uint8(0b0110_0110), uint8(0))
 	f.Add(int64(37), uint8(0b1000_0101), uint8(0b0001_0111), uint8(0b1010_0001))
+	// Collateral-aware allocation (ases bit 3), with and without the
+	// exhauster pressure (flags bit 7) that makes it engage.
+	f.Add(int64(51), uint8(0b0000_1110), uint8(0b0001_0110), uint8(0b1000_0000))
+	f.Add(int64(59), uint8(0b0100_1101), uint8(0b0110_0011), uint8(0b1010_0001))
 	f.Fuzz(func(t *testing.T, seed int64, ases, army, flags uint8) {
 		spec := fuzzSpec(seed, ases, army, flags)
 		res := Run(spec)

@@ -40,6 +40,11 @@ func (w *world) check() *Result {
 	r.Disconnects = w.dep.Log.Count(aitf.EvDisconnected)
 	r.Escalations = w.dep.Log.Count(aitf.EvEscalated)
 	r.Aggregations = w.dep.Log.Count(aitf.EvAggregated)
+	for _, g := range w.dep.Gateways {
+		st := g.Stats()
+		r.Collateral += st.AggregateCollateral
+		r.CollateralBytes += st.AggregateCollateralBytes
+	}
 
 	w.checkLegitNeverFiltered(r)
 	w.checkBudgets(r)
@@ -219,6 +224,29 @@ func (w *world) checkBudgets(r *Result) {
 		if ss.PeakSize > cfg.ShadowCapacity {
 			w.violate(r, "budget", name,
 				"shadow peak %d exceeds cache capacity %d", ss.PeakSize, cfg.ShadowCapacity)
+		}
+	}
+	// Collateral budget: aggregation trades table slots for collateral
+	// coverage, but never coarser than the configured policy allows. No
+	// installed aggregate may be shallower than the shallowest rung
+	// (/24 here, fixed or allocator), so the covered-address collateral
+	// a gateway accrues is bounded by its aggregation count times one
+	// full /24 — coarser picks would blanket address space the policy
+	// never authorised.
+	const maxCoverPerAgg = uint64(1) << (32 - aggShallowest)
+	for _, e := range w.dep.Log.OfKind(aitf.EvAggregated) {
+		if e.Flow.SrcPrefixLen != 0 && e.Flow.SrcPrefixLen < aggShallowest {
+			w.violate(r, "budget", e.Node,
+				"aggregate %s coarser than the /%d policy floor", e.Flow, aggShallowest)
+		}
+	}
+	for id, g := range w.dep.Gateways {
+		st := g.Stats()
+		if st.AggregateCollateral > st.Aggregations*maxCoverPerAgg {
+			w.violate(r, "budget", w.topo.Nodes[id].Name,
+				"covered-address collateral %d exceeds %d aggregations × /%d budget (%d)",
+				st.AggregateCollateral, st.Aggregations, aggShallowest,
+				st.Aggregations*maxCoverPerAgg)
 		}
 	}
 	// Client-side budget (§IV-D): active stop orders are bounded by

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"aitf"
+	"aitf/internal/alloc"
 	"aitf/internal/attack"
 	"aitf/internal/contract"
 	"aitf/internal/core"
@@ -57,6 +58,12 @@ const (
 
 	detectThreshold = 30_000 // bytes/s flagged by the victim's detector
 	detectWindow    = 250 * time.Millisecond
+
+	// aggShallowest is the coarsest source prefix any scenario gateway
+	// may install under table pressure — the fixed fallback length, and
+	// the shallowest rung of the collateral-aware allocator's ladder.
+	// Invariant 2's collateral budget is derived from it.
+	aggShallowest = 24
 
 	// attackWindowStart is when the first attacker may begin.
 	attackWindowStart = 1 * time.Second
@@ -123,6 +130,13 @@ type Spec struct {
 	// bandwidth-bound and liveness checks are skipped (congestion
 	// losses are not protocol failures), the others still apply.
 	Overload bool `json:"overload"`
+	// CollateralAlloc replaces the fixed /24 aggregation fallback with
+	// the collateral-aware allocator (internal/alloc): under table
+	// pressure the gateway prices candidate prefixes at /28–/24 by
+	// estimated collateral and picks the cheapest cover. All invariants
+	// — including the invariant-2 collateral budget — must hold either
+	// way.
+	CollateralAlloc bool `json:"collateral_alloc"`
 }
 
 // GenSpec derives a scenario shape from a seed. Sizes are tuned so a
@@ -161,6 +175,8 @@ func GenSpec(seed int64) Spec {
 		s.Overload = true
 		s.AttackRate *= 6
 	}
+	// Drawn last so older seeds keep their exact shapes otherwise.
+	s.CollateralAlloc = rng.Float64() < 0.35
 	return s
 }
 
@@ -292,6 +308,12 @@ type Result struct {
 	Disconnects      int    `json:"disconnects"`
 	Escalations      int    `json:"escalations"`
 	Aggregations     int    `json:"aggregations"`
+	// Collateral sums the gateways' covered-address aggregation
+	// collateral; CollateralBytes their estimated legit-byte collateral
+	// (internal/alloc pricing). Both are what the invariant-2 budget
+	// bounds and what the fixed-vs-allocator comparison contrasts.
+	Collateral      uint64 `json:"collateral"`
+	CollateralBytes uint64 `json:"collateral_bytes"`
 
 	// Detection accuracy accounting (invariant 5). Detections counts
 	// attack-detected events; FalsePositives counts those naming a
@@ -589,8 +611,13 @@ func build(s Spec) *world {
 	// Aggregation is always armed: it only engages under filter-table
 	// pressure (which the exhauster army reliably creates), and the
 	// invariants below must hold with aggregated prefix filters exactly
-	// as they do with precise ones.
-	opt.AggregationPrefixLen = 24
+	// as they do with precise ones. CollateralAlloc swaps the fixed /24
+	// trigger for the collateral-aware allocator on the same shallowest
+	// rung, so the invariant-2 budget bound applies identically.
+	opt.AggregationPrefixLen = aggShallowest
+	if s.CollateralAlloc {
+		opt.Allocation = &alloc.Policy{PrefixLens: []uint8{28, 26, aggShallowest}}
+	}
 	w.dep = aitf.DeployTopology(opt, spec)
 
 	// ── Workloads ────────────────────────────────────────────────────

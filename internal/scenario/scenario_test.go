@@ -84,6 +84,73 @@ func TestScenarioExhausterForcesAggregation(t *testing.T) {
 	}
 }
 
+// TestScenarioAllocatorReducesCollateral is the same-seed
+// fixed-vs-allocator contrast at scenario scale: each exhauster
+// scenario runs twice, once with the fixed /24 fallback and once with
+// the collateral-aware allocator, on an otherwise identical spec. Both
+// must satisfy every invariant; across the seeds where both engaged
+// aggregation, the allocator must accrue strictly less covered-address
+// collateral in total, because it covers the spoofed sibling bursts
+// with /28–/26 picks instead of blanket /24s.
+func TestScenarioAllocatorReducesCollateral(t *testing.T) {
+	var fixedColl, allocColl uint64
+	both := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		s := GenSpec(seed)
+		s.Exhausters = 1
+		s.AttackDur = 5 * time.Second
+		s.CollateralAlloc = false
+		rf := Run(s)
+		if rf.Failed() {
+			t.Fatalf("seed %d fixed: invariants violated:\n%s", seed, rf.Report())
+		}
+		s.CollateralAlloc = true
+		ra := Run(s)
+		if ra.Failed() {
+			t.Fatalf("seed %d allocator: invariants violated:\n%s", seed, ra.Report())
+		}
+		if rf.Aggregations > 0 && ra.Aggregations > 0 {
+			both++
+			fixedColl += rf.Collateral
+			allocColl += ra.Collateral
+		}
+	}
+	if both < 4 {
+		t.Fatalf("both policies aggregated in only %d/12 exhauster scenarios", both)
+	}
+	if allocColl >= fixedColl {
+		t.Fatalf("allocator covered-address collateral %d not below fixed %d across %d seeds",
+			allocColl, fixedColl, both)
+	}
+}
+
+// TestScenarioAggregateReliefSplits: the full aggregate → relief →
+// split-back cycle occurs under the scenario generator too, not only in
+// hand-built deployments — the drain window outlives the exhauster
+// burst, so pressured gateways must demonstrably deaggregate (and the
+// invariants, including the final filter-table sweep of invariant 1,
+// hold through the cycle).
+func TestScenarioAggregateReliefSplits(t *testing.T) {
+	splits := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		s := GenSpec(seed)
+		s.Exhausters = 1
+		s.AttackDur = 5 * time.Second
+		w := build(s.normalized())
+		w.dep.Run(w.runEnd)
+		res := w.check()
+		if res.Failed() {
+			t.Fatalf("seed %d: invariants violated:\n%s", seed, res.Report())
+		}
+		if res.Aggregations > 0 && w.dep.Log.Count(aitf.EvDeaggregated) > 0 {
+			splits++
+		}
+	}
+	if splits < 3 {
+		t.Fatalf("aggregate→relief→split cycle completed in only %d/12 exhauster scenarios", splits)
+	}
+}
+
 // TestScenarioExercisesAdversaries: across the property seeds, every
 // adversary class and resolution path actually occurs somewhere —
 // guarding against a generator that silently stops producing attacks.

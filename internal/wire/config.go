@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"aitf/internal/alloc"
 	"aitf/internal/contract"
 	"aitf/internal/detect"
 	"aitf/internal/flow"
@@ -59,6 +60,16 @@ type GatewayFileConfig struct {
 	// covering source-/N prefix filter under table pressure; valid
 	// values are 0 (disabled) or 1..31.
 	AggregationPrefixLen int `json:"aggregation_prefix_len"`
+	// CollateralAlloc replaces the fixed aggregation_prefix_len trigger
+	// with the collateral-aware allocator (internal/alloc): under table
+	// pressure, candidate prefixes at several lengths are priced in
+	// estimated collateral legit bytes (using the gateway's detection
+	// sketch when armed) and the cheapest cover is installed.
+	CollateralAlloc bool `json:"collateral_alloc"`
+	// AllocPrefixLens optionally names the allocator's candidate source
+	// prefix lengths (each 1..31); empty uses the built-in /28…/16
+	// ladder. Only meaningful with collateral_alloc.
+	AllocPrefixLens []int `json:"alloc_prefix_lens"`
 	// DetectBps arms gateway-side sketch detection: traffic toward the
 	// DetectFor clients above this rate (bytes/second) is flagged and
 	// filtered on their behalf. 0 disables gateway-side detection.
@@ -133,6 +144,14 @@ func (g *GatewayFileConfig) validate() error {
 	}
 	if g.AggregationPrefixLen < 0 || g.AggregationPrefixLen > 31 {
 		return fmt.Errorf("%w: aggregation_prefix_len %d outside 0..31", ErrBadConfig, g.AggregationPrefixLen)
+	}
+	if len(g.AllocPrefixLens) > 0 && !g.CollateralAlloc {
+		return fmt.Errorf("%w: alloc_prefix_lens set without collateral_alloc", ErrBadConfig)
+	}
+	for _, l := range g.AllocPrefixLens {
+		if l < 1 || l > 31 {
+			return fmt.Errorf("%w: alloc_prefix_lens entry %d outside 1..31", ErrBadConfig, l)
+		}
 	}
 	if g.TMs < 0 || g.TtmpMs < 0 {
 		return fmt.Errorf("%w: negative timer (t_ms %d, ttmp_ms %d)", ErrBadConfig, g.TMs, g.TtmpMs)
@@ -239,6 +258,13 @@ func (c *FileConfig) GatewayConfig(trace *obs.Trace) (GatewayConfig, error) {
 		DataplaneShards:      c.Gateway.Shards,
 		Workers:              c.Gateway.Workers,
 		AggregationPrefixLen: c.Gateway.AggregationPrefixLen,
+	}
+	if c.Gateway.CollateralAlloc {
+		pol := &alloc.Policy{}
+		for _, l := range c.Gateway.AllocPrefixLens {
+			pol.PrefixLens = append(pol.PrefixLens, uint8(l))
+		}
+		cfg.Allocation = pol
 	}
 	if c.Gateway.DetectBps > 0 {
 		cfg.Detect = detect.Config{

@@ -71,6 +71,39 @@ func TestParseGatewayConfig(t *testing.T) {
 	if agcfg.AggregationPrefixLen != 24 {
 		t.Fatalf("aggregation_prefix_len not propagated: %+v", agcfg.AggregationPrefixLen)
 	}
+	if agcfg.Allocation != nil {
+		t.Fatal("fixed-policy config grew an allocation policy")
+	}
+	// The collateral-aware allocator knobs round-trip too: bare
+	// collateral_alloc yields the default ladder, alloc_prefix_lens
+	// names an explicit one.
+	withAlloc, err := ParseFileConfig([]byte(
+		`{"role":"gateway","addr":"1.1.1.1","gateway":{"collateral_alloc":true,"alloc_prefix_lens":[28,26,24]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alcfg, err := withAlloc.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alcfg.Allocation == nil {
+		t.Fatal("collateral_alloc did not materialise an allocation policy")
+	}
+	if lens := alcfg.Allocation.Lens(); len(lens) != 3 || lens[0] != 28 || lens[2] != 24 {
+		t.Fatalf("alloc_prefix_lens not propagated: %v", lens)
+	}
+	bareAlloc, err := ParseFileConfig([]byte(
+		`{"role":"gateway","addr":"1.1.1.1","gateway":{"collateral_alloc":true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bacfg, err := bareAlloc.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bacfg.Allocation == nil || len(bacfg.Allocation.Lens()) == 0 {
+		t.Fatalf("bare collateral_alloc should enable the default ladder, got %+v", bacfg.Allocation)
+	}
 	// And the config actually boots a gateway.
 	g, err := NewGateway(gcfg)
 	if err != nil {
@@ -146,6 +179,9 @@ func TestParseConfigErrors(t *testing.T) {
 		"negative detect":  `{"role":"host","addr":"1.1.1.1","host":{"gateway":"1.1.1.2","detect_bps":-1}}`,
 		"negative aggpfx":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"aggregation_prefix_len":-1}}`,
 		"aggpfx too long":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"aggregation_prefix_len":32}}`,
+		"lens no alloc":    `{"role":"gateway","addr":"1.1.1.1","gateway":{"alloc_prefix_lens":[28]}}`,
+		"alloc len zero":   `{"role":"gateway","addr":"1.1.1.1","gateway":{"collateral_alloc":true,"alloc_prefix_lens":[0]}}`,
+		"alloc len 32":     `{"role":"gateway","addr":"1.1.1.1","gateway":{"collateral_alloc":true,"alloc_prefix_lens":[28,32]}}`,
 		"gw detect no for": `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":1000}}`,
 		"gw detect neg":    `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":-2,"detect_for":["1.1.1.2"]}}`,
 		"gw detect badfor": `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":1000,"detect_for":["zzz"]}}`,

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aitf/internal/alloc"
 	"aitf/internal/contract"
 	"aitf/internal/dataplane"
 	"aitf/internal/detect"
@@ -73,6 +74,13 @@ type GatewayConfig struct {
 	// are coalesced into one covering prefix filter and the install is
 	// retried. 0 disables aggregation.
 	AggregationPrefixLen int
+	// Allocation, when non-nil, replaces the fixed AggregationPrefixLen
+	// trigger with the collateral-aware allocator (internal/alloc):
+	// candidate prefixes at the policy's lengths are priced in
+	// estimated collateral legit bytes — using the gateway's detection
+	// sketch as the traffic view when armed — and the cheapest cover is
+	// installed.
+	Allocation *alloc.Policy
 	// Detect configures the gateway-side sketch detection engine
 	// (internal/detect); armed only when ThresholdBps > 0 and
 	// DetectFor is non-empty.
@@ -114,6 +122,10 @@ type Gateway struct {
 	HandshakesOK, HandshakesFailed      uint64
 	StopOrders                          uint64
 	Aggregations                        uint64
+	// CollateralBytes accumulates the allocator's estimated collateral
+	// legit bytes per installed aggregate (0 under the fixed policy,
+	// which does not price candidates); mutated under mu.
+	CollateralBytes uint64
 	// Detections counts gateway-side sketch detections (attacks
 	// flagged on behalf of protected legacy clients); mutated under mu.
 	Detections uint64
@@ -469,11 +481,42 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 
 // installWithAggregation is the victim-side install path with the §IV
 // fallback: on ErrTableFull (and with aggregation enabled), coalesce
-// the largest sibling group into a covering prefix filter and retry
-// once. Called under mu.
+// sibling filters into covering prefix filters and retry once. With a
+// fixed policy the largest sibling group at the configured length is
+// taken; with the collateral-aware allocator, candidates at every
+// policy length are priced in estimated collateral legit bytes (via
+// the detection sketch when armed) and the cheapest cover freeing a
+// slot is installed. Called under mu.
 func (g *Gateway) installWithAggregation(label flow.Label, now, exp sim.Time) error {
 	err := g.dp.Install(label, now, exp)
-	if err == nil || !errors.Is(err, filter.ErrTableFull) || g.cfg.AggregationPrefixLen <= 0 {
+	if err == nil || !errors.Is(err, filter.ErrTableFull) {
+		return err
+	}
+	if g.cfg.Allocation != nil {
+		cfg := alloc.Config{Policy: *g.cfg.Allocation}
+		if g.det != nil {
+			cfg.Traffic = alloc.DetectTraffic{Eng: g.det}
+			cfg.WindowSeconds = g.det.Config().Window.Seconds()
+		}
+		freed := false
+		for _, pick := range alloc.Choose(g.dp.FilterEntries(), 1, cfg).Picks {
+			replaced, aerr := g.dp.Aggregate(pick.Aggregate, pick.ChildLabels(), now, pick.MaxExpiry)
+			if aerr != nil || replaced < 2 {
+				continue
+			}
+			freed = true
+			g.Aggregations++
+			g.CollateralBytes += uint64(pick.LegitBytes)
+			g.event("aggregated", pick.Aggregate,
+				fmt.Sprintf("table full: coalesced %d siblings, covers %d sources, est %dB/window collateral",
+					replaced, pick.CoveredAddrs(), uint64(pick.LegitBytes)))
+		}
+		if !freed {
+			return err
+		}
+		return g.dp.Install(label, now, exp)
+	}
+	if g.cfg.AggregationPrefixLen <= 0 {
 		return err
 	}
 	groups := filter.SiblingGroups(g.dp.FilterEntries(), uint8(g.cfg.AggregationPrefixLen), 2)

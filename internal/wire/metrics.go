@@ -14,6 +14,7 @@ type GatewayStats struct {
 	HandshakesOK, HandshakesFailed      uint64
 	StopOrders                          uint64
 	Aggregations                        uint64
+	CollateralBytes                     uint64
 	Detections                          uint64
 	FilterDrops, ShadowHits             uint64
 }
@@ -31,6 +32,7 @@ func (g *Gateway) Stats() GatewayStats {
 		HandshakesFailed: g.HandshakesFailed,
 		StopOrders:       g.StopOrders,
 		Aggregations:     g.Aggregations,
+		CollateralBytes:  g.CollateralBytes,
 		Detections:       g.Detections,
 		FilterDrops:      atomic.LoadUint64(&g.FilterDrops),
 		ShadowHits:       atomic.LoadUint64(&g.ShadowHits),
@@ -65,6 +67,9 @@ func (g *Gateway) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("aitf_gateway_aggregations_total",
 		"Sibling-filter groups coalesced under table pressure.",
 		func() uint64 { return g.Stats().Aggregations })
+	r.CounterFunc("aitf_gateway_aggregate_collateral_bytes_total",
+		"Estimated collateral legit bytes priced into installed aggregates.",
+		func() uint64 { return g.Stats().CollateralBytes })
 	r.CounterFunc("aitf_gateway_detections_total",
 		"Attacks detected on behalf of protected legacy clients.",
 		func() uint64 { return g.Stats().Detections })

@@ -486,3 +486,62 @@ func TestLiveGatewayDetectionOverUDP(t *testing.T) {
 		t.Fatalf("legacy victim sent %d requests itself", requests)
 	}
 }
+
+// TestInstallWithAggregationAllocator drives the wire gateway's
+// table-full install path with the collateral-aware allocator: three
+// /28 siblings fill a three-slot table, a fourth unrelated install
+// triggers the allocator, and the siblings must be coalesced under a
+// /28 cover (the deepest, least-collateral rung) — not the /24 the
+// fixed policy would have taken — freeing the slot for the new filter.
+func TestInstallWithAggregationAllocator(t *testing.T) {
+	fc, err := ParseFileConfig([]byte(`{
+		"role":"gateway","addr":"10.0.0.1","listen":"127.0.0.1:0",
+		"gateway":{"filter_capacity":3,"collateral_alloc":true,"alloc_prefix_lens":[28,24]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg, err := fc.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	now := wallNow()
+	exp := now + 10*time.Second
+	victim := flow.MakeAddr(9, 0, 0, 2)
+	for i := byte(1); i <= 3; i++ {
+		if err := g.dp.Install(flow.PairLabel(flow.MakeAddr(20, 0, 0, i), victim), now, exp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := flow.PairLabel(flow.MakeAddr(30, 0, 0, 1), victim)
+	g.mu.Lock()
+	err = g.installWithAggregation(fresh, now, exp)
+	g.mu.Unlock()
+	if err != nil {
+		t.Fatalf("allocator did not free a slot: %v", err)
+	}
+	st := g.Stats()
+	if st.Aggregations != 1 {
+		t.Fatalf("Aggregations = %d, want 1", st.Aggregations)
+	}
+	var agg28 bool
+	for _, fe := range g.dp.FilterEntries() {
+		if fe.Label.SrcPrefixLen == 24 {
+			t.Fatalf("allocator fell back to a /24 cover: %v", fe.Label)
+		}
+		if fe.Label.SrcPrefixLen == 28 {
+			agg28 = true
+		}
+	}
+	if !agg28 {
+		t.Fatal("no /28 aggregate installed over the siblings")
+	}
+	if _, ok := g.dp.Table().Lookup(fresh, now); !ok {
+		t.Fatal("triggering filter not installed after aggregation")
+	}
+}
