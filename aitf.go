@@ -74,6 +74,12 @@ type (
 	// AllocationPolicy configures the collateral-aware filter
 	// allocator (internal/alloc) on gateways.
 	AllocationPolicy = alloc.Policy
+	// ControlConfig tunes the reliable control-plane messenger
+	// (bounded retransmission with backoff) on gateways.
+	ControlConfig = core.ControlConfig
+	// GatewaySnapshot is a gateway's serialized durable state, the
+	// crash/restore currency of CrashGateway/RestoreGateway.
+	GatewaySnapshot = core.GatewaySnapshot
 )
 
 // Shadow-mode values (see core.ShadowMode).
@@ -107,6 +113,10 @@ const (
 	EvLongBlock           = core.EvLongBlock
 	EvAggregated          = core.EvAggregated
 	EvDeaggregated        = core.EvDeaggregated
+	EvCtrlRetransmit      = core.EvCtrlRetransmit
+	EvCtrlDupDrop         = core.EvCtrlDupDrop
+	EvGatewayCrashed      = core.EvGatewayCrashed
+	EvGatewayRestored     = core.EvGatewayRestored
 )
 
 // MakeAddr assembles an address from four octets.

@@ -22,6 +22,13 @@
 // the same JSON snapshot format the aitfd admin endpoint serves at
 // /metrics.json, so CI and dashboards consume one schema for both live
 // nodes and offline sweeps. "-" writes to stdout.
+//
+// The fault knobs (-ctrl-loss, -flaps, -crash, -retransmit) force a
+// hostile network onto every scenario in the run, replacing whatever
+// fault mix the seed drew:
+//
+//	aitf-scenario -seed 1 -n 50 -ctrl-loss 10 -retransmit
+//	aitf-scenario -seed 7 -crash -flaps 2
 package main
 
 import (
@@ -43,18 +50,40 @@ func main() {
 	out := flag.String("o", "", "write each failing spec as JSON here (sweeps splice the seed into the name)")
 	metricsJSON := flag.String("metrics-json", "", "write aggregate sweep counters as a JSON metrics snapshot here (\"-\" for stdout)")
 	quiet := flag.Bool("q", false, "only print failures")
+	ctrlLoss := flag.Float64("ctrl-loss", 0, "force this percent control-plane loss on backbone links (0-20)")
+	flaps := flag.Int("flaps", 0, "force this many victim-uplink down/up flaps mid-attack")
+	crash := flag.Bool("crash", false, "force a victim-gateway crash/restore mid-attack")
+	retransmit := flag.Bool("retransmit", false, "arm reliable control-plane retransmission on every gateway")
 	flag.Parse()
 
-	if err := run(*seed, *n, *replay, *minimize, *out, *metricsJSON, *quiet); err != nil {
+	var faults *scenario.FaultSpec
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "ctrl-loss", "flaps", "crash", "retransmit":
+			faults = &scenario.FaultSpec{
+				CtrlLossPct: *ctrlLoss, Flaps: *flaps,
+				CrashVictimGW: *crash, Retransmit: *retransmit,
+			}
+		}
+	})
+
+	if err := run(*seed, *n, *replay, *minimize, *out, *metricsJSON, *quiet, faults); err != nil {
 		fmt.Fprintf(os.Stderr, "aitf-scenario: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, n int, replay string, minimize bool, out, metricsJSON string, quiet bool) error {
+func run(seed int64, n int, replay string, minimize bool, out, metricsJSON string, quiet bool, faults *scenario.FaultSpec) error {
 	specs, err := collectSpecs(seed, n, replay)
 	if err != nil {
 		return err
+	}
+	if faults != nil {
+		// Explicit fault knobs replace the seed-drawn fault mix on every
+		// spec in the run; Run's own normalization clamps the values.
+		for i := range specs {
+			specs[i].Faults = *faults
+		}
 	}
 
 	failures := 0

@@ -78,7 +78,7 @@ func TestSpecPathPerSeed(t *testing.T) {
 // to construct by seed (that is the point of the harness), so only the
 // passing path is exercised end to end here.
 func TestRunReportsFailure(t *testing.T) {
-	if err := run(1, 2, "", false, "", "", true); err != nil {
+	if err := run(1, 2, "", false, "", "", true, nil); err != nil {
 		t.Fatalf("passing sweep reported error: %v", err)
 	}
 }
@@ -87,7 +87,7 @@ func TestRunReportsFailure(t *testing.T) {
 // /metrics.json snapshot shape with the sweep's aggregate counters.
 func TestRunWritesMetricsJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	if err := run(1, 2, "", false, "", path, true); err != nil {
+	if err := run(1, 2, "", false, "", path, true, nil); err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
 	raw, err := os.ReadFile(path)
@@ -112,5 +112,15 @@ func TestRunWritesMetricsJSON(t *testing.T) {
 	}
 	if v, ok := byName["aitf_scenario_events_total"]; !ok || v == nil || *v == 0 {
 		t.Fatalf("aitf_scenario_events_total missing or zero (snapshot: %s)", raw)
+	}
+}
+
+// TestRunFaultOverride: the fault knobs replace the seed-drawn fault
+// mix on every spec in the run, and the forced hostile network still
+// holds every invariant.
+func TestRunFaultOverride(t *testing.T) {
+	faults := &scenario.FaultSpec{CtrlLossPct: 5, Retransmit: true, CrashVictimGW: true}
+	if err := run(1, 3, "", false, "", "", true, faults); err != nil {
+		t.Fatalf("forced-fault sweep failed: %v", err)
 	}
 }

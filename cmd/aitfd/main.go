@@ -64,6 +64,19 @@
 // 503, the UDP socket stops accepting, and a final structured snapshot
 // of the counters is logged before exit.
 //
+// # Crash/restart survival
+//
+// With "snapshot_path" set in the gateway object, the drain also
+// writes the gateway's durable state — filter table, shadow cache,
+// in-flight handshakes, counters — to that file, and the next boot
+// restores it with every original deadline honored (downtime is
+// charged against each entry's remaining lifetime), so a daemon
+// restart mid-attack keeps filtering. "ctrl_max_attempts",
+// "ctrl_rto_ms", and "ctrl_jitter" arm bounded control-plane
+// retransmission with exponential backoff; receivers drop duplicate
+// deliveries by transaction id, so retries never double-install a
+// filter or double-count a handshake.
+//
 // See internal/wire.FileConfig for the full schema.
 package main
 
@@ -164,6 +177,17 @@ func start(cfgPath string, logger *slog.Logger) (*daemon, error) {
 		g, err := wire.NewGateway(gcfg)
 		if err != nil {
 			return nil, err
+		}
+		// Restore-on-boot: with snapshot_path configured, a previous
+		// drain's filters/shadows/pendings come back with their original
+		// deadlines before the socket starts accepting.
+		if snap, rerr := g.RestoreFromDisk(); rerr != nil {
+			logger.Warn("snapshot restore failed, starting fresh", "node", cfg.Name, "err", rerr)
+		} else if snap != nil {
+			st := g.Stats()
+			logger.Info("state restored from drain snapshot", "node", cfg.Name,
+				"filters", st.FiltersRestored, "shadows", st.ShadowsRestored,
+				"pendings", len(snap.Pendings))
 		}
 		g.RegisterMetrics(d.registry)
 		g.Run()

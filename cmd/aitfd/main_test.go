@@ -300,3 +300,45 @@ func TestHostFinalSnapshot(t *testing.T) {
 		t.Fatalf("host /metrics status = %d", code)
 	}
 }
+
+// TestDaemonRestartRestoresFilters drives the full snapshot-on-drain /
+// restore-on-boot path through the daemon: a gateway with a
+// snapshot_path is stopped mid-lifetime and booted again from the same
+// config, and its filters come back with their deadlines intact.
+func TestDaemonRestartRestoresFilters(t *testing.T) {
+	dir := t.TempDir()
+	cfgBody := fmt.Sprintf(`{
+	  "role": "gateway", "addr": "10.0.0.1", "name": "g",
+	  "listen": "127.0.0.1:0", "book": {}, "routes": {},
+	  "gateway": {"secret": "s", "snapshot_path": %q,
+	              "ctrl_max_attempts": 3, "ctrl_rto_ms": 50}
+	}`, filepath.Join(dir, "gw.snapshot.json"))
+	path := writeCfg(t, "gw.json", cfgBody)
+
+	d, err := start(path, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := flow.PairLabel(flow.MakeAddr(20, 0, 0, 1), flow.MakeAddr(10, 0, 0, 2))
+	dp := d.gw.DataPlane()
+	if err := dp.Install(label, dp.Now(), dp.Now()+5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.beginDrain()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := start(path, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	st := d2.gw.Stats()
+	if st.SnapshotRestores != 1 || st.FiltersRestored != 1 {
+		t.Fatalf("restart restored nothing: %+v", st)
+	}
+	if _, ok := d2.gw.Filters().Lookup(label, d2.gw.DataPlane().Now()); !ok {
+		t.Fatal("filter missing after daemon restart")
+	}
+}

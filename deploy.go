@@ -69,6 +69,11 @@ type Options struct {
 	// in estimated collateral legit bytes, chosen by greedy weighted
 	// set-cover and refined each review tick.
 	Allocation *alloc.Policy
+	// Control configures the reliable control-plane messenger at every
+	// gateway: bounded retransmission with exponential backoff around
+	// protocol sends. The zero value keeps single-shot sends (the
+	// historical behaviour, and the right choice on loss-free links).
+	Control core.ControlConfig
 	// GatewayDetect is the sketch-detection template for gateways that
 	// defend legacy clients (GatewaySpec.DetectFor): the gateway runs
 	// an internal/detect engine on its own data path and files
@@ -125,6 +130,7 @@ func (o Options) gatewayConfig() core.GatewayConfig {
 	cfg.Default = o.PeerContract
 	cfg.AggregationPrefixLen = o.AggregationPrefixLen
 	cfg.Allocation = o.Allocation
+	cfg.Control = o.Control
 	return cfg
 }
 
@@ -181,6 +187,52 @@ func (d *Deployment) addGateway(id topology.NodeID, cfg core.GatewayConfig) *Gat
 	g.Attach(d.Net.Node(id), d.tracer())
 	if d.opt.BatchDelivery {
 		d.Net.Node(id).SetBatchDelivery(true)
+	}
+	d.Gateways[id] = g
+	return g
+}
+
+// CrashGateway models a gateway process crash on node id: the
+// protocol control plane halts (timers cancelled, retransmission
+// ladders stopped), the netsim node drops its queues and detaches its
+// handler, and everything arriving until RestoreGateway is dropped.
+// It returns a snapshot of the durable state taken just before the
+// crash — pass it to RestoreGateway to model stable storage, or
+// discard it to model total state loss.
+func (d *Deployment) CrashGateway(id topology.NodeID) *core.GatewaySnapshot {
+	g := d.Gateways[id]
+	if g == nil {
+		return nil
+	}
+	snap := g.Snapshot()
+	g.Halt()
+	d.Net.Node(id).Crash()
+	if d.Log != nil {
+		d.Log.Record(Event{T: d.Engine.Now(), Node: d.Net.Node(id).Name(),
+			Kind: core.EvGatewayCrashed, Detail: "gateway crashed"})
+	}
+	return snap
+}
+
+// RestoreGateway restarts the gateway on node id after CrashGateway: a
+// fresh core.Gateway (same config) attaches to the restarted node and,
+// when snap is non-nil, re-adopts the snapshotted filters, shadows,
+// and pendings with their original absolute deadlines. The new gateway
+// replaces the old one in d.Gateways.
+func (d *Deployment) RestoreGateway(id topology.NodeID, snap *core.GatewaySnapshot) *Gateway {
+	old := d.Gateways[id]
+	if old == nil {
+		return nil
+	}
+	n := d.Net.Node(id)
+	n.Restart()
+	g := core.NewGateway(old.Config())
+	g.Attach(n, d.tracer())
+	if d.opt.BatchDelivery {
+		n.SetBatchDelivery(true)
+	}
+	if snap != nil {
+		g.Restore(snap)
 	}
 	d.Gateways[id] = g
 	return g

@@ -45,6 +45,12 @@ const (
 	EvLongBlock
 	EvAggregated
 	EvDeaggregated
+	// Fault-tolerance events: the reliable control messenger and
+	// gateway crash/restore.
+	EvCtrlRetransmit
+	EvCtrlDupDrop
+	EvGatewayCrashed
+	EvGatewayRestored
 )
 
 var eventNames = map[EventKind]string{
@@ -70,6 +76,10 @@ var eventNames = map[EventKind]string{
 	EvLongBlock:           "long-block",
 	EvAggregated:          "aggregated",
 	EvDeaggregated:        "deaggregated",
+	EvCtrlRetransmit:      "ctrl-retransmit",
+	EvCtrlDupDrop:         "ctrl-dup-drop",
+	EvGatewayCrashed:      "gateway-crashed",
+	EvGatewayRestored:     "gateway-restored",
 }
 
 func (k EventKind) String() string {

@@ -126,6 +126,12 @@ type GatewayConfig struct {
 	// gateway with the route-record evidence it observed, handshake
 	// answered from its own watch state.
 	Detection *GatewayDetection
+	// Control configures the reliable control-plane messenger: bounded
+	// retransmission with exponential backoff wrapped around this
+	// gateway's protocol sends (filtering requests, handshake legs,
+	// stop orders, escalations). The zero value disables retransmission
+	// — every send is single-shot, the pre-messenger behaviour.
+	Control ControlConfig
 }
 
 // GatewayDetection configures gateway-side detection on behalf of
@@ -203,6 +209,11 @@ type GatewayStats struct {
 	// AggregateRefinements counts review-tick re-allocations that
 	// replaced a live aggregate with deeper, cheaper prefixes.
 	AggregateRefinements uint64
+
+	// Reliable control-plane messenger (fault tolerance).
+	CtrlReliableSends uint64 // logical sends handed to the messenger
+	CtrlRetransmits   uint64 // extra attempts beyond each first transmission
+	CtrlDupDrops      uint64 // duplicate deliveries suppressed by txid dedup
 }
 
 // vwatch tracks one undesired flow for which this gateway acts (or
@@ -218,13 +229,19 @@ type vwatch struct {
 	tempUntil   sim.Time
 	installedAt sim.Time
 	check       *sim.Event
+	// reqTok/escTok cancel the reliable-send ladders for this watch's
+	// outstanding attacker-gateway request and provider escalation.
+	reqTok uint64
+	escTok uint64
 }
 
 // pending is an attacker-gateway handshake awaiting its reply.
 type pending struct {
-	req   *packet.FilterReq
-	nonce uint64
-	timer *sim.Event
+	req      *packet.FilterReq
+	nonce    uint64
+	deadline sim.Time // absolute handshake timeout, kept for snapshots
+	timer    *sim.Event
+	tok      uint64 // reliable-send ladder of the verification query
 }
 
 // aggregate records one covering prefix filter installed in place of
@@ -245,6 +262,7 @@ type compliance struct {
 	lastSeen sim.Time
 	haveSeen bool
 	check    *sim.Event
+	tok      uint64 // reliable-send ladder of the stop order
 }
 
 // Gateway is an AITF border router: it records routes on transit data
@@ -283,6 +301,15 @@ type Gateway struct {
 	detRun    []*packet.Packet
 	detOut    []detect.Detection
 
+	// msgr is the reliable control messenger (nil = retransmission
+	// off); seenTxids dedups retransmitted control messages by
+	// (src, txid) so a duplicate delivery never re-runs side effects.
+	msgr      *messenger
+	seenTxids map[dedupKey]sim.Time
+	// halted marks a crashed gateway: every scheduled closure becomes a
+	// no-op (see Halt).
+	halted bool
+
 	stats  GatewayStats
 	tracer Tracer
 	node   *netsim.Node
@@ -316,6 +343,10 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		compliance:   make(map[flow.Label]*compliance),
 		aggregates:   make(map[flow.Label]*aggregate),
 		disconnected: make(map[flow.Addr]sim.Time),
+		seenTxids:    make(map[dedupKey]sim.Time),
+	}
+	if cfg.Control.Enabled() {
+		g.msgr = newMessenger(g, cfg.Control)
 	}
 	// The clock closes over the gateway so the engine reads virtual
 	// time once the node is attached; classification never happens
@@ -402,6 +433,10 @@ func (g *Gateway) Stats() GatewayStats {
 		AggregateCollateral:      atomic.LoadUint64(&g.stats.AggregateCollateral),
 		AggregateCollateralBytes: atomic.LoadUint64(&g.stats.AggregateCollateralBytes),
 		AggregateRefinements:     atomic.LoadUint64(&g.stats.AggregateRefinements),
+
+		CtrlReliableSends: atomic.LoadUint64(&g.stats.CtrlReliableSends),
+		CtrlRetransmits:   atomic.LoadUint64(&g.stats.CtrlRetransmits),
+		CtrlDupDrops:      atomic.LoadUint64(&g.stats.CtrlDupDrops),
 	}
 }
 
@@ -769,6 +804,15 @@ func (g *Gateway) handleControl(p *packet.Packet, from *netsim.Iface) {
 
 func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from *netsim.Iface) {
 	now := g.now()
+	// Retransmission dedup comes first: a duplicate delivery of a
+	// reliable send must be wholly side-effect-free — it may not eat a
+	// contract-policer token, restart an escalation ladder, or touch any
+	// counter other than the dup counter itself.
+	if g.isDuplicate(p.Src, m.Txid, now) {
+		atomic.AddUint64(&g.stats.CtrlDupDrops, 1)
+		g.trace(EvCtrlDupDrop, m.Flow, fmt.Sprintf("txid %d from %v", m.Txid, p.Src))
+		return
+	}
 	atomic.AddUint64(&g.stats.ReqReceived, 1)
 	g.trace(EvRequestReceived, m.Flow, fmt.Sprintf("stage %v round %d from %v", m.Stage, m.Round, p.Src))
 
@@ -875,6 +919,9 @@ func (g *Gateway) scheduleWatchGC(w *vwatch) {
 }
 
 func (g *Gateway) watchGC(w *vwatch) {
+	if g.halted {
+		return
+	}
 	now := g.now()
 	if g.watches[w.label.Key()] != w {
 		return
@@ -1115,6 +1162,9 @@ func (g *Gateway) armAggregateReview() {
 // room again — splits an aggregate back into its still-live children,
 // restoring filter precision (and with it, zero collateral damage).
 func (g *Gateway) aggregateReview() {
+	if g.halted {
+		return
+	}
 	g.reviewArmed = false
 	now := g.now()
 	// Deterministic order: the simulator's fingerprints hash the trace.
@@ -1259,16 +1309,21 @@ func (g *Gateway) sendToAttackerGateway(w *vwatch) {
 		g.resolveExhausted(w)
 		return
 	}
-	req := &packet.FilterReq{
-		Stage:    packet.StageToAttackerGW,
-		Flow:     w.label,
-		Duration: g.cfg.Timers.T,
-		Round:    uint8(min(w.round, 255)),
-		Victim:   w.victim,
-		Evidence: append([]packet.RREntry(nil), w.evidence...),
-	}
+	// A new round supersedes any ladder still running for the old one.
+	g.cancelReliable(w.reqTok)
+	round := uint8(min(w.round, 255))
 	g.trace(EvRequestSent, w.label, fmt.Sprintf("to attacker-gw %v round %d", target, w.round))
-	g.node.Originate(packet.NewControl(g.node.Addr(), target, req))
+	w.reqTok = g.reliableSend(w.label, func(txid uint64) *packet.Packet {
+		return packet.NewControl(g.node.Addr(), target, &packet.FilterReq{
+			Stage:    packet.StageToAttackerGW,
+			Flow:     w.label,
+			Duration: g.cfg.Timers.T,
+			Round:    round,
+			Victim:   w.victim,
+			Evidence: append([]packet.RREntry(nil), w.evidence...),
+			Txid:     txid,
+		})
+	})
 }
 
 // roundTarget computes the attacker-side node this gateway addresses:
@@ -1301,13 +1356,21 @@ func (g *Gateway) scheduleTakeoverCheck(w *vwatch) {
 }
 
 func (g *Gateway) takeoverCheck(w *vwatch, installedAt sim.Time) {
+	if g.halted {
+		return
+	}
 	if w.installedAt != installedAt {
 		return // superseded by a re-install
 	}
 	quiet := installedAt + sim.Time(g.cfg.Timers.Ttmp) - sim.Time(g.cfg.Timers.Grace)
 	if !w.haveSeen || w.lastSeen <= quiet {
 		// Flow went quiet: the attacker side (apparently) took over.
-		// The temporary filter lapses; the shadow keeps watching.
+		// The temporary filter lapses; the shadow keeps watching — and
+		// any request ladders still retransmitting have served their
+		// purpose.
+		g.cancelReliable(w.reqTok)
+		g.cancelReliable(w.escTok)
+		w.reqTok, w.escTok = 0, 0
 		g.trace(EvTakeoverOK, w.label, "flow stopped before Ttmp")
 		return
 	}
@@ -1330,16 +1393,20 @@ func (g *Gateway) reblockAndEscalate(w *vwatch) {
 		g.dp.LogShadow(w.label, w.victim, now, now+sim.Time(g.cfg.Timers.T))
 	}
 	if g.cfg.Provider != 0 {
-		req := &packet.FilterReq{
-			Stage:    packet.StageToVictimGW,
-			Flow:     w.label,
-			Duration: g.cfg.Timers.T,
-			Round:    uint8(min(w.round, 255)),
-			Victim:   g.node.Addr(), // we now play the victim (§II-B)
-			Evidence: append([]packet.RREntry(nil), w.evidence...),
-		}
+		g.cancelReliable(w.escTok)
+		round := uint8(min(w.round, 255))
 		g.trace(EvRequestSent, w.label, fmt.Sprintf("escalate to provider %v round %d", g.cfg.Provider, w.round))
-		g.node.Originate(packet.NewControl(g.node.Addr(), g.cfg.Provider, req))
+		w.escTok = g.reliableSend(w.label, func(txid uint64) *packet.Packet {
+			return packet.NewControl(g.node.Addr(), g.cfg.Provider, &packet.FilterReq{
+				Stage:    packet.StageToVictimGW,
+				Flow:     w.label,
+				Duration: g.cfg.Timers.T,
+				Round:    round,
+				Victim:   g.node.Addr(), // we now play the victim (§II-B)
+				Evidence: append([]packet.RREntry(nil), w.evidence...),
+				Txid:     txid,
+			})
+		})
 		return
 	}
 	g.resolveExhausted(w)
@@ -1404,18 +1471,35 @@ func (g *Gateway) handleAttackerSideRequest(p *packet.Packet, m *packet.FilterRe
 		return
 	}
 	if prev, ok := g.pendings[label.Key()]; ok {
+		// A newer request supersedes the in-flight handshake; the old
+		// one can never succeed now (its nonce is about to be replaced),
+		// so close its books as a failure. Without this, every
+		// supersession leaked one started-but-never-resolved handshake
+		// and HandshakesStarted drifted away from OK+Failed.
 		prev.timer.Cancel()
+		g.cancelReliable(prev.tok)
+		delete(g.pendings, label.Key())
+		atomic.AddUint64(&g.stats.HandshakesFailed, 1)
+		g.trace(EvHandshakeFailed, label, "superseded by a newer request")
 	}
+	now := g.now()
 	nonce := g.node.Engine().Rand().Uint64()
-	pend := &pending{req: m, nonce: nonce}
+	pend := &pending{req: m, nonce: nonce, deadline: now + sim.Time(g.cfg.HandshakeTimeout)}
 	g.pendings[label.Key()] = pend
 	atomic.AddUint64(&g.stats.HandshakesStarted, 1)
 	g.trace(EvHandshakeQuery, label, fmt.Sprintf("to victim %v", m.Victim))
-	g.node.Originate(packet.NewControl(g.node.Addr(), m.Victim,
-		&packet.VerifyQuery{Flow: m.Flow, Nonce: nonce}))
+	victim := m.Victim
+	mflow := m.Flow
+	pend.tok = g.reliableSend(label, func(uint64) *packet.Packet {
+		// The nonce itself is the dedup key here: duplicate queries get
+		// duplicate (idempotent) replies, so no txid is needed.
+		return packet.NewControl(g.node.Addr(), victim,
+			&packet.VerifyQuery{Flow: mflow, Nonce: nonce})
+	})
 	pend.timer = g.node.Engine().Schedule(sim.Time(g.cfg.HandshakeTimeout), func() {
 		if g.pendings[label.Key()] == pend {
 			delete(g.pendings, label.Key())
+			g.cancelReliable(pend.tok)
 			atomic.AddUint64(&g.stats.HandshakesFailed, 1)
 			g.trace(EvHandshakeFailed, label, "verification query timed out")
 		}
@@ -1432,10 +1516,18 @@ func (g *Gateway) handleVerifyQuery(p *packet.Packet, m *packet.VerifyQuery) {
 			return // we never asked for this flow to be blocked
 		}
 	}
-	_ = w
+	if w != nil {
+		// The query is implicit proof our request reached the attacker
+		// side: stop retransmitting it.
+		g.cancelReliable(w.reqTok)
+		w.reqTok = 0
+	}
 	g.trace(EvHandshakeReply, label, fmt.Sprintf("to %v", p.Src))
-	g.node.Originate(packet.NewControl(g.node.Addr(), p.Src,
-		&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce}))
+	src, mflow, nonce := p.Src, m.Flow, m.Nonce
+	g.reliableReply(label, func() *packet.Packet {
+		return packet.NewControl(g.node.Addr(), src,
+			&packet.VerifyReply{Flow: mflow, Nonce: nonce})
+	})
 }
 
 // handleVerifyReply completes the handshake: install the T filter and
@@ -1445,9 +1537,10 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 	label := m.Flow.Canonical()
 	pend, ok := g.pendings[label.Key()]
 	if !ok || pend.nonce != m.Nonce {
-		return // stale, unsolicited, or forged reply
+		return // stale, duplicate, unsolicited, or forged reply
 	}
 	pend.timer.Cancel()
+	g.cancelReliable(pend.tok)
 	delete(g.pendings, label.Key())
 	atomic.AddUint64(&g.stats.HandshakesOK, 1)
 	atomic.AddUint64(&g.stats.ReqAccepted, 1)
@@ -1481,12 +1574,6 @@ func (g *Gateway) orderClientToStop(label flow.Label) {
 	}
 	atomic.AddUint64(&g.stats.StopOrders, 1)
 	g.trace(EvStopOrder, label, fmt.Sprintf("to %v", client))
-	g.node.Originate(packet.NewControl(g.node.Addr(), client, &packet.FilterReq{
-		Stage:    packet.StageToAttacker,
-		Flow:     label,
-		Duration: g.cfg.Timers.T,
-		Victim:   g.node.Addr(),
-	}))
 
 	comp := &compliance{
 		label:    label,
@@ -1494,14 +1581,27 @@ func (g *Gateway) orderClientToStop(label flow.Label) {
 		deadline: now + sim.Time(g.cfg.Timers.Grace),
 	}
 	g.compliance[label.Key()] = comp
+	comp.tok = g.reliableSend(label, func(txid uint64) *packet.Packet {
+		return packet.NewControl(g.node.Addr(), client, &packet.FilterReq{
+			Stage:    packet.StageToAttacker,
+			Flow:     label,
+			Duration: g.cfg.Timers.T,
+			Victim:   g.node.Addr(),
+			Txid:     txid,
+		})
+	})
 	comp.check = g.node.Engine().Schedule(
 		2*sim.Time(g.cfg.Timers.Grace), func() { g.complianceCheck(comp) })
 }
 
 func (g *Gateway) complianceCheck(c *compliance) {
+	if g.halted {
+		return
+	}
 	if g.compliance[c.label.Key()] != c {
 		return
 	}
+	g.cancelReliable(c.tok)
 	delete(g.compliance, c.label.Key())
 	if c.haveSeen && c.lastSeen > c.deadline {
 		// Client kept sending past the grace period: disconnect (§II-C).

@@ -71,6 +71,7 @@ type HostStats struct {
 	StopOrders      uint64
 	StoppedSends    uint64 // own packets suppressed by compliance
 	Disconnected    uint64 // Disconnect notices received
+	CtrlDupDrops    uint64 // duplicate stop-order deliveries suppressed
 }
 
 // wanted is a flow the host has asked to have blocked.
@@ -93,6 +94,10 @@ type Host struct {
 
 	wantedFlows map[flow.Label]*wanted
 	stopOrders  map[flow.Label]sim.Time
+	// seenTxids dedups retransmitted stop orders by (src, txid) so a
+	// duplicate delivery does not double-count StopOrders or restart a
+	// compliance window.
+	seenTxids map[dedupKey]sim.Time
 
 	// Meter observes all received data traffic (per-second buckets).
 	Meter *metrics.Meter
@@ -113,6 +118,7 @@ func NewHost(cfg HostConfig) *Host {
 		policer:     filter.NewPolicer(cfg.Contract.R1, cfg.Contract.R1Burst),
 		wantedFlows: make(map[flow.Label]*wanted),
 		stopOrders:  make(map[flow.Label]sim.Time),
+		seenTxids:   make(map[dedupKey]sim.Time),
 		Meter:       metrics.NewMeter(time.Second),
 		PerSource:   make(map[flow.Addr]*metrics.Meter),
 	}
@@ -255,6 +261,21 @@ func (h *Host) handleControl(p *packet.Packet) {
 		}
 		if p.Src != h.cfg.Gateway {
 			return // only our own provider may order us to stop
+		}
+		if m.Txid != 0 {
+			k := dedupKey{p.Src, m.Txid}
+			if seen, ok := h.seenTxids[k]; ok && now-seen < dedupWindow {
+				h.stats.CtrlDupDrops++
+				return
+			}
+			if len(h.seenTxids) > 1024 {
+				for k2, t := range h.seenTxids {
+					if now-t >= dedupWindow {
+						delete(h.seenTxids, k2)
+					}
+				}
+			}
+			h.seenTxids[k] = now
 		}
 		h.stats.StopOrders++
 		h.trace(EvStopOrder, m.Flow, "received")

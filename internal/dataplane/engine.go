@@ -464,6 +464,71 @@ func (e *Engine) Install(label flow.Label, now, exp filter.Time) error {
 	return nil
 }
 
+// AdoptFilter re-installs a previously snapshotted entry, preserving
+// its original install time, deadline, and per-entry drop counters —
+// the restore path after a gateway crash (filter.Table.Adopt's
+// engine-side twin). Capacity and eviction semantics match Install;
+// adopting a label that is already present only raises its deadline.
+func (e *Engine) AdoptFilter(ent filter.Entry) error {
+	label := ent.Label.Key()
+	seg, isWild := e.segFor(label)
+
+	seg.mu.Lock()
+	if fe := seg.fview.Load().get(label); fe != nil {
+		if ent.ExpiresAt > fe.expires() {
+			fe.exp.Store(int64(ent.ExpiresAt))
+		}
+		seg.mu.Unlock()
+		return nil
+	}
+	seg.mu.Unlock()
+
+	cap64 := int64(e.cfg.FilterCapacity)
+	for attempt := 0; ; attempt++ {
+		used := e.fUsed.Load()
+		if used < cap64 {
+			if !e.fUsed.CompareAndSwap(used, used+1) {
+				continue
+			}
+			break
+		}
+		if e.cfg.Evict == filter.RejectNew || e.cfg.FilterCapacity == 0 || attempt >= 8 {
+			e.rejected.Add(1)
+			return fmt.Errorf("%w (capacity %d)", filter.ErrTableFull, e.cfg.FilterCapacity)
+		}
+		if !e.evictSoonest() {
+			e.rejected.Add(1)
+			return fmt.Errorf("%w (capacity %d)", filter.ErrTableFull, e.cfg.FilterCapacity)
+		}
+	}
+
+	seg.mu.Lock()
+	if fe := seg.fview.Load().get(label); fe != nil {
+		if ent.ExpiresAt > fe.expires() {
+			fe.exp.Store(int64(ent.ExpiresAt))
+		}
+		seg.mu.Unlock()
+		e.fUsed.Add(-1)
+		return nil
+	}
+	fe := &fentry{label: label, installedAt: ent.InstalledAt}
+	fe.exp.Store(int64(ent.ExpiresAt))
+	fe.drops.Store(ent.Drops)
+	fe.droppedBytes.Store(ent.DroppedBytes)
+	seg.fcount++
+	seg.fview.Store(seg.fview.Load().withInsert(seg.fcount, fe))
+	if seg.fcount == 1 || ent.ExpiresAt < seg.fNext {
+		seg.fNext = ent.ExpiresAt
+	}
+	if isWild {
+		e.wildFilters.Add(1)
+	}
+	seg.mu.Unlock()
+	e.installed.Add(1)
+	atomicMax(&e.fPeak, e.fUsed.Load())
+	return nil
+}
+
 // evictSoonest removes the engine-wide entry closest to expiry,
 // reporting whether anything was evicted.
 func (e *Engine) evictSoonest() bool {
@@ -727,6 +792,66 @@ func (e *Engine) LogShadow(label flow.Label, victim flow.Addr, now, exp filter.T
 	seg.sview.Store(seg.sview.Load().withInsert(seg.scount, se))
 	if seg.scount == 1 || exp < seg.sNext {
 		seg.sNext = exp
+	}
+	if isWild {
+		e.wildShadows.Add(1)
+	}
+	seg.mu.Unlock()
+	e.sLogged.Add(1)
+	atomicMax(&e.sPeak, e.sUsed.Load())
+	return true
+}
+
+// AdoptShadow re-logs a previously snapshotted shadow entry,
+// preserving its logged time, deadline, victim, and reappearance count
+// — the restore path after a gateway crash. Returns false when the
+// cache is full. (The snapshot's Round field has no engine-side slot;
+// the protocol layer carries rounds in its own watch records.)
+func (e *Engine) AdoptShadow(ent filter.ShadowEntry) bool {
+	label := ent.Label.Key()
+	seg, isWild := e.segFor(label)
+
+	seg.mu.Lock()
+	if se := seg.sview.Load().get(label); se != nil {
+		if ent.ExpiresAt > se.expires() {
+			se.exp.Store(int64(ent.ExpiresAt))
+		}
+		se.victim.Store(uint32(ent.Victim))
+		seg.mu.Unlock()
+		return true
+	}
+	seg.mu.Unlock()
+
+	cap64 := int64(e.cfg.ShadowCapacity)
+	for {
+		used := e.sUsed.Load()
+		if used >= cap64 {
+			e.sRejected.Add(1)
+			return false
+		}
+		if e.sUsed.CompareAndSwap(used, used+1) {
+			break
+		}
+	}
+
+	seg.mu.Lock()
+	if se := seg.sview.Load().get(label); se != nil {
+		if ent.ExpiresAt > se.expires() {
+			se.exp.Store(int64(ent.ExpiresAt))
+		}
+		se.victim.Store(uint32(ent.Victim))
+		seg.mu.Unlock()
+		e.sUsed.Add(-1)
+		return true
+	}
+	se := &sentry{label: label, loggedAt: ent.LoggedAt}
+	se.exp.Store(int64(ent.ExpiresAt))
+	se.victim.Store(uint32(ent.Victim))
+	se.reapp.Store(uint64(ent.Reappearances))
+	seg.scount++
+	seg.sview.Store(seg.sview.Load().withInsert(seg.scount, se))
+	if seg.scount == 1 || ent.ExpiresAt < seg.sNext {
+		seg.sNext = ent.ExpiresAt
 	}
 	if isWild {
 		e.wildShadows.Add(1)

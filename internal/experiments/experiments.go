@@ -56,6 +56,7 @@ func All() (map[string]Driver, []string) {
 		"E9":  E9ContractPolicing,
 		"E13": E13DetectionLatency,
 		"E15": E15CollateralAllocation,
+		"E16": E16Resilience,
 	}
 	ids := make([]string, 0, len(m))
 	for id := range m {

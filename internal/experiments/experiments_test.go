@@ -12,7 +12,7 @@ import (
 // TestAllDriversRegistered pins the experiment registry to EXPERIMENTS.md.
 func TestAllDriversRegistered(t *testing.T) {
 	drivers, ids := All()
-	want := []string{"E1", "E13", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E13", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -321,5 +321,27 @@ func TestE15AllocSweep(t *testing.T) {
 	if alloc.CollateralBytes >= fixed.CollateralBytes {
 		t.Fatalf("allocator estimated collateral %d B not below fixed %d B",
 			alloc.CollateralBytes, fixed.CollateralBytes)
+	}
+}
+
+// TestE16ResilienceHoldsInvariants: every operating point in the
+// hostile-network sweep — loss with and without retransmission, and
+// the crash/restore rows — must hold all protocol invariants, and the
+// retransmission cells must actually repair injected losses.
+func TestE16ResilienceHoldsInvariants(t *testing.T) {
+	r := E16Resilience()
+	if r.ID != "E16" || len(r.Tables) != 2 {
+		t.Fatalf("shape: id=%s tables=%d", r.ID, len(r.Tables))
+	}
+	var out strings.Builder
+	r.Render(&out)
+	s := out.String()
+	if strings.Contains(s, "FAIL") {
+		t.Fatalf("render contains FAIL:\n%s", s)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "violations") && !strings.Contains(n, "0 violations") {
+			t.Fatalf("violations in sweep: %s", n)
+		}
 	}
 }

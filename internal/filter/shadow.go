@@ -89,6 +89,40 @@ func (c *ShadowCache) Log(label flow.Label, victim flow.Addr, now, exp Time) boo
 	return true
 }
 
+// Adopt re-logs a previously snapshotted entry, preserving its logged
+// time, deadline, reappearance count, round, and victim — the restore
+// path after a gateway crash. Returns false when the cache is full.
+func (c *ShadowCache) Adopt(ent ShadowEntry) bool {
+	key := ent.Label.Key()
+	if e, ok := c.entries[key]; ok {
+		if ent.ExpiresAt > e.ExpiresAt {
+			e.ExpiresAt = ent.ExpiresAt
+		}
+		if ent.Reappearances > e.Reappearances {
+			e.Reappearances = ent.Reappearances
+		}
+		if ent.Round > e.Round {
+			e.Round = ent.Round
+		}
+		e.Victim = ent.Victim
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		c.stats.Rejected++
+		return false
+	}
+	e := ent
+	c.entries[key] = &e
+	if needsScan(key) {
+		c.scanable++
+	}
+	c.stats.Logged++
+	if len(c.entries) > c.stats.PeakSize {
+		c.stats.PeakSize = len(c.entries)
+	}
+	return true
+}
+
 // Lookup finds the live shadow entry covering the tuple. Exact and pair
 // labels are checked O(1); other wildcard shapes are scanned.
 func (c *ShadowCache) Lookup(tup flow.Tuple, now Time) (*ShadowEntry, bool) {

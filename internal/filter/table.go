@@ -172,6 +172,48 @@ func (t *Table) Install(label flow.Label, now, exp Time) error {
 	return nil
 }
 
+// Adopt re-installs a previously snapshotted entry, preserving its
+// original install time, deadline, and drop counters — the restore
+// path after a gateway crash. Capacity and eviction semantics match
+// Install; adopting a label that is already present only raises its
+// deadline.
+func (t *Table) Adopt(ent Entry) error {
+	key := ent.Label.Key()
+	if e, ok := t.entries[key]; ok {
+		if ent.ExpiresAt > e.ExpiresAt {
+			e.ExpiresAt = ent.ExpiresAt
+		}
+		return nil
+	}
+	if len(t.entries) >= t.capacity {
+		if t.policy == RejectNew || t.capacity == 0 {
+			t.stats.Rejected++
+			return fmt.Errorf("%w (capacity %d)", ErrTableFull, t.capacity)
+		}
+		var victim *Entry
+		for _, e := range t.entries {
+			if victim == nil || e.ExpiresAt < victim.ExpiresAt {
+				victim = e
+			}
+		}
+		delete(t.entries, victim.Label.Key())
+		if needsScan(victim.Label) {
+			t.scanable--
+		}
+		t.stats.Evicted++
+	}
+	e := ent
+	t.entries[key] = &e
+	if needsScan(ent.Label) {
+		t.scanable++
+	}
+	t.stats.Installed++
+	if len(t.entries) > t.stats.PeakOccupancy {
+		t.stats.PeakOccupancy = len(t.entries)
+	}
+	return nil
+}
+
 // Aggregate replaces the given child filters with one covering
 // aggregate filter (typically a source-prefix label over sibling pair
 // filters), under a strict budget-conservation contract:

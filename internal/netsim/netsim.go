@@ -9,6 +9,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"aitf/internal/flow"
 	"aitf/internal/packet"
@@ -51,7 +52,18 @@ type IfaceStats struct {
 	RxBytes   uint64
 	// QueueDrops counts packets dropped because the output queue was
 	// full — congestion losses, the thing a DoS attack manufactures.
-	QueueDrops uint64
+	// CtrlQueueDrops/DataQueueDrops split the same total by packet
+	// class, so experiments can separate lost signaling from the attack
+	// congestion that caused it.
+	QueueDrops     uint64
+	CtrlQueueDrops uint64
+	DataQueueDrops uint64
+	// LossDrops counts fault-induced losses — random link loss and
+	// sends into an administratively downed link (see faults.go) —
+	// again split by packet class. Disjoint from QueueDrops.
+	LossDrops     uint64
+	CtrlLossDrops uint64
+	DataLossDrops uint64
 }
 
 // Iface is one node's attachment to one link, in one direction. Sending
@@ -66,6 +78,14 @@ type Iface struct {
 
 	busyUntil sim.Time
 	queued    int
+
+	// Fault-injection state (faults.go): per-class random loss
+	// probability, administrative link state, and a crash epoch that
+	// invalidates transmissions still queued when the owner crashes.
+	ctrlLoss, dataLoss float64
+	down               bool
+	epoch              uint32
+	crashedAt          sim.Time
 
 	stats IfaceStats
 }
@@ -88,6 +108,16 @@ func (i *Iface) QueueLen() int { return i.queued }
 // queue and released to the packet pool, so the caller must not retain
 // it.
 func (i *Iface) Send(p *packet.Packet) bool {
+	if i.down || i.owner.down {
+		// Downed link (or crashed owner): the packet never reaches the
+		// wire.
+		i.dropFault(p)
+		return false
+	}
+	if loss := i.lossFor(p); loss > 0 && i.owner.net.faultRng.Float64() < loss {
+		i.dropFault(p)
+		return false
+	}
 	eng := i.owner.net.eng
 	now := eng.Now()
 	size := p.WireSize()
@@ -101,12 +131,22 @@ func (i *Iface) Send(p *packet.Packet) bool {
 		// Link busy: the packet must queue.
 		if i.queued >= i.queueCap {
 			i.stats.QueueDrops++
+			if p.IsControl() {
+				i.stats.CtrlQueueDrops++
+			} else {
+				i.stats.DataQueueDrops++
+			}
 			p.Release() // congestion loss: the packet is dead, recycle it
 			return false
 		}
 		start = i.busyUntil
 		i.queued++
-		eng.ScheduleAt(start, func() { i.queued-- })
+		ep := i.epoch
+		eng.ScheduleAt(start, func() {
+			if i.epoch == ep {
+				i.queued--
+			}
+		})
 	}
 	i.busyUntil = start + txdur
 	i.stats.TxPackets++
@@ -115,7 +155,17 @@ func (i *Iface) Send(p *packet.Packet) bool {
 	dst := i.neighbor
 	back := dst.IfaceTo(i.owner.Addr())
 	arrive := start + txdur + i.delay
+	ep := i.epoch
 	eng.ScheduleAt(arrive, func() {
+		if i.epoch != ep && start > i.crashedAt {
+			// The owner crashed while this packet was still sitting in
+			// its output queue; it never made it onto the wire. Packets
+			// that had already begun serializing (start <= crash time)
+			// are on the wire and survive.
+			i.owner.CrashDrops++
+			p.Release()
+			return
+		}
 		if back != nil {
 			back.stats.RxPackets++
 			back.stats.RxBytes += uint64(size)
@@ -145,6 +195,14 @@ type Node struct {
 
 	// RoutingDrops counts packets dropped for TTL expiry or no route.
 	RoutingDrops uint64
+	// CrashDrops counts packets lost to a node crash: queued
+	// transmissions and buffered arrivals wiped by Crash, plus packets
+	// arriving while the node is down.
+	CrashDrops uint64
+
+	// down marks a crashed node (see faults.go); a down node neither
+	// sends nor receives.
+	down bool
 }
 
 // arrival is one buffered packet delivery.
@@ -201,6 +259,11 @@ func (n *Node) SetBatchDelivery(on bool) { n.coalesce = on }
 // deliver hands an arriving packet to the handler, possibly buffering
 // it for a same-instant batch flush.
 func (n *Node) deliver(p *packet.Packet, from *Iface) {
+	if n.down {
+		n.CrashDrops++
+		p.Release()
+		return
+	}
 	if !n.coalesce {
 		n.handler.Receive(n, p, from)
 		return
@@ -285,6 +348,11 @@ type Network struct {
 	topo   *topology.Topology
 	nodes  []*Node
 	byAddr map[flow.Addr]*Node
+
+	// faultRng drives all fault randomness (faults.go). Lazily seeded;
+	// fault-free networks never touch it, so their schedules are
+	// byte-identical to builds without fault injection.
+	faultRng *rand.Rand
 }
 
 // Build instantiates a network over the engine. Every node starts with

@@ -11,7 +11,7 @@ import (
 
 // Wire format (big endian):
 //
-//	magic(2)=0xA17F  version(1)=2
+//	magic(2)=0xA17F  version(1)=3
 //	header: src(4) dst(4) proto(1) sport(2) dport(2) ttl(1) payloadLen(2)
 //	pathLen(1)  pathLen × { router(4) nonce(8) }
 //	msgKind(1)  0 = data packet, otherwise a Message body follows
@@ -19,11 +19,13 @@ import (
 // Label encoding: src(4) dst(4) proto(1) sport(2) dport(2) wildcards(1)
 // srcPrefixLen(1) dstPrefixLen(1). Version 2 added the two prefix-length
 // bytes so filtering requests can name source/destination prefixes (the
-// aggregate filters of §IV); v1 peers are rejected by the version check.
+// aggregate filters of §IV); version 3 added the FilterReq txid(8) so
+// retransmitted requests can be deduplicated. Older peers are rejected
+// by the version check.
 
 const (
 	wireMagic   uint16 = 0xA17F
-	wireVersion byte   = 2
+	wireVersion byte   = 3
 	labelBytes         = 16
 
 	// MaxPathLen bounds the route-record shim; paths longer than any
@@ -77,6 +79,7 @@ func AppendMarshal(dst []byte, p *Packet) ([]byte, error) {
 			return dst, ErrPathTooLong
 		}
 		b = append(b, byte(m.Stage), m.Round)
+		b = binary.BigEndian.AppendUint64(b, m.Txid)
 		b = appendLabel(b, m.Flow)
 		b = binary.BigEndian.AppendUint64(b, uint64(m.Duration))
 		b = binary.BigEndian.AppendUint32(b, uint32(m.Victim))
@@ -154,6 +157,7 @@ func UnmarshalInto(p *Packet, b []byte) error {
 		m := &FilterReq{}
 		m.Stage = Stage(r.u8())
 		m.Round = r.u8()
+		m.Txid = r.u64()
 		m.Flow = r.label()
 		m.Duration = time.Duration(r.u64())
 		m.Victim = flow.Addr(r.u32())

@@ -240,13 +240,18 @@ type FilterReq struct {
 	// flow, proving (via nonces) which border routers forwarded it and
 	// telling the victim's gateway who the attacker's gateway is.
 	Evidence []RREntry
+	// Txid identifies one logical send for retransmission dedup: every
+	// attempt of the same request carries the same nonzero Txid, so a
+	// receiver can drop duplicates without re-running side effects.
+	// Zero means "no dedup" (senders without a retransmission engine).
+	Txid uint64
 }
 
 // Kind implements Message.
 func (*FilterReq) Kind() MsgKind { return KindFilterReq }
 
 func (m *FilterReq) wireSize() int {
-	return 1 + 1 + 1 + labelBytes + 8 + 4 + 2 + len(m.Evidence)*RREntryBytes
+	return 1 + 1 + 1 + 8 + labelBytes + 8 + 4 + 2 + len(m.Evidence)*RREntryBytes
 }
 
 // VerifyQuery is the attacker-gateway half of the 3-way handshake:

@@ -117,6 +117,7 @@ func TestRoundTripFilterReq(t *testing.T) {
 		Round:    3,
 		Victim:   dstA,
 		Evidence: []RREntry{{Router: gw1, Nonce: 7}, {Router: gw2, Nonce: 8}},
+		Txid:     0xdeadbeefcafe,
 	}
 	p := NewControl(gw2, gw1, m)
 	got := roundTrip(t, p)
@@ -125,7 +126,7 @@ func TestRoundTripFilterReq(t *testing.T) {
 		t.Fatalf("decoded %T", got.Msg)
 	}
 	if gm.Stage != m.Stage || gm.Round != m.Round || gm.Duration != m.Duration ||
-		gm.Victim != m.Victim || gm.Flow != m.Flow {
+		gm.Victim != m.Victim || gm.Flow != m.Flow || gm.Txid != m.Txid {
 		t.Fatalf("FilterReq mismatch: %+v vs %+v", gm, m)
 	}
 	if len(gm.Evidence) != 2 || gm.Evidence[0] != m.Evidence[0] || gm.Evidence[1] != m.Evidence[1] {
@@ -249,9 +250,9 @@ func TestUnmarshalRejectsOverlongEvidence(t *testing.T) {
 		Duration: time.Minute, Round: 1, Victim: dstA,
 		Evidence: []RREntry{{Router: gw1, Nonce: 1}}}
 	b, _ := Marshal(NewControl(gw1, gw2, m))
-	// Evidence length field: after kind(1) stage(1) round(1) label(16)
-	// duration(8) victim(4).
-	idx := 3 + HeaderBytes + 1 + 1 + 1 + 1 + 16 + 8 + 4
+	// Evidence length field: after kind(1) stage(1) round(1) txid(8)
+	// label(16) duration(8) victim(4).
+	idx := 3 + HeaderBytes + 1 + 1 + 1 + 1 + 8 + 16 + 8 + 4
 	b[idx] = 0xff
 	b[idx+1] = 0xff
 	if _, err := Unmarshal(b); err == nil {

@@ -97,6 +97,7 @@ func TestPropertyRoundTripFilterReqs(t *testing.T) {
 			Round:    uint8(r.Intn(256)),
 			Victim:   flow.Addr(r.Uint32()),
 			Evidence: randPath(r, 16),
+			Txid:     r.Uint64(),
 		}
 		p := NewControl(flow.Addr(r.Uint32()), flow.Addr(r.Uint32()), m)
 		b, err := Marshal(p)
@@ -109,7 +110,8 @@ func TestPropertyRoundTripFilterReqs(t *testing.T) {
 		}
 		gm := got.Msg.(*FilterReq)
 		if gm.Stage != m.Stage || gm.Flow != m.Flow || gm.Duration != m.Duration ||
-			gm.Round != m.Round || gm.Victim != m.Victim || len(gm.Evidence) != len(m.Evidence) {
+			gm.Round != m.Round || gm.Victim != m.Victim || gm.Txid != m.Txid ||
+			len(gm.Evidence) != len(m.Evidence) {
 			t.Fatalf("mismatch: %+v vs %+v", gm, m)
 		}
 	}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"aitf"
+)
+
+// chaosSpec is a property-seed scenario with the full hostile-network
+// stack forced on: seeded control-plane loss (≤ 5%), a mid-attack
+// victim-gateway crash/restore, and the reliable control messenger
+// armed. The attack window is stretched a little so the crash lands
+// while rounds are in flight.
+func chaosSpec(seed int64) Spec {
+	s := GenSpec(seed)
+	s.Faults = FaultSpec{
+		CtrlLossPct:   1 + float64(seed%5), // 1–5%
+		Flaps:         int(seed % 3),
+		CrashVictimGW: true,
+		Retransmit:    true,
+	}
+	if s.AttackDur < 5*time.Second {
+		s.AttackDur = 5 * time.Second
+	}
+	return s
+}
+
+// TestScenarioChaos is the acceptance suite for the hostile-network
+// layer: 50 seeded chaos scenarios — control loss, link flaps, and a
+// victim-gateway crash restored from snapshot mid-attack — and every
+// protocol invariant must hold in each, including the new
+// control-reliability ledger (invariant 6).
+func TestScenarioChaos(t *testing.T) {
+	for seed := int64(1); seed <= propertySeeds; seed++ {
+		seed := seed
+		s := chaosSpec(seed)
+		t.Run(s.name(), func(t *testing.T) {
+			t.Parallel()
+			res := Run(s)
+			if res.Failed() {
+				t.Fatalf("invariants violated under chaos:\n%s", res.Report())
+			}
+			if res.GatewayCrashes == 0 {
+				t.Fatalf("victim gateway never crashed:\n%s", res.Report())
+			}
+			if res.AttackSent == 0 && s.Steady+s.Pulsers+s.Spoofers > 0 {
+				t.Fatalf("no attack traffic entered the network:\n%s", res.Report())
+			}
+		})
+	}
+}
+
+// TestScenarioChaosDeterminism: fault schedules are seeded, so a chaos
+// run — loss draws, flap timing, crash snapshot and restore — replays
+// to the identical fingerprint.
+func TestScenarioChaosDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 17, 41} {
+		s := chaosSpec(seed)
+		a, b := Run(s), Run(s)
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("seed %d: chaos fingerprints differ: %016x vs %016x\n%s\n%s",
+				seed, a.Fingerprint, b.Fingerprint, a.Report(), b.Report())
+		}
+	}
+}
+
+// TestScenarioChaosRecovers pins the tentpole's point: across the
+// chaos seeds the machinery demonstrably engages — control packets are
+// lost, the messenger retransmits, duplicate deliveries are absorbed,
+// gateways crash and restore — and the attacks still get stopped
+// (suppression or escalation shows up, and the bandwidth bound held in
+// TestScenarioChaos proves the victims were protected).
+func TestScenarioChaosRecovers(t *testing.T) {
+	var lost, retx, dup, restored, acted int
+	for seed := int64(1); seed <= 25; seed++ {
+		s := chaosSpec(seed)
+		w := build(s.normalized())
+		w.dep.Run(w.runEnd)
+		res := w.check()
+		if res.Failed() {
+			t.Fatalf("seed %d:\n%s", seed, res.Report())
+		}
+		if res.CtrlLossDrops > 0 {
+			lost++
+		}
+		if res.CtrlRetransmits > 0 {
+			retx++
+		}
+		if res.CtrlDupDrops > 0 {
+			dup++
+		}
+		if w.dep.Log.Count(aitf.EvGatewayRestored) > 0 {
+			restored++
+		}
+		if res.AttackSuppressed > 0 || res.Escalations > 0 ||
+			w.dep.Log.Count(aitf.EvTempFilterInstalled) > 0 ||
+			w.dep.Log.Count(aitf.EvFilterInstalled) > 0 {
+			acted++
+		}
+	}
+	if lost < 15 {
+		t.Errorf("control packets were lost in only %d/25 chaos runs", lost)
+	}
+	if retx < 15 {
+		t.Errorf("the messenger retransmitted in only %d/25 chaos runs", retx)
+	}
+	if dup < 5 {
+		t.Errorf("duplicate deliveries were absorbed in only %d/25 chaos runs", dup)
+	}
+	if restored < 25 {
+		t.Errorf("the crashed gateway restored in only %d/25 chaos runs", restored)
+	}
+	if acted < 20 {
+		t.Errorf("the protocol acted on the attack in only %d/25 chaos runs", acted)
+	}
+}

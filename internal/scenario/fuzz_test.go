@@ -38,6 +38,16 @@ func fuzzSpec(seed int64, ases, army, flags uint8) Spec {
 		s.Overload = true
 		s.AttackRate = 480_000
 	}
+	// The seed's high byte drives the hostile-network layer, so the
+	// existing 4-arg corpus keeps working and the fuzzer can reach
+	// every fault combination by mutating the seed alone.
+	fb := uint8(uint64(seed) >> 56)
+	s.Faults = FaultSpec{
+		CtrlLossPct:   float64(fb & 7),
+		Flaps:         int(fb>>3) & 3,
+		CrashVictimGW: fb&32 != 0,
+		Retransmit:    fb&64 != 0,
+	}
 	return s // Run normalizes the rest (Drain, clamps)
 }
 
@@ -66,6 +76,12 @@ func FuzzScenario(f *testing.F) {
 	// exhauster pressure (flags bit 7) that makes it engage.
 	f.Add(int64(51), uint8(0b0000_1110), uint8(0b0001_0110), uint8(0b1000_0000))
 	f.Add(int64(59), uint8(0b0100_1101), uint8(0b0110_0011), uint8(0b1010_0001))
+	// Hostile-network entries (seed high byte = fault bits): control
+	// loss with retransmission, a victim-gateway crash mid-attack, and
+	// the full stack — loss + flaps + crash — at once.
+	f.Add(int64(0b0100_0011)<<56|67, uint8(6), uint8(0b0110_0110), uint8(0))
+	f.Add(int64(0b0010_0000)<<56|71, uint8(9), uint8(0b0001_0111), uint8(0b0010_1001))
+	f.Add(int64(0b0110_1101)<<56|79, uint8(5), uint8(0b1011_0101), uint8(0b0000_0001))
 	f.Fuzz(func(t *testing.T, seed int64, ases, army, flags uint8) {
 		spec := fuzzSpec(seed, ases, army, flags)
 		res := Run(spec)

@@ -51,6 +51,7 @@ func (w *world) check() *Result {
 	w.checkEscalationTerminates(r)
 	w.checkBandwidthBound(r)
 	w.checkDetectionAccuracy(r)
+	w.checkControlReliability(r)
 	r.Fingerprint = w.fingerprint()
 	return r
 }
@@ -275,6 +276,21 @@ func (w *world) checkEscalationTerminates(r *Result) {
 		}
 	}
 	bound := len(w.dep.Gateways) + 2*maxPulses + int(w.spec.AttackDur/timerTtmp) + 4
+	// A hostile network stretches but never breaks termination: lost
+	// control messages make rounds repeat per Ttmp re-block cycle, a
+	// flap or crash interrupts (and restarts) in-flight rounds, and
+	// retransmission ladders add up to one backoff tail of in-flight
+	// slack past the attack stop.
+	if f := w.spec.Faults; f.Enabled() {
+		quiesceBy += sim.Time(2 * time.Second)
+		bound += 2 + 2*f.Flaps
+		if f.CtrlLossPct > 0 {
+			bound += int(w.spec.AttackDur/timerTtmp) + 2
+		}
+		if f.CrashVictimGW {
+			bound += 2
+		}
+	}
 
 	rounds := map[string]int{}
 	for _, e := range w.dep.Log.OfKind(aitf.EvEscalated) {
@@ -318,6 +334,25 @@ func (w *world) checkBandwidthBound(r *Result) {
 	tdBound := 0.35 // oracle: detector window (0.25 s) + margin
 	if w.spec.Detector != DetectorOracle {
 		tdBound = 0.70
+	}
+	// Hostile-network allowance. Control loss does not delay detection
+	// (that is data-path, and data packets are never loss-dropped) but
+	// it delays the filter round trip: with retransmission the recovery
+	// is one or two RTO backoffs per lost leg; without it, recovery
+	// rides the victim's Ttmp re-block cycles, so the allowance grows
+	// much faster with the loss rate. A flap hides the uplink for its
+	// dark period; a crash hides the victim gateway for crashDowntime
+	// plus the re-verification round after restore.
+	if f := w.spec.Faults; f.CtrlLossPct > 0 {
+		if f.Retransmit {
+			tdBound += 0.4 + 0.05*f.CtrlLossPct
+		} else {
+			tdBound += 1.0 + 0.35*f.CtrlLossPct
+		}
+	}
+	tdBound += 0.4 * float64(w.spec.Faults.Flaps)
+	if w.spec.Faults.CrashVictimGW {
+		tdBound += crashDowntime.Seconds() + 0.5
 	}
 	for _, a := range w.attackers {
 		if a.behavior != attack.Steady && a.behavior != attack.Pulse {
@@ -387,6 +422,64 @@ func (w *world) checkDetectionAccuracy(r *Result) {
 		if !detected[flow.PairLabel(a.addr, a.victim.addr).Key()] {
 			r.MissedAttackers++
 		}
+	}
+}
+
+// ── Invariant 6: control-plane reliability is bounded and balanced ───
+
+// checkControlReliability asserts the reliable-messenger contracts on
+// every gateway, fault or no fault: the handshake ledger balances
+// (every handshake started is resolved OK, resolved failed, or still
+// pending at run end — nothing leaks), retransmission terminates (at
+// most MaxAttempts−1 retransmits per reliable send, and no ladder is
+// still outstanding after the drain), and scenarios without the
+// reliable messenger never retransmit at all. It also gathers the
+// fault-accounting totals into the Result.
+func (w *world) checkControlReliability(r *Result) {
+	for id, g := range w.dep.Gateways {
+		name := w.topo.Nodes[id].Name
+		st := g.Stats()
+		r.CtrlRetransmits += st.CtrlRetransmits
+		r.CtrlDupDrops += st.CtrlDupDrops
+		if got, want := st.HandshakesStarted, st.HandshakesOK+st.HandshakesFailed+uint64(g.PendingHandshakes()); got != want {
+			w.violate(r, "control-reliability", name,
+				"handshake ledger out of balance: %d started vs %d ok + %d failed + %d pending",
+				st.HandshakesStarted, st.HandshakesOK, st.HandshakesFailed, g.PendingHandshakes())
+		}
+		if w.spec.Faults.Retransmit {
+			if st.CtrlRetransmits > st.CtrlReliableSends*uint64(ctrlAttempts-1) {
+				w.violate(r, "control-reliability", name,
+					"%d retransmits exceed %d reliable sends × %d max extra attempts",
+					st.CtrlRetransmits, st.CtrlReliableSends, ctrlAttempts-1)
+			}
+		} else if st.CtrlRetransmits != 0 {
+			w.violate(r, "control-reliability", name,
+				"%d retransmits without the reliable messenger armed", st.CtrlRetransmits)
+		}
+		if n := g.OutstandingReliable(); n != 0 {
+			w.violate(r, "control-reliability", name,
+				"%d retransmission ladders still outstanding after the drain", n)
+		}
+	}
+	for _, h := range w.dep.Hosts {
+		r.CtrlDupDrops += h.Stats().CtrlDupDrops
+	}
+	for _, n := range w.topo.Nodes {
+		st := w.dep.Net.Node(n.ID).AggStats()
+		r.CtrlLossDrops += st.CtrlLossDrops
+		r.DataLossDrops += st.DataLossDrops
+	}
+	r.GatewayCrashes = w.dep.Log.Count(aitf.EvGatewayCrashed)
+	if !w.spec.Faults.Enabled() && (r.CtrlLossDrops != 0 || r.DataLossDrops != 0 || r.GatewayCrashes != 0) {
+		w.violate(r, "control-reliability", "net",
+			"fault-free run recorded %d/%d loss drops and %d crashes",
+			r.CtrlLossDrops, r.DataLossDrops, r.GatewayCrashes)
+	}
+	// Data packets are never loss-dropped by the fault model (control-
+	// only loss keeps data accounting exact).
+	if r.DataLossDrops != 0 && w.spec.Faults.Flaps == 0 && !w.spec.Faults.CrashVictimGW {
+		w.violate(r, "control-reliability", "net",
+			"%d data packets loss-dropped under control-only loss", r.DataLossDrops)
 	}
 }
 

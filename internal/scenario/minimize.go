@@ -55,6 +55,14 @@ func shrinkCandidates(s Spec) []Spec {
 	add(func(c *Spec) { c.ReqFlooders = 0 })
 	add(func(c *Spec) { c.NonCoop = 0 })
 	add(func(c *Spec) { c.Overload = false })
+	// Fault reductions: drop the whole hostile-network layer first,
+	// then each fault dimension separately, so a crasher that does not
+	// need faults minimizes to a pristine-network spec.
+	add(func(c *Spec) { c.Faults = FaultSpec{} })
+	add(func(c *Spec) { c.Faults.CtrlLossPct = 0 })
+	add(func(c *Spec) { c.Faults.Flaps = 0 })
+	add(func(c *Spec) { c.Faults.CrashVictimGW = false })
+	add(func(c *Spec) { c.Faults.Retransmit = false })
 	add(func(c *Spec) { c.IngressFiltering = false })
 	add(func(c *Spec) { c.GatewayAuto = false })
 	add(func(c *Spec) { c.BatchDelivery = false })

@@ -70,6 +70,21 @@ const (
 	// settleTime bounds how long after the attack stops escalation
 	// activity may continue (one in-flight round plus slack).
 	settleTime = timerTtmp + 2*time.Second
+
+	// Reliable-control parameters for Faults.Retransmit scenarios: four
+	// attempts at RTO 120 ms with exponential backoff (±25% jitter)
+	// finish the whole ladder in ≈ 840 ms, inside the 1 s handshake
+	// timeout, so a retransmitted verification still lands in its
+	// window.
+	ctrlAttempts = 4
+	ctrlRTO      = 120 * time.Millisecond
+	ctrlJitter   = 0.25
+
+	// crashDowntime is how long a crashed victim gateway stays dark
+	// before it restores from its snapshot; flapDowntime is one link
+	// flap's dark period.
+	crashDowntime = 300 * time.Millisecond
+	flapDowntime  = 150 * time.Millisecond
 )
 
 // Detector kinds selectable per scenario (Spec.Detector). Oracle is
@@ -86,6 +101,35 @@ const (
 	DetectorSketch
 	DetectorGateway
 )
+
+// FaultSpec describes the hostile-network conditions a scenario runs
+// under. The zero value is fault-free: no fault randomness is drawn and
+// the run replays byte-identically to pre-fault builds.
+type FaultSpec struct {
+	// CtrlLossPct is seeded random loss, in percent (0–20), applied to
+	// control packets on every backbone (border↔border) link — the
+	// paper's hard case of signaling squeezed by the congestion it is
+	// trying to relieve. Data packets are never loss-dropped, so
+	// data-plane accounting stays exact.
+	CtrlLossPct float64 `json:"ctrl_loss_pct"`
+	// Flaps schedules this many down/up flaps (each flapDowntime long)
+	// of the first victim's uplink during the attack window.
+	Flaps int `json:"flaps"`
+	// CrashVictimGW crashes the first victim's serving gateway
+	// mid-attack (queued packets lost, volatile state gone) and
+	// restores it from its pre-crash snapshot crashDowntime later.
+	CrashVictimGW bool `json:"crash_victim_gw"`
+	// Retransmit arms the reliable control messenger on every gateway:
+	// bounded retransmission with exponential backoff around protocol
+	// sends. Off, lost control messages are recovered only by the
+	// victim's re-requests, as in the base protocol.
+	Retransmit bool `json:"retransmit"`
+}
+
+// Enabled reports whether any fault is configured.
+func (f FaultSpec) Enabled() bool {
+	return f.CtrlLossPct > 0 || f.Flaps > 0 || f.CrashVictimGW
+}
 
 // Spec is a fully deterministic scenario description. GenSpec derives
 // one from a seed; the CLI can also replay or minimize an explicit
@@ -137,6 +181,10 @@ type Spec struct {
 	// — including the invariant-2 collateral budget — must hold either
 	// way.
 	CollateralAlloc bool `json:"collateral_alloc"`
+	// Faults configures the hostile-network conditions (control-plane
+	// loss, link flaps, a victim-gateway crash/restore) the scenario
+	// must survive. Zero value = pristine network.
+	Faults FaultSpec `json:"faults"`
 }
 
 // GenSpec derives a scenario shape from a seed. Sizes are tuned so a
@@ -177,6 +225,18 @@ func GenSpec(seed int64) Spec {
 	}
 	// Drawn last so older seeds keep their exact shapes otherwise.
 	s.CollateralAlloc = rng.Float64() < 0.35
+	// Faults drawn after everything above for the same reason: every
+	// pre-fault field of a given seed keeps its exact value.
+	if rng.Float64() < 0.30 {
+		s.Faults.CtrlLossPct = 1 + 4*rng.Float64()
+		s.Faults.Retransmit = true
+	}
+	if rng.Float64() < 0.15 {
+		s.Faults.Flaps = 1 + rng.Intn(2)
+	}
+	if rng.Float64() < 0.20 {
+		s.Faults.CrashVictimGW = true
+	}
 	return s
 }
 
@@ -229,6 +289,13 @@ func (s Spec) normalized() Spec {
 	if s.Drain < settleTime+2*time.Second {
 		s.Drain = settleTime + 2*time.Second
 	}
+	if s.Faults.CtrlLossPct < 0 {
+		s.Faults.CtrlLossPct = 0
+	}
+	if s.Faults.CtrlLossPct > 20 {
+		s.Faults.CtrlLossPct = 20
+	}
+	clamp(&s.Faults.Flaps, 0, 4)
 	return s
 }
 
@@ -326,6 +393,17 @@ type Result struct {
 	FalsePositives  int `json:"false_positives"`
 	MissedAttackers int `json:"missed_attackers"`
 
+	// Control-plane reliability accounting (invariant 6). Retransmits
+	// and DupDrops sum the gateways' (and hosts') reliable-messenger
+	// counters; CtrlLossDrops/DataLossDrops sum the fault-injected
+	// per-class link losses across all interfaces; GatewayCrashes
+	// counts crash events in the trace.
+	CtrlRetransmits uint64 `json:"ctrl_retransmits"`
+	CtrlDupDrops    uint64 `json:"ctrl_dup_drops"`
+	CtrlLossDrops   uint64 `json:"ctrl_loss_drops"`
+	DataLossDrops   uint64 `json:"data_loss_drops"`
+	GatewayCrashes  int    `json:"gateway_crashes"`
+
 	Violations  []Violation `json:"violations"`
 	Fingerprint uint64      `json:"fingerprint"`
 }
@@ -346,6 +424,11 @@ func (r *Result) Report() string {
 		r.Victims, r.Attackers, r.Legit, r.ReqFlooders,
 		r.Events, r.AttackSent, r.AttackSuppressed, r.VictimBytes,
 		r.Escalations, r.Disconnects, r.Detections, r.MissedAttackers, r.FalsePositives, r.Fingerprint)
+	if r.Spec.Faults.Enabled() {
+		s += fmt.Sprintf("\n  faults: ctrl-loss=%.1f%% flaps=%d crash=%d retx=%d dup-drops=%d lost-ctrl=%d lost-data=%d",
+			r.Spec.Faults.CtrlLossPct, r.Spec.Faults.Flaps, r.GatewayCrashes,
+			r.CtrlRetransmits, r.CtrlDupDrops, r.CtrlLossDrops, r.DataLossDrops)
+	}
 	for _, v := range r.Violations {
 		s += "\n  " + v.String()
 	}
@@ -618,7 +701,56 @@ func build(s Spec) *world {
 	if s.CollateralAlloc {
 		opt.Allocation = &alloc.Policy{PrefixLens: []uint8{28, 26, aggShallowest}}
 	}
+	if s.Faults.Retransmit {
+		opt.Control = core.ControlConfig{MaxAttempts: ctrlAttempts, RTO: ctrlRTO, Jitter: ctrlJitter}
+	}
 	w.dep = aitf.DeployTopology(opt, spec)
+
+	// ── Fault schedule ───────────────────────────────────────────────
+	// Applied only when configured: a fault-free spec never touches the
+	// fault machinery, so its run is byte-identical to pre-fault builds.
+	if s.Faults.Enabled() {
+		w.dep.Net.SeedFaults(s.Seed ^ 0xfa017)
+		if s.Faults.CtrlLossPct > 0 {
+			p := s.Faults.CtrlLossPct / 100
+			for _, l := range topo.Links {
+				a, b := topo.Nodes[l.A], topo.Nodes[l.B]
+				if a.Kind == topology.KindBorderRouter && b.Kind == topology.KindBorderRouter {
+					w.dep.Net.SetLinkLoss(a.Addr, b.Addr, p, 0)
+				}
+			}
+		}
+		if s.Faults.Flaps > 0 {
+			// Flap the first victim's uplink (border → provider border)
+			// at evenly spaced points inside the attack window. FlapLink
+			// no-ops when the victim's AS is tier-1 (no uplink).
+			vAS := w.victims[0].as
+			if p := nodes.Parent[vAS]; p >= 0 {
+				va := topo.Nodes[nodes.Border[vAS]].Addr
+				pa := topo.Nodes[nodes.Border[p]].Addr
+				step := (time.Second + s.AttackDur) / time.Duration(s.Faults.Flaps+1)
+				for i := 1; i <= s.Faults.Flaps; i++ {
+					downAt := sim.Time(attackWindowStart) + sim.Time(step)*sim.Time(i)
+					w.dep.Net.FlapLink(va, pa, downAt, downAt+sim.Time(flapDowntime))
+				}
+			}
+		}
+		if s.Faults.CrashVictimGW {
+			// Crash the first victim's serving gateway mid-attack; its
+			// durable state (filter table, shadow cache, in-flight
+			// handshakes with their original deadlines) restores from the
+			// pre-crash snapshot crashDowntime later.
+			gw := servingGW(w.victims[0].as)
+			crashAt := sim.Time(attackWindowStart+time.Second) + sim.Time(s.AttackDur/2)
+			eng := w.dep.Engine
+			eng.ScheduleAt(crashAt, func() {
+				snap := w.dep.CrashGateway(gw)
+				eng.ScheduleAt(crashAt+sim.Time(crashDowntime), func() {
+					w.dep.RestoreGateway(gw, snap)
+				})
+			})
+		}
+	}
 
 	// ── Workloads ────────────────────────────────────────────────────
 	w.attackStop = sim.Time(attackWindowStart + time.Second + s.AttackDur)

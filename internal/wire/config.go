@@ -86,6 +86,19 @@ type GatewayFileConfig struct {
 	SketchWidth int `json:"sketch_width"`
 	SketchDepth int `json:"sketch_depth"`
 	DetectTopK  int `json:"detect_topk"`
+	// CtrlMaxAttempts bounds control-plane transmissions per logical
+	// message (retry + backoff); 0 or 1 sends exactly once.
+	CtrlMaxAttempts int `json:"ctrl_max_attempts"`
+	// CtrlRtoMs is the first retransmission timeout in milliseconds,
+	// doubling per attempt (0 = default 250 when retransmission is on).
+	CtrlRtoMs int `json:"ctrl_rto_ms"`
+	// CtrlJitter spreads each retransmission timer by a uniform factor
+	// in [0, CtrlJitter); must be in [0, 1).
+	CtrlJitter float64 `json:"ctrl_jitter"`
+	// SnapshotPath, when set, makes the gateway write its durable state
+	// (filters, shadows, pendings, counters) there on graceful drain and
+	// restore it on the next boot, honoring the original deadlines.
+	SnapshotPath string `json:"snapshot_path"`
 }
 
 // HostFileConfig is the host-specific part of FileConfig.
@@ -170,6 +183,13 @@ func (g *GatewayFileConfig) validate() error {
 		if _, err := flow.ParseAddr(a); err != nil {
 			return fmt.Errorf("%w: detect_for %q: %v", ErrBadConfig, a, err)
 		}
+	}
+	if g.CtrlMaxAttempts < 0 || g.CtrlRtoMs < 0 {
+		return fmt.Errorf("%w: negative retransmission knob (attempts %d, rto %dms)",
+			ErrBadConfig, g.CtrlMaxAttempts, g.CtrlRtoMs)
+	}
+	if g.CtrlJitter < 0 || g.CtrlJitter >= 1 {
+		return fmt.Errorf("%w: ctrl_jitter %v outside [0, 1)", ErrBadConfig, g.CtrlJitter)
 	}
 	// Validate the timers as they will actually be materialised — an
 	// explicit value combined with the other's default must still
@@ -258,6 +278,18 @@ func (c *FileConfig) GatewayConfig(trace *obs.Trace) (GatewayConfig, error) {
 		DataplaneShards:      c.Gateway.Shards,
 		Workers:              c.Gateway.Workers,
 		AggregationPrefixLen: c.Gateway.AggregationPrefixLen,
+		SnapshotPath:         c.Gateway.SnapshotPath,
+	}
+	if c.Gateway.CtrlMaxAttempts > 1 {
+		rto := time.Duration(c.Gateway.CtrlRtoMs) * time.Millisecond
+		if rto <= 0 {
+			rto = 250 * time.Millisecond
+		}
+		cfg.Control = RetryConfig{
+			MaxAttempts: c.Gateway.CtrlMaxAttempts,
+			RTO:         rto,
+			Jitter:      c.Gateway.CtrlJitter,
+		}
 	}
 	if c.Gateway.CollateralAlloc {
 		pol := &alloc.Policy{}

@@ -22,6 +22,7 @@ import (
 	"aitf/internal/traceback"
 	crand "crypto/rand"
 	"encoding/binary"
+	mrand "math/rand"
 )
 
 // epoch anchors the wire runtime's monotonic clock; filter deadlines
@@ -90,7 +91,34 @@ type GatewayConfig struct {
 	// detection the gateway files the filtering request itself, naming
 	// itself as the victim so it can answer the §II-E handshake.
 	DetectFor []flow.Addr
+	// Control configures bounded control-plane retransmission. The zero
+	// value sends every control message exactly once (the pre-resilience
+	// behavior); with MaxAttempts > 1 each logical send carries a txid,
+	// is retransmitted on an exponential-backoff ladder until cancelled
+	// (a handshake reply) or the attempts run out, and receivers drop
+	// txid duplicates without re-running side effects.
+	Control RetryConfig
+	// SnapshotPath, when non-empty, names the file the gateway writes
+	// its durable state to on Close (snapshot-on-drain) and restores
+	// from on boot via RestoreFromDisk (restore-on-boot), so a daemon
+	// restart mid-attack keeps filtering.
+	SnapshotPath string
 }
+
+// RetryConfig tunes the wire gateway's control-plane retransmission.
+type RetryConfig struct {
+	// MaxAttempts bounds total transmissions per logical message;
+	// 0 or 1 disables retransmission.
+	MaxAttempts int
+	// RTO is the first retransmission timeout; it doubles per attempt.
+	RTO time.Duration
+	// Jitter spreads each timeout by a uniform factor in [0, Jitter)
+	// so synchronized losses don't resynchronize the retries.
+	Jitter float64
+}
+
+// Enabled reports whether the config arms retransmission.
+func (c RetryConfig) Enabled() bool { return c.MaxAttempts > 1 && c.RTO > 0 }
 
 // Gateway is the wire-mode border router: it stamps route records on
 // transit data, polices filtering requests, verifies them with the
@@ -116,9 +144,17 @@ type Gateway struct {
 	det       *detect.Engine
 	protected map[flow.Addr]bool
 
+	// Control-plane retransmission and idempotency state, all under mu:
+	// nextTxid numbers logical reliable sends, dedup remembers recently
+	// seen (source, txid) pairs, and rng jitters the backoff ladders.
+	nextTxid uint64
+	dedup    map[ctrlKey]time.Time
+	rng      *mrand.Rand
+
 	// Control-plane stats mirror the simulator gateway's counters
 	// (subset); they are mutated under mu.
 	ReqReceived, ReqPoliced, ReqInvalid uint64
+	HandshakesStarted                   uint64
 	HandshakesOK, HandshakesFailed      uint64
 	StopOrders                          uint64
 	Aggregations                        uint64
@@ -129,16 +165,41 @@ type Gateway struct {
 	// Detections counts gateway-side sketch detections (attacks
 	// flagged on behalf of protected legacy clients); mutated under mu.
 	Detections uint64
+	// Reliable-messenger counters (under mu): logical sends that got a
+	// txid, retransmitted attempts, and received duplicates dropped by
+	// the dedup window.
+	CtrlReliableSends, CtrlRetransmits, CtrlDupDrops uint64
+	// Snapshot/restore counters (under mu).
+	SnapshotSaves, SnapshotRestores  uint64
+	FiltersRestored, ShadowsRestored uint64
 	// Data-plane stats are updated atomically: with dispatch mode on,
 	// drops are counted from multiple workers at once.
 	FilterDrops uint64
 	ShadowHits  uint64
 }
 
+// ctrlKey identifies one logical control send inside the dedup window.
+type ctrlKey struct {
+	src  flow.Addr
+	txid uint64
+}
+
+// dedupWindow bounds how long a (source, txid) pair is remembered; it
+// comfortably outlives any retransmission ladder the RetryConfig can
+// produce at wire-demo timer scales.
+const dedupWindow = 10 * time.Second
+
 type wirePending struct {
 	req    *packet.FilterReq
 	nonce  uint64
 	cancel func()
+	// retx stops the verification query's retransmission ladder; the
+	// reply and the timeout both cancel it. Nil when retransmission is
+	// off.
+	retx func()
+	// deadline is when the handshake times out; the drain snapshot
+	// stores the remaining window so crash loops cannot extend it.
+	deadline time.Time
 }
 
 // NewGateway binds the gateway's socket.
@@ -166,6 +227,10 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		policers: make(map[flow.Addr]*filter.Policer),
 		pendings: make(map[flow.Label]*wirePending),
 		timers:   newTimerSet(),
+		dedup:    make(map[ctrlKey]time.Time),
+		// Backoff jitter only — protocol nonces still come from
+		// crypto/rand (randNonce).
+		rng: mrand.New(mrand.NewSource(int64(randNonce()))),
 	}
 	g.dp = dataplane.New(dataplane.Config{
 		Shards:         cfg.DataplaneShards,
@@ -199,12 +264,19 @@ func (g *Gateway) Node() *Node { return g.node }
 // Run starts the gateway.
 func (g *Gateway) Run() { g.node.Run() }
 
-// Close stops timers, the worker pool, and the socket.
+// Close stops timers, the worker pool, and the socket; with a
+// SnapshotPath configured it then writes the drain snapshot, so the
+// state the next boot restores is the quiescent post-drain state.
 func (g *Gateway) Close() error {
 	g.timers.stopAll()
 	err := g.node.Close()
 	if g.disp != nil {
 		g.disp.Close()
+	}
+	if g.cfg.SnapshotPath != "" {
+		if serr := g.SaveToDisk(); err == nil {
+			err = serr
+		}
 	}
 	return err
 }
@@ -328,6 +400,103 @@ func (g *Gateway) finishData(p *packet.Packet, v dataplane.Verdict) {
 	p.Release()
 }
 
+// retxLadder is one in-flight reliable send's cancellation state;
+// mutated under g.mu (timer callbacks retake the lock).
+type retxLadder struct {
+	cancelled bool
+	stop      func()
+}
+
+// reliableSend originates one logical control message with up to
+// `attempts` transmissions on an exponential-backoff ladder. build
+// constructs a fresh packet per attempt — every attempt must carry the
+// same identifying state (txid, nonce) so receivers can dedup. The
+// returned cancel stops outstanding retransmissions; it must be called
+// under g.mu (every call site already holds it). With retransmission
+// disabled this degenerates to exactly one send and a no-op cancel, so
+// the fault-free hot path pays nothing. Called under mu.
+func (g *Gateway) reliableSend(attempts int, build func(txid uint64) *packet.Packet) func() {
+	var txid uint64
+	if g.cfg.Control.Enabled() && attempts > 1 {
+		g.nextTxid++
+		txid = g.nextTxid
+		g.CtrlReliableSends++
+	} else {
+		attempts = 1
+	}
+	send := func() {
+		p := build(txid)
+		if err := g.node.Originate(p); err != nil {
+			g.logf("reliable send: %v", err)
+		}
+		p.Release() // Originate marshals synchronously
+	}
+	send()
+	if attempts <= 1 {
+		return func() {}
+	}
+	ladder := &retxLadder{}
+	var arm func(attempt int, rto time.Duration)
+	arm = func(attempt int, rto time.Duration) {
+		delay := rto + time.Duration(g.cfg.Control.Jitter*g.rng.Float64()*float64(rto))
+		ladder.stop = g.timers.after(delay, func() {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			if ladder.cancelled {
+				return
+			}
+			g.CtrlRetransmits++
+			send()
+			if attempt+1 < attempts {
+				arm(attempt+1, rto*2)
+			}
+		})
+	}
+	arm(1, g.cfg.Control.RTO)
+	return func() {
+		ladder.cancelled = true
+		if ladder.stop != nil {
+			ladder.stop()
+		}
+	}
+}
+
+// blindAttempts is the transmission count for sends that have no ack
+// to cancel on (relays, stop orders, handshake replies): one redundant
+// copy rides the backoff ladder and receiver-side dedup absorbs it
+// when the first made it through.
+func (g *Gateway) blindAttempts() int {
+	if !g.cfg.Control.Enabled() {
+		return 1
+	}
+	return 2
+}
+
+// isDup absorbs retransmitted duplicates: a (source, txid) pair seen
+// within the dedup window is dropped before any side effect or counter
+// runs, making every receive path idempotent. Txid 0 (sender without a
+// retransmission engine) bypasses. Called under mu.
+func (g *Gateway) isDup(src flow.Addr, txid uint64) bool {
+	if txid == 0 {
+		return false
+	}
+	now := time.Now()
+	key := ctrlKey{src: src, txid: txid}
+	if exp, ok := g.dedup[key]; ok && now.Before(exp) {
+		g.CtrlDupDrops++
+		return true
+	}
+	if len(g.dedup) > 4096 {
+		for k, exp := range g.dedup {
+			if now.After(exp) {
+				delete(g.dedup, k)
+			}
+		}
+	}
+	g.dedup[key] = now.Add(dedupWindow)
+	return false
+}
+
 func (g *Gateway) handleControl(p *packet.Packet, from flow.Addr) {
 	switch m := p.Msg.(type) {
 	case *packet.FilterReq:
@@ -352,12 +521,12 @@ func (g *Gateway) handleVerifyQuery(p *packet.Packet, m *packet.VerifyQuery) {
 		return
 	}
 	g.event("handshake-reply", label, "to attacker gw "+p.Src.String())
-	reply := packet.NewControl(g.node.Addr(), p.Src,
-		&packet.VerifyReply{Flow: m.Flow, Nonce: m.Nonce})
-	if err := g.node.Originate(reply); err != nil {
-		g.logf("reply: %v", err)
-	}
-	reply.Release()
+	gw, querier, mflow, nonce := g.node.Addr(), p.Src, m.Flow, m.Nonce
+	g.reliableSend(g.blindAttempts(), func(uint64) *packet.Packet {
+		// Replies dedup by nonce at the querier; a duplicate is a no-op.
+		return packet.NewControl(gw, querier,
+			&packet.VerifyReply{Flow: mflow, Nonce: nonce})
+	})
 }
 
 // selfDetect files the filtering request a protected legacy client
@@ -398,22 +567,25 @@ func (g *Gateway) selfDetect(d detect.Detection, path []packet.RREntry) {
 		return
 	}
 	g.event("request-sent", label, "gateway-detected relay to attacker gw "+target.String())
-	relay := packet.NewControl(g.node.Addr(), target, &packet.FilterReq{
-		Stage:    packet.StageToAttackerGW,
-		Flow:     d.Label,
-		Duration: g.cfg.Timers.T,
-		Round:    1,
-		Victim:   g.node.Addr(),
-		Evidence: evidence,
+	gw, dlabel, dur := g.node.Addr(), d.Label, g.cfg.Timers.T
+	g.reliableSend(g.blindAttempts(), func(txid uint64) *packet.Packet {
+		return packet.NewControl(gw, target, &packet.FilterReq{
+			Stage:    packet.StageToAttackerGW,
+			Flow:     dlabel,
+			Duration: dur,
+			Round:    1,
+			Victim:   gw,
+			Evidence: evidence,
+			Txid:     txid,
+		})
 	})
-	if err := g.node.Originate(relay); err != nil {
-		g.logf("relay: %v", err)
-	}
-	relay.Release()
 }
 
 func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from flow.Addr) {
 	now := wallNow()
+	if g.isDup(p.Src, m.Txid) {
+		return
+	}
 	g.ReqReceived++
 	if !g.policer(from).Allow(now) {
 		g.ReqPoliced++
@@ -443,11 +615,12 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 		g.event("temp-filter-installed", label, "relaying to attacker gw "+target.String())
 		req := *m
 		req.Stage = packet.StageToAttackerGW
-		relay := packet.NewControl(g.node.Addr(), target, &req)
-		if err := g.node.Originate(relay); err != nil {
-			g.logf("relay: %v", err)
-		}
-		relay.Release() // Originate marshals synchronously; recycle the shell
+		gw := g.node.Addr()
+		g.reliableSend(g.blindAttempts(), func(txid uint64) *packet.Packet {
+			r := req
+			r.Txid = txid
+			return packet.NewControl(gw, target, &r)
+		})
 	case packet.StageToAttackerGW:
 		// Attacker-side: verify our stamp then handshake the victim.
 		if !g.rec.Verify(traceback.AttackPath(m.Evidence), flow.Tuple{Src: label.Src, Dst: label.Dst}) {
@@ -456,22 +629,35 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 			return
 		}
 		if prev, ok := g.pendings[label.Key()]; ok {
+			// The superseded handshake resolves as failed, keeping the
+			// started = ok + failed + pending ledger balanced.
 			prev.cancel()
+			if prev.retx != nil {
+				prev.retx()
+			}
+			g.HandshakesFailed++
+			g.event("handshake-failed", label, "superseded by a fresh request")
 		}
-		pend := &wirePending{req: m, nonce: randNonce()}
+		g.HandshakesStarted++
+		pend := &wirePending{req: m, nonce: randNonce(),
+			deadline: time.Now().Add(g.cfg.HandshakeTimeout)}
 		g.pendings[label.Key()] = pend
 		g.event("handshake-query", label, "to victim "+m.Victim.String())
-		query := packet.NewControl(g.node.Addr(), m.Victim,
-			&packet.VerifyQuery{Flow: m.Flow, Nonce: pend.nonce})
-		if err := g.node.Originate(query); err != nil {
-			g.logf("query: %v", err)
-		}
-		query.Release()
+		gw, victim, mflow, nonce := g.node.Addr(), m.Victim, m.Flow, pend.nonce
+		pend.retx = g.reliableSend(g.cfg.Control.MaxAttempts, func(uint64) *packet.Packet {
+			// The nonce is the dedup identity here: a duplicate query just
+			// elicits another (idempotent) reply.
+			return packet.NewControl(gw, victim,
+				&packet.VerifyQuery{Flow: mflow, Nonce: nonce})
+		})
 		pend.cancel = g.timers.after(g.cfg.HandshakeTimeout, func() {
 			g.mu.Lock()
 			defer g.mu.Unlock()
 			if g.pendings[label.Key()] == pend {
 				delete(g.pendings, label.Key())
+				if pend.retx != nil {
+					pend.retx()
+				}
 				g.HandshakesFailed++
 				g.event("handshake-failed", label, "timeout")
 			}
@@ -538,9 +724,12 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 	label := m.Flow.Canonical()
 	pend, ok := g.pendings[label.Key()]
 	if !ok || pend.nonce != m.Nonce {
-		return
+		return // completed, superseded, or forged: duplicates land here
 	}
 	pend.cancel()
+	if pend.retx != nil {
+		pend.retx()
+	}
 	delete(g.pendings, label.Key())
 	g.HandshakesOK++
 	if err := g.dp.Install(label, now, now+sim.Time(g.cfg.Timers.T)); err != nil {
@@ -551,16 +740,16 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 	// Tell the attacking client to stop (§II-C ii).
 	g.StopOrders++
 	g.event("stop-order", label, "to attacker "+label.Src.String())
-	order := packet.NewControl(g.node.Addr(), label.Src, &packet.FilterReq{
-		Stage:    packet.StageToAttacker,
-		Flow:     m.Flow,
-		Duration: g.cfg.Timers.T,
-		Victim:   g.node.Addr(),
+	gw, mflow, dur := g.node.Addr(), m.Flow, g.cfg.Timers.T
+	g.reliableSend(g.blindAttempts(), func(txid uint64) *packet.Packet {
+		return packet.NewControl(gw, label.Src, &packet.FilterReq{
+			Stage:    packet.StageToAttacker,
+			Flow:     mflow,
+			Duration: dur,
+			Victim:   gw,
+			Txid:     txid,
+		})
 	})
-	if err := g.node.Originate(order); err != nil {
-		g.logf("stop order: %v", err)
-	}
-	order.Release()
 }
 
 var _ Handler = (*Gateway)(nil)

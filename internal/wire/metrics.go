@@ -11,12 +11,19 @@ import (
 // scraper, a test) while the gateway runs.
 type GatewayStats struct {
 	ReqReceived, ReqPoliced, ReqInvalid uint64
+	HandshakesStarted                   uint64
 	HandshakesOK, HandshakesFailed      uint64
 	StopOrders                          uint64
 	Aggregations                        uint64
 	CollateralBytes                     uint64
 	Detections                          uint64
-	FilterDrops, ShadowHits             uint64
+	// Reliable control-plane counters: logical sends that carried a
+	// txid, backoff retransmissions, and received duplicates absorbed.
+	CtrlReliableSends, CtrlRetransmits, CtrlDupDrops uint64
+	// Snapshot/restore counters.
+	SnapshotSaves, SnapshotRestores  uint64
+	FiltersRestored, ShadowsRestored uint64
+	FilterDrops, ShadowHits          uint64
 }
 
 // Stats snapshots the control-plane counters under the gateway lock
@@ -24,18 +31,31 @@ type GatewayStats struct {
 func (g *Gateway) Stats() GatewayStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.statsLocked()
+}
+
+// statsLocked is Stats for callers already holding g.mu.
+func (g *Gateway) statsLocked() GatewayStats {
 	return GatewayStats{
-		ReqReceived:      g.ReqReceived,
-		ReqPoliced:       g.ReqPoliced,
-		ReqInvalid:       g.ReqInvalid,
-		HandshakesOK:     g.HandshakesOK,
-		HandshakesFailed: g.HandshakesFailed,
-		StopOrders:       g.StopOrders,
-		Aggregations:     g.Aggregations,
-		CollateralBytes:  g.CollateralBytes,
-		Detections:       g.Detections,
-		FilterDrops:      atomic.LoadUint64(&g.FilterDrops),
-		ShadowHits:       atomic.LoadUint64(&g.ShadowHits),
+		ReqReceived:       g.ReqReceived,
+		ReqPoliced:        g.ReqPoliced,
+		ReqInvalid:        g.ReqInvalid,
+		HandshakesStarted: g.HandshakesStarted,
+		HandshakesOK:      g.HandshakesOK,
+		HandshakesFailed:  g.HandshakesFailed,
+		StopOrders:        g.StopOrders,
+		Aggregations:      g.Aggregations,
+		CollateralBytes:   g.CollateralBytes,
+		Detections:        g.Detections,
+		CtrlReliableSends: g.CtrlReliableSends,
+		CtrlRetransmits:   g.CtrlRetransmits,
+		CtrlDupDrops:      g.CtrlDupDrops,
+		SnapshotSaves:     g.SnapshotSaves,
+		SnapshotRestores:  g.SnapshotRestores,
+		FiltersRestored:   g.FiltersRestored,
+		ShadowsRestored:   g.ShadowsRestored,
+		FilterDrops:       atomic.LoadUint64(&g.FilterDrops),
+		ShadowHits:        atomic.LoadUint64(&g.ShadowHits),
 	}
 }
 
@@ -55,12 +75,33 @@ func (g *Gateway) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("aitf_gateway_requests_invalid_total",
 		"Filtering requests rejected for bad route-record evidence.",
 		func() uint64 { return g.Stats().ReqInvalid })
+	r.CounterFunc("aitf_gateway_handshakes_started_total",
+		"Three-way handshakes started.",
+		func() uint64 { return g.Stats().HandshakesStarted })
 	r.CounterFunc("aitf_gateway_handshakes_ok_total",
 		"Three-way handshakes completed.",
 		func() uint64 { return g.Stats().HandshakesOK })
 	r.CounterFunc("aitf_gateway_handshakes_failed_total",
-		"Three-way handshakes timed out.",
+		"Three-way handshakes timed out or superseded.",
 		func() uint64 { return g.Stats().HandshakesFailed })
+	r.CounterFunc("aitf_gateway_ctrl_reliable_sends_total",
+		"Logical control sends handled by the retransmission engine.",
+		func() uint64 { return g.Stats().CtrlReliableSends })
+	r.CounterFunc("aitf_gateway_ctrl_retransmits_total",
+		"Control-plane retransmission attempts.",
+		func() uint64 { return g.Stats().CtrlRetransmits })
+	r.CounterFunc("aitf_gateway_ctrl_dup_drops_total",
+		"Duplicate control deliveries absorbed by txid dedup.",
+		func() uint64 { return g.Stats().CtrlDupDrops })
+	r.CounterFunc("aitf_gateway_snapshot_saves_total",
+		"Drain snapshots written to disk.",
+		func() uint64 { return g.Stats().SnapshotSaves })
+	r.CounterFunc("aitf_gateway_snapshot_restores_total",
+		"Boots that restored state from a drain snapshot.",
+		func() uint64 { return g.Stats().SnapshotRestores })
+	r.CounterFunc("aitf_gateway_filters_restored_total",
+		"Filters re-adopted from a snapshot with their original deadlines.",
+		func() uint64 { return g.Stats().FiltersRestored })
 	r.CounterFunc("aitf_gateway_stop_orders_total",
 		"Stop orders sent to attacking clients.",
 		func() uint64 { return g.Stats().StopOrders })
@@ -126,7 +167,16 @@ func (n *Node) Counts() (sent, received uint64) {
 	return n.Sent, n.Received
 }
 
-// registerMetrics registers the transport counters.
+// classCounts snapshots the per-class transport counters.
+func (n *Node) classCounts() (cs, ds, cr, dr uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.CtrlSent, n.DataSent, n.CtrlReceived, n.DataRecv
+}
+
+// registerMetrics registers the transport counters, including the
+// control-vs-data class split so dashboards can separate protocol
+// signaling from (attack) payload.
 func (n *Node) registerMetrics(r *obs.Registry) {
 	r.CounterFunc("aitf_node_packets_sent_total",
 		"Datagrams sent by the node's UDP transport.",
@@ -134,4 +184,16 @@ func (n *Node) registerMetrics(r *obs.Registry) {
 	r.CounterFunc("aitf_node_packets_received_total",
 		"Datagrams received by the node's UDP transport.",
 		func() uint64 { _, rcv := n.Counts(); return rcv })
+	r.CounterFunc("aitf_node_control_packets_sent_total",
+		"Control-plane datagrams sent.",
+		func() uint64 { cs, _, _, _ := n.classCounts(); return cs })
+	r.CounterFunc("aitf_node_data_packets_sent_total",
+		"Data datagrams sent.",
+		func() uint64 { _, ds, _, _ := n.classCounts(); return ds })
+	r.CounterFunc("aitf_node_control_packets_received_total",
+		"Control-plane datagrams received.",
+		func() uint64 { _, _, cr, _ := n.classCounts(); return cr })
+	r.CounterFunc("aitf_node_data_packets_received_total",
+		"Data datagrams received.",
+		func() uint64 { _, _, _, dr := n.classCounts(); return dr })
 }

@@ -67,8 +67,13 @@ type Node struct {
 	closed  bool
 	wg      sync.WaitGroup
 
-	// Sent and Received count packets for tests and stats.
-	Sent, Received uint64
+	// Sent and Received count packets for tests and stats;
+	// the Ctrl/Data splits separate protocol signaling from payload so
+	// the metrics surface can show control-plane loss independently of
+	// attack congestion (the netsim interfaces keep the same split).
+	Sent, Received         uint64
+	CtrlSent, DataSent     uint64
+	CtrlReceived, DataRecv uint64
 }
 
 // NewNode binds the UDP socket. Call SetHandler then Run.
@@ -152,6 +157,11 @@ func (n *Node) readLoop() {
 		}
 		n.mu.Lock()
 		n.Received++
+		if p.IsControl() {
+			n.CtrlReceived++
+		} else {
+			n.DataRecv++
+		}
 		h := n.handler
 		n.mu.Unlock()
 		if h != nil {
@@ -198,6 +208,11 @@ func (n *Node) SendTo(addr flow.Addr, p *packet.Packet) error {
 	}
 	n.mu.Lock()
 	n.Sent++
+	if p.IsControl() {
+		n.CtrlSent++
+	} else {
+		n.DataSent++
+	}
 	n.mu.Unlock()
 	return nil
 }

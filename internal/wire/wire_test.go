@@ -47,6 +47,13 @@ func (r *rig) close() {
 
 func buildRig(t *testing.T, attackerCompliant bool) *rig {
 	t.Helper()
+	return buildRigCtrl(t, attackerCompliant, RetryConfig{})
+}
+
+// buildRigCtrl is buildRig with the gateways' control-plane
+// retransmission engine configured.
+func buildRigCtrl(t *testing.T, attackerCompliant bool, ctrl RetryConfig) *rig {
+	t.Helper()
 	var (
 		victimA   = flow.MakeAddr(10, 0, 0, 2)
 		vgwA      = flow.MakeAddr(10, 0, 0, 1)
@@ -85,6 +92,7 @@ func buildRig(t *testing.T, attackerCompliant bool) *rig {
 		Clients: map[flow.Addr]contract.Contract{victimA: client},
 		Default: contract.DefaultPeer(),
 		Secret:  []byte("vgw-secret"),
+		Control: ctrl,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +103,7 @@ func buildRig(t *testing.T, attackerCompliant bool) *rig {
 		Clients: map[flow.Addr]contract.Contract{attackerA: client},
 		Default: contract.DefaultPeer(),
 		Secret:  []byte("agw-secret"),
+		Control: ctrl,
 	})
 	if err != nil {
 		t.Fatal(err)
