@@ -40,6 +40,7 @@ package aitf
 
 import (
 	"aitf/internal/alloc"
+	"aitf/internal/cluster"
 	"aitf/internal/contract"
 	"aitf/internal/core"
 	"aitf/internal/filter"
@@ -77,6 +78,9 @@ type (
 	// ControlConfig tunes the reliable control-plane messenger
 	// (bounded retransmission with backoff) on gateways.
 	ControlConfig = core.ControlConfig
+	// ClusterConfig runs gateways as clusters of sketch-merging
+	// logical replicas with a replicated filter log (internal/cluster).
+	ClusterConfig = cluster.Config
 	// GatewaySnapshot is a gateway's serialized durable state, the
 	// crash/restore currency of CrashGateway/RestoreGateway.
 	GatewaySnapshot = core.GatewaySnapshot
@@ -117,6 +121,8 @@ const (
 	EvCtrlDupDrop         = core.EvCtrlDupDrop
 	EvGatewayCrashed      = core.EvGatewayCrashed
 	EvGatewayRestored     = core.EvGatewayRestored
+	EvClusterMerge        = core.EvClusterMerge
+	EvReplicaKilled       = core.EvReplicaKilled
 )
 
 // MakeAddr assembles an address from four octets.

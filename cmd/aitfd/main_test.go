@@ -85,6 +85,8 @@ func TestStartRejectsBadConfigs(t *testing.T) {
 		"negative workers": `{"role":"gateway","addr":"1.1.1.1","gateway":{"workers":-3}}`,
 		"negative shards":  `{"role":"gateway","addr":"1.1.1.1","gateway":{"dataplane_shards":-1}}`,
 		"ttmp >= t":        `{"role":"gateway","addr":"1.1.1.1","gateway":{"t_ms":100,"ttmp_ms":200}}`,
+		"one peer":         `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":1}}`,
+		"fast merge":       `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":2,"cluster_merge_ms":50}}`,
 	}
 	for name, body := range cases {
 		path := writeCfg(t, "bad.json", body)
@@ -275,6 +277,49 @@ func TestAdminEndpointLiveAttack(t *testing.T) {
 	for _, want := range []string{"shutting down", "signal=SIGTERM", "classified=", "detections="} {
 		if !regexp.MustCompile(regexp.QuoteMeta(want)).MatchString(out) {
 			t.Errorf("shutdown log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStartClusteredGateway boots a gateway running as a replica
+// cluster from JSON and scrapes its admin endpoint: the aitf_cluster_*
+// schema must be exposed and the exposition must stay parseable.
+func TestStartClusteredGateway(t *testing.T) {
+	path := writeCfg(t, "clu.json", `{
+	  "role": "gateway", "addr": "10.0.0.1", "name": "clu_gw",
+	  "listen": "127.0.0.1:0", "admin": "127.0.0.1:0",
+	  "book": {}, "routes": {},
+	  "gateway": {
+	    "secret": "s",
+	    "cluster_peers": 3,
+	    "cluster_merge_ms": 250,
+	    "cluster_replication": true,
+	    "detect_bps": 1000,
+	    "detect_for": ["10.0.0.2"]
+	  }
+	}`)
+	d, err := start(path, discardLogger())
+	if err != nil {
+		t.Fatalf("start clustered gateway: %v", err)
+	}
+	defer d.Close()
+	if d.gw.Cluster() == nil {
+		t.Fatal("daemon gateway has no cluster overlay")
+	}
+	_, expo := httpGet(t, "http://"+d.AdminAddr()+"/metrics")
+	if err := obs.CheckExposition(expo); err != nil {
+		t.Fatalf("clustered /metrics does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"aitf_cluster_log_length",
+		"aitf_cluster_merge_rounds_total",
+		"aitf_cluster_merge_bytes_total",
+		"aitf_cluster_failovers_total",
+		"aitf_cluster_catchup_ops_total",
+		"aitf_cluster_catchup_ns_total",
+	} {
+		if metricValue(t, expo, want) < 0 {
+			t.Errorf("metric %s negative", want)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"aitf/internal/alloc"
 	"aitf/internal/attack"
+	"aitf/internal/cluster"
 	"aitf/internal/contract"
 	"aitf/internal/core"
 	"aitf/internal/detect"
@@ -74,6 +75,14 @@ type Options struct {
 	// protocol sends. The zero value keeps single-shot sends (the
 	// historical behaviour, and the right choice on loss-free links).
 	Control core.ControlConfig
+	// Cluster, when enabled (Replicas >= 2), runs every deployed
+	// gateway as a cluster of k logical replicas: detection
+	// observations shard to each flow's owning replica by rendezvous
+	// hash, filter-table mutations append to a replicated log, and a
+	// recurring merge round exchanges detection state so any replica
+	// can cross the threshold for the whole cluster. The zero value
+	// keeps the classic single-replica gateway.
+	Cluster cluster.Config
 	// GatewayDetect is the sketch-detection template for gateways that
 	// defend legacy clients (GatewaySpec.DetectFor): the gateway runs
 	// an internal/detect engine on its own data path and files
@@ -131,6 +140,7 @@ func (o Options) gatewayConfig() core.GatewayConfig {
 	cfg.AggregationPrefixLen = o.AggregationPrefixLen
 	cfg.Allocation = o.Allocation
 	cfg.Control = o.Control
+	cfg.Cluster = o.Cluster
 	return cfg
 }
 

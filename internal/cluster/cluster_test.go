@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"aitf/internal/detect"
+	"aitf/internal/flow"
+	"aitf/internal/sim"
+)
+
+// testDetCfg: 40kB/s over a 250ms window = 10_000 bytes per window.
+func testDetCfg() detect.Config {
+	return detect.Config{Width: 256, Depth: 4, TopK: 16,
+		Window: 250 * time.Millisecond, ThresholdBps: 40_000, Seed: 7}
+}
+
+func testCluster(replicas int, replicate bool) *Cluster {
+	return New(Config{Replicas: replicas, HashSeed: 42, Replicate: replicate}, testDetCfg())
+}
+
+func observe(c *Cluster, now sim.Time, src, dst flow.Addr, n, size int) (last detect.Detection, fired bool) {
+	for i := 0; i < n; i++ {
+		if d, ok := c.Observe(now, flow.TupleOf(src, dst, flow.ProtoUDP, 1, 2), size); ok {
+			last, fired = d, true
+		}
+	}
+	return last, fired
+}
+
+// TestRendezvousStability: every replica owns a slice of the key
+// space, and killing one reassigns only its keys — the other replicas'
+// flows never move.
+func TestRendezvousStability(t *testing.T) {
+	c := testCluster(3, true)
+	before := map[flow.Addr]int{}
+	perReplica := map[int]int{}
+	for i := 0; i < 200; i++ {
+		src := flow.Addr(i + 1)
+		o := c.Owner(src, 9)
+		before[src] = o
+		perReplica[o]++
+	}
+	for id := 0; id < 3; id++ {
+		if perReplica[id] == 0 {
+			t.Fatalf("replica %d owns nothing across 200 keys: %v", id, perReplica)
+		}
+	}
+	if _, _, ok := c.KillReplica(1, 0); !ok {
+		t.Fatal("could not kill replica 1")
+	}
+	for src, was := range before {
+		now := c.Owner(src, 9)
+		if was != 1 && now != was {
+			t.Fatalf("key %v moved from live replica %d to %d on an unrelated death", src, was, now)
+		}
+		if was == 1 && now == 1 {
+			t.Fatalf("key %v still assigned to the dead replica", src)
+		}
+	}
+}
+
+// TestInlineDetectionRoutesToOwner: a single over-threshold flow fires
+// exactly one inline detection at its owning replica.
+func TestInlineDetectionRoutesToOwner(t *testing.T) {
+	c := testCluster(2, true)
+	d, fired := observe(c, 0, 7, 9, 20, 1000) // 20kB in one window
+	if !fired {
+		t.Fatal("over-threshold flow never detected")
+	}
+	if d.Src != 7 || d.Dst != 9 {
+		t.Fatalf("detected the wrong flow: %+v", d)
+	}
+	if got := c.Stats().Detections; got != 1 {
+		t.Fatalf("Detections = %d, want 1", got)
+	}
+}
+
+// TestFailoverDetectionBoost is the tentpole property: a flow halfway
+// to threshold when its owner dies crosses in the merged view as soon
+// as inherited + fresh bytes do — failover is not re-detection from
+// zero.
+func TestFailoverDetectionBoost(t *testing.T) {
+	c := testCluster(3, true)
+	owner := c.Owner(7, 9)
+
+	// 6000B before the crash: under the 10_000B/window threshold.
+	if _, fired := observe(c, 0, 7, 9, 6, 1000); fired {
+		t.Fatal("under-threshold flow detected inline")
+	}
+	// A merge round publishes the owner's frozen summary...
+	if fresh := c.MergeRound(10 * time.Millisecond); fresh != 0 {
+		t.Fatalf("merge round detected %d flows while under threshold", fresh)
+	}
+	// ...then the owner dies.
+	if _, _, ok := c.KillReplica(owner, 10*time.Millisecond); !ok {
+		t.Fatal("could not kill the owner")
+	}
+	if now := c.Owner(7, 9); now == owner {
+		t.Fatal("flow not reassigned after owner death")
+	}
+	// 6000B more land on the new owner — still under threshold alone.
+	if _, fired := observe(c, 20*time.Millisecond, 7, 9, 6, 1000); fired {
+		t.Fatal("new owner detected from its own partial view")
+	}
+	// The merged view holds 6000 inherited + 6000 fresh = 12_000.
+	if fresh := c.MergeRound(30 * time.Millisecond); fresh != 1 {
+		t.Fatalf("merge round found %d detections, want the boosted crossing", fresh)
+	}
+	d, fired := observe(c, 40*time.Millisecond, 7, 9, 1, 1000)
+	if !fired {
+		t.Fatal("pending merged detection not delivered on the next packet")
+	}
+	if d.Src != 7 || d.Dst != 9 || d.LowBytes < 12_000 {
+		t.Fatalf("boosted detection wrong: %+v", d)
+	}
+	st := c.Stats()
+	if st.MergeDetections != 1 || st.Detections != 1 {
+		t.Fatalf("stats: %+v, want 1 merge detection surfaced once", st)
+	}
+	if st.MergeBytes == 0 {
+		t.Fatal("merge rounds with live traffic reported zero replication bytes")
+	}
+	// The flag pushed into the new owner keeps later rounds quiet.
+	if fresh := c.MergeRound(50 * time.Millisecond); fresh != 0 {
+		t.Fatalf("re-detected an already-surfaced flow: %d", fresh)
+	}
+}
+
+// TestReplicatedFailoverKeepsFilters: with the log on, every filter
+// live on the dead replica is live on a survivor before its deadline.
+func TestReplicatedFailoverKeepsFilters(t *testing.T) {
+	c := testCluster(2, true)
+	exp := sim.Time(10 * time.Second)
+	for i := 0; i < 5; i++ {
+		c.Record(OpInstall, flow.PairLabel(flow.Addr(i+1), 9), exp, 0)
+	}
+	c.MergeRound(time.Millisecond) // ship the log
+	liveOnDead := len(c.FilterView(0))
+	if liveOnDead != 5 {
+		t.Fatalf("replica 0 view has %d filters after shipping, want 5", liveOnDead)
+	}
+	inherited, lost, ok := c.KillReplica(0, 2*time.Millisecond)
+	if !ok {
+		t.Fatal("could not kill replica 0")
+	}
+	if lost != 0 || inherited != liveOnDead {
+		t.Fatalf("inherited %d, lost %d; want %d inherited, 0 lost", inherited, lost, liveOnDead)
+	}
+	if got := len(c.FilterView(1)); got != 5 {
+		t.Fatalf("survivor holds %d filters, want 5", got)
+	}
+	if msg := c.CheckConsistency(2 * time.Millisecond); msg != "" {
+		t.Fatalf("inconsistent after failover: %s", msg)
+	}
+}
+
+// TestIndependentFailoverLosesFilters: the Replicate=false contrast —
+// a crash loses exactly the dead replica's filters.
+func TestIndependentFailoverLosesFilters(t *testing.T) {
+	c := testCluster(2, false)
+	exp := sim.Time(10 * time.Second)
+	for i := 0; i < 10; i++ {
+		c.Record(OpInstall, flow.PairLabel(flow.Addr(i+1), 9), exp, 0)
+	}
+	c.MergeRound(time.Millisecond)
+	mine := len(c.FilterView(0))
+	if mine == 0 {
+		t.Fatal("replica 0 owns no filters; pick different labels")
+	}
+	if total := mine + len(c.FilterView(1)); total != 10 {
+		t.Fatalf("origin-scoped views hold %d filters, want 10 disjointly", total)
+	}
+	inherited, lost, ok := c.KillReplica(0, 2*time.Millisecond)
+	if !ok {
+		t.Fatal("could not kill replica 0")
+	}
+	if inherited != 0 || lost != mine {
+		t.Fatalf("inherited %d, lost %d; want 0 inherited, %d lost", inherited, lost, mine)
+	}
+	if got := c.Stats().FiltersLost; got != uint64(mine) {
+		t.Fatalf("FiltersLost = %d, want %d", got, mine)
+	}
+	if msg := c.CheckConsistency(2 * time.Millisecond); msg != "" {
+		t.Fatalf("inconsistent: %s", msg)
+	}
+}
+
+// TestExpiryReachesLogAndViews: a deadline-passed filter leaves every
+// view, appends an expire op, and the cluster stays consistent.
+func TestExpiryReachesLogAndViews(t *testing.T) {
+	c := testCluster(2, true)
+	lbl := flow.PairLabel(3, 9)
+	c.Record(OpInstall, lbl, 100*time.Millisecond, 0)
+	c.MergeRound(time.Millisecond)
+	if len(c.FilterView(0)) != 1 || len(c.FilterView(1)) != 1 {
+		t.Fatal("install did not reach both views")
+	}
+	c.MergeRound(200 * time.Millisecond)
+	if len(c.FilterView(0)) != 0 || len(c.FilterView(1)) != 0 {
+		t.Fatal("expired filter lingers in a view")
+	}
+	if got := c.LogLen(); got != 2 {
+		t.Fatalf("log length %d, want install+expire", got)
+	}
+	if msg := c.CheckConsistency(200 * time.Millisecond); msg != "" {
+		t.Fatalf("inconsistent after expiry: %s", msg)
+	}
+	// Nothing live on a replica killed after expiry.
+	inherited, lost, _ := c.KillReplica(0, 300*time.Millisecond)
+	if inherited != 0 || lost != 0 {
+		t.Fatalf("expired filters counted at failover: inherited %d lost %d", inherited, lost)
+	}
+}
+
+// TestExportImportRoundTrip: the durable state (log, liveness,
+// positions, counters) survives a snapshot/restore; views rebuild from
+// the replayed log and stay consistent.
+func TestExportImportRoundTrip(t *testing.T) {
+	c := testCluster(3, true)
+	exp := sim.Time(10 * time.Second)
+	for i := 0; i < 6; i++ {
+		c.Record(OpInstall, flow.PairLabel(flow.Addr(i+1), 9), exp, 0)
+	}
+	c.MergeRound(time.Millisecond)
+	c.KillReplica(2, 2*time.Millisecond)
+
+	st := c.ExportState()
+	fresh := testCluster(3, true)
+	fresh.ImportState(st, 3*time.Millisecond)
+
+	if fresh.Alive(2) || !fresh.Alive(0) || !fresh.Alive(1) {
+		t.Fatal("liveness did not survive the round trip")
+	}
+	for id := 0; id < 2; id++ {
+		want, got := c.FilterView(id), fresh.FilterView(id)
+		if len(want) != len(got) {
+			t.Fatalf("replica %d view: %d filters after restore, want %d", id, len(got), len(want))
+		}
+		for lbl, e := range want {
+			if got[lbl] != e {
+				t.Fatalf("replica %d lost %v across restore", id, lbl)
+			}
+		}
+	}
+	if fresh.Stats().Failovers != 1 {
+		t.Fatal("counters did not survive the round trip")
+	}
+	if msg := fresh.CheckConsistency(3 * time.Millisecond); msg != "" {
+		t.Fatalf("inconsistent after restore: %s", msg)
+	}
+}
+
+// TestTrafficView: the alloc.Traffic adapter unions the alive
+// replicas' heavy hitters — disjoint shards, no double counting.
+func TestTrafficView(t *testing.T) {
+	c := testCluster(2, true)
+	observe(c, 0, 1, 9, 3, 500)
+	observe(c, 0, 2, 9, 2, 400)
+	got := map[flow.Addr]uint64{}
+	c.Pairs(func(src, dst flow.Addr, bytes uint64, flagged bool) {
+		if dst == 9 {
+			got[src] += bytes
+		}
+	})
+	if got[1] < 1500 || got[2] < 800 {
+		t.Fatalf("traffic view undercounts: %v", got)
+	}
+	if b := c.BaselineBps(9); b < 0 {
+		t.Fatalf("negative baseline %f", b)
+	}
+}

@@ -51,6 +51,10 @@ const (
 	EvCtrlDupDrop
 	EvGatewayCrashed
 	EvGatewayRestored
+	// Cluster events: merge rounds that surfaced new detections, and
+	// logical replica death (failover).
+	EvClusterMerge
+	EvReplicaKilled
 )
 
 var eventNames = map[EventKind]string{
@@ -80,6 +84,8 @@ var eventNames = map[EventKind]string{
 	EvCtrlDupDrop:         "ctrl-dup-drop",
 	EvGatewayCrashed:      "gateway-crashed",
 	EvGatewayRestored:     "gateway-restored",
+	EvClusterMerge:        "cluster-merge",
+	EvReplicaKilled:       "replica-killed",
 }
 
 func (k EventKind) String() string {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aitf/internal/alloc"
+	"aitf/internal/cluster"
 	"aitf/internal/contract"
 	"aitf/internal/dataplane"
 	"aitf/internal/detect"
@@ -132,6 +133,13 @@ type GatewayConfig struct {
 	// stop orders, escalations). The zero value disables retransmission
 	// — every send is single-shot, the pre-messenger behaviour.
 	Control ControlConfig
+	// Cluster, when enabled (Replicas >= 2), runs this gateway as k
+	// logical replicas: detection shards by rendezvous hash over the
+	// flow pair, filter mutations replicate through a sequence-numbered
+	// log, and a recurring merge round exchanges detection state so a
+	// replica crash is a failover, not a re-detection from zero
+	// (internal/cluster).
+	Cluster cluster.Config
 }
 
 // GatewayDetection configures gateway-side detection on behalf of
@@ -295,11 +303,16 @@ type Gateway struct {
 	// det is the gateway-side sketch detection engine (nil when the
 	// gateway defends no legacy clients); protected gates which
 	// destinations feed it. detRun/detOut are reusable batch-path
-	// scratch buffers.
+	// scratch buffers. With a cluster, detection engines live inside
+	// clu (one per logical replica) and det stays nil.
 	det       *detect.Engine
 	protected map[flow.Addr]bool
 	detRun    []*packet.Packet
 	detOut    []detect.Detection
+
+	// clu is the gateway-cluster overlay: sharded detection, the
+	// replicated filter log, and replica failover (nil when disabled).
+	clu *cluster.Cluster
 
 	// msgr is the reliable control messenger (nil = retransmission
 	// off); seenTxids dedups retransmitted control messages by
@@ -360,12 +373,25 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		Clock:          dataplane.ClockFunc(func() filter.Time { return g.now() }),
 	})
 	if d := cfg.Detection; d != nil && d.Enabled() && len(d.Protected) > 0 {
-		g.det = detect.New(d.Config)
 		g.protected = make(map[flow.Addr]bool, len(d.Protected))
 		for _, a := range d.Protected {
 			g.protected[a] = true
 		}
 		g.detOut = make([]detect.Detection, 0, 16)
+		if !cfg.Cluster.Enabled() {
+			g.det = detect.New(d.Config)
+		}
+	}
+	if cfg.Cluster.Enabled() {
+		// The cluster owns the detection engines (one per logical
+		// replica, sharing the same config so their summaries merge)
+		// and the replicated filter log. With detection unconfigured it
+		// still replicates filters and survives replica death.
+		det := detect.Config{}
+		if d := cfg.Detection; d != nil && len(d.Protected) > 0 {
+			det = d.Config
+		}
+		g.clu = cluster.New(cfg.Cluster, det)
 	}
 	return g
 }
@@ -381,6 +407,7 @@ func (g *Gateway) Attach(n *netsim.Node, tr Tracer) {
 	g.tracer = tr
 	g.rec = traceback.NewRecorder(n.Addr(), g.cfg.Secret)
 	n.SetHandler(g)
+	g.armClusterMerge()
 }
 
 // Node returns the bound netsim node.
@@ -597,8 +624,8 @@ func (g *Gateway) applyData(p *packet.Packet, from *netsim.Iface, v dataplane.Ve
 	// makes this gateway file the filtering request itself. Filtered
 	// packets never get here — a blocked flow cannot retrigger
 	// detection; its reappearances are the shadow cache's business.
-	if !observed && g.det != nil && g.protected[p.Dst] {
-		if d, ok := g.det.ObserveTuple(now, p.Tuple(), int(p.PayloadLen)); ok {
+	if !observed && g.detectionArmed() && g.protected[p.Dst] {
+		if d, ok := g.observeTuple(now, p.Tuple(), int(p.PayloadLen)); ok {
 			g.selfDetect(d, p.Path)
 		}
 	}
@@ -686,7 +713,7 @@ func (g *Gateway) ReceiveBatch(n *netsim.Node, ps []*packet.Packet, from *netsim
 // the evidence of a matching packet from the run. It reports whether
 // the run was observed, so the per-packet path does not observe twice.
 func (g *Gateway) observeRun(run []*packet.Packet, verdicts []dataplane.Verdict) bool {
-	if g.det == nil {
+	if !g.detectionArmed() {
 		return false
 	}
 	sub := g.detRun[:0]
@@ -696,7 +723,19 @@ func (g *Gateway) observeRun(run []*packet.Packet, verdicts []dataplane.Verdict)
 		}
 	}
 	if len(sub) > 0 {
-		g.detOut = g.det.Observe(g.now(), sub, g.detOut[:0])
+		if g.clu != nil {
+			// Cluster path: route each packet to its owning replica; the
+			// batch API cannot be used because ownership differs per flow.
+			now := g.now()
+			g.detOut = g.detOut[:0]
+			for _, p := range sub {
+				if d, ok := g.clu.Observe(now, p.Tuple(), int(p.PayloadLen)); ok {
+					g.detOut = append(g.detOut, d)
+				}
+			}
+		} else {
+			g.detOut = g.det.Observe(g.now(), sub, g.detOut[:0])
+		}
 		for _, d := range g.detOut {
 			for _, p := range sub {
 				if p.Src == d.Src && p.Dst == d.Dst {
@@ -983,12 +1022,17 @@ func (g *Gateway) installVictimFilter(label flow.Label, now, exp sim.Time) error
 						filter.Entry{Label: key, InstalledAt: now, ExpiresAt: exp})
 				}
 				atomic.AddUint64(&g.stats.AggregateCovered, 1)
+				g.clusterRecord(cluster.OpInstall, label, exp)
 				return nil
 			}
 		}
 	}
 	err := g.dp.Install(label, now, exp)
-	if err == nil || !errors.Is(err, filter.ErrTableFull) || !g.aggregationEnabled() {
+	if err == nil {
+		g.clusterRecord(cluster.OpInstall, label, exp)
+		return nil
+	}
+	if !errors.Is(err, filter.ErrTableFull) || !g.aggregationEnabled() {
 		return err
 	}
 	freed := false
@@ -1000,7 +1044,11 @@ func (g *Gateway) installVictimFilter(label flow.Label, now, exp sim.Time) error
 	if !freed {
 		return err
 	}
-	return g.dp.Install(label, now, exp)
+	if err := g.dp.Install(label, now, exp); err != nil {
+		return err
+	}
+	g.clusterRecord(cluster.OpInstall, label, exp)
+	return nil
 }
 
 // aggregationEnabled reports whether either coarse-filter fallback —
@@ -1017,7 +1065,12 @@ func (g *Gateway) allocConfig(policy alloc.Policy) alloc.Config {
 	if g.cfg.AggregationMinChildren > cfg.MinChildren {
 		cfg.MinChildren = g.cfg.AggregationMinChildren
 	}
-	if g.det != nil {
+	if g.clu != nil && g.protected != nil {
+		// The cluster is the traffic view: the union of the alive
+		// replicas' disjoint shards.
+		cfg.Traffic = g.clu
+		cfg.WindowSeconds = g.clu.DetectionWindow().Seconds()
+	} else if g.det != nil {
 		cfg.Traffic = alloc.DetectTraffic{Eng: g.det}
 		cfg.WindowSeconds = g.det.Config().Window.Seconds()
 	}
@@ -1074,6 +1127,7 @@ func (g *Gateway) aggregateUnderPressure(now sim.Time) bool {
 	atomic.AddUint64(&g.stats.AggregateCollateralBytes, uint64(priced.LegitBytes))
 	g.trace(EvAggregated, best.Aggregate,
 		fmt.Sprintf("%d children, covers %d sources", replaced, best.CoveredAddrs()))
+	g.clusterRecord(cluster.OpAggregate, best.Aggregate, best.MaxExpiry)
 	g.armAggregateReview()
 	return true
 }
@@ -1116,6 +1170,7 @@ func (g *Gateway) applyPick(pick alloc.Candidate, now sim.Time) bool {
 	g.trace(EvAggregated, pick.Aggregate,
 		fmt.Sprintf("%d children, covers %d sources, est %dB/window collateral",
 			replaced, pick.CoveredAddrs(), uint64(pick.LegitBytes)))
+	g.clusterRecord(cluster.OpAggregate, pick.Aggregate, pick.MaxExpiry)
 	return true
 }
 
@@ -1204,10 +1259,13 @@ func (g *Gateway) aggregateReview() {
 			// small table (capacity < 4 keeps no headroom quarter) and
 			// silently rejected a child before its deadline.
 			g.dp.Remove(a.label)
+			g.clusterRecord(cluster.OpRemove, a.label, 0)
 			for _, c := range live {
 				if err := g.dp.Install(c.Label, now, c.ExpiresAt); err != nil {
 					g.trace(EvFilterRejected, c.Label, "split-back: "+err.Error())
+					continue
 				}
+				g.clusterRecord(cluster.OpInstall, c.Label, c.ExpiresAt)
 			}
 			delete(g.aggregates, k)
 			atomic.AddUint64(&g.stats.AggregateSplits, 1)
@@ -1267,6 +1325,7 @@ func (g *Gateway) refineAggregate(k flow.Label, a *aggregate, live []filter.Entr
 		return false // no precision gained
 	}
 	g.dp.Remove(a.label)
+	g.clusterRecord(cluster.OpRemove, a.label, 0)
 	delete(g.aggregates, k)
 	covered := make(map[flow.Label]bool)
 	for _, pick := range plan.Picks {
@@ -1275,6 +1334,7 @@ func (g *Gateway) refineAggregate(k flow.Label, a *aggregate, live []filter.Entr
 			continue
 		}
 		g.recordAggregate(pick)
+		g.clusterRecord(cluster.OpAggregate, pick.Aggregate, pick.MaxExpiry)
 		for _, c := range pick.Children {
 			covered[c.Label.Key()] = true
 		}
@@ -1291,7 +1351,9 @@ func (g *Gateway) refineAggregate(k flow.Label, a *aggregate, live []filter.Entr
 		}
 		if err := g.dp.Install(c.Label, now, c.ExpiresAt); err != nil {
 			g.trace(EvFilterRejected, c.Label, "refine split: "+err.Error())
+			continue
 		}
+		g.clusterRecord(cluster.OpInstall, c.Label, c.ExpiresAt)
 	}
 	atomic.AddUint64(&g.stats.AggregateRefinements, 1)
 	g.trace(EvDeaggregated, a.label,
@@ -1552,6 +1614,7 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 		return
 	}
 	g.trace(EvFilterInstalled, label, fmt.Sprintf("for %v", g.cfg.Timers.T))
+	g.clusterRecord(cluster.OpInstall, label, exp)
 	g.node.Engine().Schedule(sim.Time(g.cfg.Timers.T), func() { g.dp.Expire(g.now()) })
 
 	g.orderClientToStop(label)
@@ -1631,6 +1694,7 @@ func (g *Gateway) handleStopOrder(p *packet.Packet, m *packet.FilterReq) {
 		return
 	}
 	g.trace(EvFilterInstalled, label, "stop order from provider")
+	g.clusterRecord(cluster.OpInstall, label, exp)
 	g.orderClientToStop(label)
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"aitf/internal/cluster"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
 	"aitf/internal/packet"
@@ -83,6 +84,11 @@ type GatewaySnapshot struct {
 	// sends cannot collide with pre-crash ones inside a receiver's
 	// dedup window.
 	NextTxid uint64
+	// Cluster is the cluster overlay's durable state (replicated log,
+	// replica liveness, log positions, counters); nil when clustering
+	// is disabled. Detection engines are volatile by design — the
+	// merged sweep re-acquires attacks from live traffic.
+	Cluster *cluster.State
 }
 
 func labelLess(a, b flow.Label) bool { return a.String() < b.String() }
@@ -99,6 +105,9 @@ func (g *Gateway) Snapshot() *GatewaySnapshot {
 	}
 	if g.msgr != nil {
 		snap.NextTxid = g.msgr.nextID
+	}
+	if g.clu != nil {
+		snap.Cluster = g.clu.ExportState()
 	}
 	sort.Slice(snap.Filters, func(i, j int) bool { return labelLess(snap.Filters[i].Label, snap.Filters[j].Label) })
 	sort.Slice(snap.Shadows, func(i, j int) bool { return labelLess(snap.Shadows[i].Label, snap.Shadows[j].Label) })
@@ -191,6 +200,9 @@ func (g *Gateway) Restore(snap *GatewaySnapshot) {
 	g.stats = snap.Stats
 	if g.msgr != nil && snap.NextTxid > g.msgr.nextID {
 		g.msgr.nextID = snap.NextTxid
+	}
+	if g.clu != nil && snap.Cluster != nil {
+		g.clu.ImportState(snap.Cluster, now)
 	}
 
 	for _, ent := range snap.Filters {

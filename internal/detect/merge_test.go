@@ -1,0 +1,246 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aitf/internal/flow"
+	"aitf/internal/sim"
+)
+
+// mergeCfg is the shared geometry merge tests use: threshold is
+// 40kB/s over a 250ms window, i.e. 10_000 bytes per window.
+func mergeCfg() Config {
+	return Config{Width: 256, Depth: 4, TopK: 16,
+		Window: 250 * time.Millisecond, ThresholdBps: 40_000, Seed: 7}
+}
+
+func tupleOf(src, dst flow.Addr) flow.Tuple {
+	return flow.TupleOf(src, dst, flow.ProtoUDP, 1, 2)
+}
+
+func observeN(e *Engine, now sim.Time, src, dst flow.Addr, n, size int) {
+	for i := 0; i < n; i++ {
+		e.ObserveTuple(now, tupleOf(src, dst), size)
+	}
+}
+
+// TestMergedEstimateOneSided: after merging two engines, every
+// estimate is at least the combined true in-window byte count — so at
+// least either input's share.
+func TestMergedEstimateOneSided(t *testing.T) {
+	cfg := mergeCfg()
+	a, b := New(cfg), New(cfg)
+	now := sim.Time(0)
+	observeN(a, now, 1, 9, 3, 1000) // shared key, 3000B on a
+	observeN(b, now, 1, 9, 2, 1000) // shared key, 2000B on b
+	observeN(a, now, 2, 9, 4, 500)  // a-only key, 2000B
+	observeN(b, now, 3, 9, 5, 200)  // b-only key, 1000B
+
+	view := New(cfg)
+	if err := view.Merge(now, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Merge(now, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		src   flow.Addr
+		truth uint64
+	}{{1, 5000}, {2, 2000}, {3, 1000}} {
+		if est := view.Estimate(now, c.src, 9); est < c.truth {
+			t.Fatalf("merged estimate for %v->9 is %d, below combined truth %d", c.src, est, c.truth)
+		}
+	}
+}
+
+// TestMergeDetectsWhatNoReplicaSees is the cluster's reason to exist:
+// an attack split across two shard views, each half under threshold,
+// crosses only in the merged view — and the sweep detection carries a
+// sound lower bound. Legit flows stay undetected before and after.
+func TestMergeDetectsWhatNoReplicaSees(t *testing.T) {
+	cfg := mergeCfg()
+	a, b := New(cfg), New(cfg)
+	now := sim.Time(0)
+	// 6000B on each side: under the 10_000B/window threshold alone,
+	// over it combined.
+	observeN(a, now, 7, 9, 6, 1000)
+	observeN(b, now, 7, 9, 6, 1000)
+	// A small legit flow on each side.
+	observeN(a, now, 3, 9, 2, 100)
+	observeN(b, now, 4, 9, 2, 100)
+	if a.Stats().Detections != 0 || b.Stats().Detections != 0 {
+		t.Fatalf("a replica detected alone: %d/%d", a.Stats().Detections, b.Stats().Detections)
+	}
+
+	view := New(cfg)
+	if err := view.Merge(now, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Merge(now, b); err != nil {
+		t.Fatal(err)
+	}
+	dets := view.Sweep(now, nil)
+	if len(dets) != 1 {
+		t.Fatalf("sweep found %d detections, want exactly the split attack: %+v", len(dets), dets)
+	}
+	d := dets[0]
+	if d.Src != 7 || d.Dst != 9 {
+		t.Fatalf("swept the wrong flow: %v", d.Label)
+	}
+	if d.LowBytes < 12000 || d.LowBytes > d.EstBytes {
+		t.Fatalf("lower bound %d not in [12000, est %d]", d.LowBytes, d.EstBytes)
+	}
+	// Flagged now: a second sweep stays quiet.
+	if again := view.Sweep(now, nil); len(again) != 0 {
+		t.Fatalf("re-swept a flagged flow: %+v", again)
+	}
+}
+
+// TestMergeLowerBoundComposition: for every merged summary entry,
+// count − err never exceeds the combined true bytes — the invariant
+// that keeps merged detections free of false positives.
+func TestMergeLowerBoundComposition(t *testing.T) {
+	cfg := mergeCfg()
+	cfg.TopK = 4 // force takeover churn so err is exercised
+	a, b := New(cfg), New(cfg)
+	now := sim.Time(0)
+	truth := map[uint64]uint64{}
+	for i := 0; i < 12; i++ {
+		src := flow.Addr(i%6 + 1)
+		sz := 300 + 100*i
+		observeN(a, now, src, 9, 1, sz)
+		truth[pairKey(src, 9)] += uint64(sz)
+	}
+	for i := 0; i < 12; i++ {
+		src := flow.Addr(i%5 + 4) // overlaps sources 4..6 with a
+		sz := 250 + 90*i
+		observeN(b, now, src, 9, 1, sz)
+		truth[pairKey(src, 9)] += uint64(sz)
+	}
+	view := New(cfg)
+	if err := view.Merge(now, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Merge(now, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range view.hh.entries {
+		ent := &view.hh.entries[i]
+		if low := ent.count - ent.err; low > truth[ent.key] {
+			t.Fatalf("merged lower bound %d exceeds truth %d for key %x: a false positive is possible",
+				low, truth[ent.key], ent.key)
+		}
+	}
+	if got := view.hh.len(); got > cfg.TopK {
+		t.Fatalf("merged summary overflows its budget: %d > %d", got, cfg.TopK)
+	}
+}
+
+// TestMergeTruncationKeepsHeaviest: when the union exceeds the top-k
+// budget, the largest counts survive and the truncation is accounted
+// as evictions.
+func TestMergeTruncationKeepsHeaviest(t *testing.T) {
+	cfg := mergeCfg()
+	cfg.TopK = 4
+	a, b := New(cfg), New(cfg)
+	now := sim.Time(0)
+	for i := 0; i < 4; i++ { // a holds 1000..4000
+		observeN(a, now, flow.Addr(i+1), 9, 1, 1000*(i+1))
+	}
+	for i := 0; i < 4; i++ { // b holds 5000..8000
+		observeN(b, now, flow.Addr(i+10), 9, 1, 5000+1000*i)
+	}
+	view := New(cfg)
+	if err := view.Merge(now, a); err != nil {
+		t.Fatal(err)
+	}
+	before := view.Stats().Evictions
+	if err := view.Merge(now, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := view.Stats().Evictions - before; got != 4 {
+		t.Fatalf("truncation evicted %d entries, want 4", got)
+	}
+	for _, h := range view.TopK() {
+		if h.Bytes < 5000 {
+			t.Fatalf("a light entry (%dB from %v) survived over a heavy one", h.Bytes, h.Src)
+		}
+	}
+}
+
+// TestMergeFlagAbsorption: a flag set on an input survives into the
+// merged view (no re-detection of an already-filed flow), and Flag
+// reports tracked vs untracked keys.
+func TestMergeFlagAbsorption(t *testing.T) {
+	cfg := mergeCfg()
+	a := New(cfg)
+	now := sim.Time(0)
+	observeN(a, now, 7, 9, 20, 1000) // 20kB: inline detection fires
+	if a.Stats().Detections != 1 {
+		t.Fatalf("inline detection did not fire: %d", a.Stats().Detections)
+	}
+	view := New(cfg)
+	if err := view.Merge(now, a); err != nil {
+		t.Fatal(err)
+	}
+	if dets := view.Sweep(now, nil); len(dets) != 0 {
+		t.Fatalf("merged view re-detected a flagged flow: %+v", dets)
+	}
+	b := New(cfg)
+	observeN(b, now, 8, 9, 2, 100)
+	if !b.Flag(now, 8, 9) {
+		t.Fatal("Flag missed a tracked pair")
+	}
+	if b.Flag(now, 9, 8) {
+		t.Fatal("Flag invented an untracked pair")
+	}
+}
+
+// TestMergeIncompatible: engines with different seeds or geometry must
+// refuse to merge — their cells do not describe the same key space.
+func TestMergeIncompatible(t *testing.T) {
+	base := mergeCfg()
+	for _, alter := range []func(*Config){
+		func(c *Config) { c.Seed++ },
+		func(c *Config) { c.Width *= 2 },
+		func(c *Config) { c.Depth++ },
+		func(c *Config) { c.TopK *= 2 },
+		func(c *Config) { c.Window *= 2 },
+	} {
+		cfg := base
+		alter(&cfg)
+		if err := New(base).Merge(0, New(cfg)); !errors.Is(err, ErrIncompatible) {
+			t.Fatalf("incompatible engines merged: %v (cfg %+v)", err, cfg)
+		}
+	}
+	e := New(base)
+	if err := e.Merge(0, e); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("self-merge accepted: %v", err)
+	}
+}
+
+// TestMergeRotationSelfErases: merging a frozen engine after its
+// window has lapsed contributes nothing — the property that lets a
+// crashed replica's last published summary age out of the cluster
+// view instead of haunting it forever.
+func TestMergeRotationSelfErases(t *testing.T) {
+	cfg := mergeCfg()
+	a := New(cfg)
+	observeN(a, 0, 1, 9, 3, 1000)
+	if sz := a.MergeSize(); sz <= 0 {
+		t.Fatalf("live window reports merge size %d", sz)
+	}
+	later := sim.Time(4 * cfg.Window)
+	view := New(cfg)
+	if err := view.Merge(later, a); err != nil {
+		t.Fatal(err)
+	}
+	if est := view.Estimate(later, 1, 9); est != 0 {
+		t.Fatalf("stale window leaked %dB through the merge", est)
+	}
+	if sz := a.MergeSize(); sz != 0 {
+		t.Fatalf("rotated engine still reports %d merge bytes", sz)
+	}
+}

@@ -57,6 +57,7 @@ func All() (map[string]Driver, []string) {
 		"E13": E13DetectionLatency,
 		"E15": E15CollateralAllocation,
 		"E16": E16Resilience,
+		"E17": E17ClusterFailover,
 	}
 	ids := make([]string, 0, len(m))
 	for id := range m {

@@ -7,12 +7,13 @@ import (
 	"time"
 
 	"aitf"
+	"aitf/internal/scenario"
 )
 
 // TestAllDriversRegistered pins the experiment registry to EXPERIMENTS.md.
 func TestAllDriversRegistered(t *testing.T) {
 	drivers, ids := All()
-	want := []string{"E1", "E13", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E13", "E15", "E16", "E17", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -343,5 +344,44 @@ func TestE16ResilienceHoldsInvariants(t *testing.T) {
 		if strings.Contains(n, "violations") && !strings.Contains(n, "0 violations") {
 			t.Fatalf("violations in sweep: %s", n)
 		}
+	}
+}
+
+// TestE17ClusterCells exercises E17's cell runner on its extreme
+// deployments without paying for the full sweep: a replicated cluster
+// kill must lose nothing and keep suppression within the 5% acceptance
+// bound of the no-crash cluster, independent replicas must lose
+// filters somewhere, and every cell must hold all invariants.
+func TestE17ClusterCells(t *testing.T) {
+	clu := func(replicate, kill bool) scenario.ClusterSpec {
+		return scenario.ClusterSpec{Replicas: 3, MergeMs: 250,
+			Replicate: replicate, KillReplica: kill}
+	}
+	repl := runClusterCell("replicated + kill", clu(true, true))
+	noCrash := runClusterCell("no crash", clu(true, false))
+	indep := runClusterCell("independent + kill", clu(false, true))
+	for _, cell := range []ClusterCell{repl, noCrash, indep} {
+		if cell.Violations != 0 {
+			t.Fatalf("cell %q violated invariants: %+v", cell.Mode, cell)
+		}
+	}
+	if repl.Failovers == 0 || indep.Failovers == 0 {
+		t.Fatalf("kills never landed: repl=%d indep=%d", repl.Failovers, indep.Failovers)
+	}
+	if repl.FiltersLost != 0 {
+		t.Fatalf("replicated failover lost %d filters", repl.FiltersLost)
+	}
+	if indep.FiltersLost == 0 {
+		t.Fatal("independent replicas lost nothing — the contrast cell is dead")
+	}
+	if noCrash.AttackSuppressed > 0 {
+		drift := float64(noCrash.AttackSuppressed) - float64(repl.AttackSuppressed)
+		if drift/float64(noCrash.AttackSuppressed) > 0.05 {
+			t.Fatalf("suppression drift past 5%%: kill %d vs no-crash %d",
+				repl.AttackSuppressed, noCrash.AttackSuppressed)
+		}
+	}
+	if repl.MergeRounds == 0 || repl.MergeBytes == 0 {
+		t.Fatalf("no replication traffic measured: %+v", repl)
 	}
 }

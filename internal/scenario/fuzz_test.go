@@ -48,6 +48,17 @@ func fuzzSpec(seed int64, ases, army, flags uint8) Spec {
 		CrashVictimGW: fb&32 != 0,
 		Retransmit:    fb&64 != 0,
 	}
+	// Seed high-byte bit 7 arms the gateway-cluster layer; its shape
+	// rides on bits the other fields already consume (independence is
+	// not needed for coverage, only reachability).
+	if fb&128 != 0 {
+		s.Cluster = ClusterSpec{
+			Replicas:    2 + int(ases%2),
+			MergeMs:     250 + 250*int(flags%2),
+			Replicate:   army&2 == 0,
+			KillReplica: army&1 == 0,
+		}
+	}
 	return s // Run normalizes the rest (Drain, clamps)
 }
 
@@ -82,6 +93,13 @@ func FuzzScenario(f *testing.F) {
 	f.Add(int64(0b0100_0011)<<56|67, uint8(6), uint8(0b0110_0110), uint8(0))
 	f.Add(int64(0b0010_0000)<<56|71, uint8(9), uint8(0b0001_0111), uint8(0b0010_1001))
 	f.Add(int64(0b0110_1101)<<56|79, uint8(5), uint8(0b1011_0101), uint8(0b0000_0001))
+	// Gateway-cluster entries (seed high-byte bit 7): a replicated
+	// cluster with a replica kill under gateway-side detection, the
+	// cluster riding the full hostile-network stack at once, and the
+	// independent-gateways contrast (replication off) with a kill.
+	f.Add(int64(-1<<63|89), uint8(0b1000_0110), uint8(0b0110_0100), uint8(0))
+	f.Add(int64(-1<<63|0b0110_1101<<56|97), uint8(5), uint8(0b1011_0001), uint8(0b0000_0001))
+	f.Add(int64(-1<<63|101), uint8(0b1000_0011), uint8(0b0000_0110), uint8(0b0000_0010))
 	f.Fuzz(func(t *testing.T, seed int64, ases, army, flags uint8) {
 		spec := fuzzSpec(seed, ases, army, flags)
 		res := Run(spec)

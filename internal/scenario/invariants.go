@@ -52,6 +52,7 @@ func (w *world) check() *Result {
 	w.checkBandwidthBound(r)
 	w.checkDetectionAccuracy(r)
 	w.checkControlReliability(r)
+	w.checkReplicationConsistency(r)
 	r.Fingerprint = w.fingerprint()
 	return r
 }
@@ -483,6 +484,69 @@ func (w *world) checkControlReliability(r *Result) {
 	}
 }
 
+// ── Invariant 7: replication is consistent ───────────────────────────
+
+// checkReplicationConsistency asserts the gateway-cluster contracts
+// after quiesce: one final merge round ships any tail of the
+// replicated log, and then every live replica's filter view must agree
+// with a replay of that log (cluster.CheckConsistency); with
+// replication on, no failover may have lost a filter — the survivors
+// already held every one; and no live replica's view may name a
+// protected legitimate source it never observed (exact pair labels —
+// aggregates are priced by the invariant-2 collateral budget instead).
+// Cluster-free runs must show no cluster activity at all.
+func (w *world) checkReplicationConsistency(r *Result) {
+	if !w.spec.Cluster.Enabled() {
+		if n := w.dep.Log.Count(aitf.EvClusterMerge) + w.dep.Log.Count(aitf.EvReplicaKilled); n != 0 {
+			w.violate(r, "replication-consistency", "net",
+				"cluster-free run recorded %d cluster events", n)
+		}
+		return
+	}
+	now := w.dep.Engine.Now()
+	protected := w.protectedSrcs()
+	for id, g := range w.dep.Gateways {
+		clu := g.Cluster()
+		if clu == nil {
+			continue
+		}
+		name := w.topo.Nodes[id].Name
+		// Final quiesce round: ops recorded after the last scheduled
+		// merge have not shipped yet; failover-consistency is judged on
+		// the settled log.
+		clu.MergeRound(now)
+		if msg := clu.CheckConsistency(now); msg != "" {
+			w.violate(r, "replication-consistency", name, "%s", msg)
+		}
+		st := clu.Stats()
+		r.ClusterMergeRounds += st.MergeRounds
+		r.ClusterMergeBytes += st.MergeBytes
+		r.ClusterFailovers += st.Failovers
+		r.ClusterFiltersInherited += st.FiltersInherited
+		r.ClusterFiltersLost += st.FiltersLost
+		r.ClusterLogLen += clu.LogLen()
+		if w.spec.Cluster.Replicate && st.FiltersLost > 0 {
+			w.violate(r, "replication-consistency", name,
+				"replicated failover lost %d filters (inherited %d)",
+				st.FiltersLost, st.FiltersInherited)
+		}
+		for i := 0; i < clu.Replicas(); i++ {
+			if !clu.Alive(i) {
+				continue
+			}
+			for lbl, exp := range clu.FilterView(i) {
+				if exp <= now {
+					continue
+				}
+				if lbl.Wildcards&flow.WildSrc == 0 && lbl.SrcPrefixLen == 0 && protected[lbl.Src] {
+					w.violate(r, "replication-consistency", name,
+						"replica %d holds a filter naming protected source %v (%s)", i, lbl.Src, lbl)
+				}
+			}
+		}
+	}
+}
+
 // ── Fingerprint ──────────────────────────────────────────────────────
 
 // fingerprint hashes the full protocol event trace plus every meter and
@@ -523,6 +587,13 @@ func (w *world) fingerprint() uint64 {
 	for _, id := range gwIDs {
 		g := w.dep.Gateways[topology.NodeID(id)]
 		add("g%d:%+v:%+v:%+v\n", id, g.Stats(), g.DataPlane().FilterStats(), g.DataPlane().ShadowStats())
+		if clu := g.Cluster(); clu != nil {
+			st := clu.Stats()
+			// CatchupNanos is wall clock — it must never enter a replay
+			// fingerprint.
+			st.CatchupNanos = 0
+			add("c%d:%d:%+v\n", id, clu.LogLen(), st)
+		}
 	}
 	return h.Sum64()
 }

@@ -63,6 +63,14 @@ func shrinkCandidates(s Spec) []Spec {
 	add(func(c *Spec) { c.Faults.Flaps = 0 })
 	add(func(c *Spec) { c.Faults.CrashVictimGW = false })
 	add(func(c *Spec) { c.Faults.Retransmit = false })
+	// Cluster reductions — only when the layer is on, so shrinking never
+	// grows a cluster into a cluster-free spec: drop it whole, then the
+	// replica kill, then down to the minimal two replicas.
+	if s.Cluster.Enabled() {
+		add(func(c *Spec) { c.Cluster = ClusterSpec{} })
+		add(func(c *Spec) { c.Cluster.KillReplica = false })
+		add(func(c *Spec) { c.Cluster.Replicas = 2 })
+	}
 	add(func(c *Spec) { c.IngressFiltering = false })
 	add(func(c *Spec) { c.GatewayAuto = false })
 	add(func(c *Spec) { c.BatchDelivery = false })

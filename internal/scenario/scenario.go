@@ -33,6 +33,7 @@ import (
 	"aitf"
 	"aitf/internal/alloc"
 	"aitf/internal/attack"
+	"aitf/internal/cluster"
 	"aitf/internal/contract"
 	"aitf/internal/core"
 	"aitf/internal/detect"
@@ -131,6 +132,31 @@ func (f FaultSpec) Enabled() bool {
 	return f.CtrlLossPct > 0 || f.Flaps > 0 || f.CrashVictimGW
 }
 
+// ClusterSpec configures the gateway-cluster layer: every deployed
+// gateway runs as Replicas sketch-merging logical replicas with a
+// replicated filter log (internal/cluster). The zero value keeps
+// classic single-replica gateways and draws no cluster randomness.
+type ClusterSpec struct {
+	// Replicas is the logical replica count per gateway (< 2 disables).
+	Replicas int `json:"replicas"`
+	// MergeMs is the merge-round interval in milliseconds; it is never
+	// allowed below the detection window (the merged lower bound needs
+	// at least one full window between exchanges).
+	MergeMs int `json:"merge_ms"`
+	// Replicate arms the replicated filter log; off, each replica keeps
+	// only its own filters — the independent-gateways contrast that
+	// loses them on a crash.
+	Replicate bool `json:"replicate"`
+	// KillReplica kills one logical replica of the first victim's
+	// serving gateway mid-attack (replica-death chaos): its flows
+	// reassign to the survivors and, with Replicate on, every one of
+	// its filters must already be held by them.
+	KillReplica bool `json:"kill_replica"`
+}
+
+// Enabled reports whether the spec describes a real cluster.
+func (c ClusterSpec) Enabled() bool { return c.Replicas >= 2 }
+
 // Spec is a fully deterministic scenario description. GenSpec derives
 // one from a seed; the CLI can also replay or minimize an explicit
 // spec. Run(s) is a pure function of the Spec value.
@@ -185,6 +211,10 @@ type Spec struct {
 	// loss, link flaps, a victim-gateway crash/restore) the scenario
 	// must survive. Zero value = pristine network.
 	Faults FaultSpec `json:"faults"`
+	// Cluster runs every deployed gateway as a cluster of
+	// sketch-merging logical replicas (invariant 7 applies). Zero
+	// value = single-replica gateways.
+	Cluster ClusterSpec `json:"cluster"`
 }
 
 // GenSpec derives a scenario shape from a seed. Sizes are tuned so a
@@ -236,6 +266,14 @@ func GenSpec(seed int64) Spec {
 	}
 	if rng.Float64() < 0.20 {
 		s.Faults.CrashVictimGW = true
+	}
+	// Cluster layer drawn after the faults, again so every pre-cluster
+	// field of a given seed keeps its exact value.
+	if rng.Float64() < 0.25 {
+		s.Cluster.Replicas = 2 + rng.Intn(2)
+		s.Cluster.MergeMs = []int{250, 500}[rng.Intn(2)]
+		s.Cluster.Replicate = rng.Float64() < 0.8
+		s.Cluster.KillReplica = rng.Float64() < 0.5
 	}
 	return s
 }
@@ -296,6 +334,12 @@ func (s Spec) normalized() Spec {
 		s.Faults.CtrlLossPct = 20
 	}
 	clamp(&s.Faults.Flaps, 0, 4)
+	clamp(&s.Cluster.Replicas, 0, 4)
+	if s.Cluster.Enabled() {
+		// The merge interval is never shorter than the detection window:
+		// the windowed lower bound composes only across full windows.
+		clamp(&s.Cluster.MergeMs, int(detectWindow/time.Millisecond), 2000)
+	}
 	return s
 }
 
@@ -404,6 +448,19 @@ type Result struct {
 	DataLossDrops   uint64 `json:"data_loss_drops"`
 	GatewayCrashes  int    `json:"gateway_crashes"`
 
+	// Gateway-cluster accounting (invariant 7), summed over every
+	// clustered gateway: merge rounds run and replication bytes
+	// exchanged, replica failovers, and the filters the survivors
+	// inherited vs lost at each failover. With replication on, lost
+	// must be zero. CatchupNanos is deliberately excluded — it is wall
+	// clock and would break replay fingerprints.
+	ClusterMergeRounds      uint64 `json:"cluster_merge_rounds"`
+	ClusterMergeBytes       uint64 `json:"cluster_merge_bytes"`
+	ClusterFailovers        uint64 `json:"cluster_failovers"`
+	ClusterFiltersInherited uint64 `json:"cluster_filters_inherited"`
+	ClusterFiltersLost      uint64 `json:"cluster_filters_lost"`
+	ClusterLogLen           int    `json:"cluster_log_len"`
+
 	Violations  []Violation `json:"violations"`
 	Fingerprint uint64      `json:"fingerprint"`
 }
@@ -428,6 +485,11 @@ func (r *Result) Report() string {
 		s += fmt.Sprintf("\n  faults: ctrl-loss=%.1f%% flaps=%d crash=%d retx=%d dup-drops=%d lost-ctrl=%d lost-data=%d",
 			r.Spec.Faults.CtrlLossPct, r.Spec.Faults.Flaps, r.GatewayCrashes,
 			r.CtrlRetransmits, r.CtrlDupDrops, r.CtrlLossDrops, r.DataLossDrops)
+	}
+	if r.Spec.Cluster.Enabled() {
+		s += fmt.Sprintf("\n  cluster: replicas=%d merges=%d merge-bytes=%d failovers=%d inherited=%d lost=%d log=%d",
+			r.Spec.Cluster.Replicas, r.ClusterMergeRounds, r.ClusterMergeBytes,
+			r.ClusterFailovers, r.ClusterFiltersInherited, r.ClusterFiltersLost, r.ClusterLogLen)
 	}
 	for _, v := range r.Violations {
 		s += "\n  " + v.String()
@@ -704,6 +766,14 @@ func build(s Spec) *world {
 	if s.Faults.Retransmit {
 		opt.Control = core.ControlConfig{MaxAttempts: ctrlAttempts, RTO: ctrlRTO, Jitter: ctrlJitter}
 	}
+	if s.Cluster.Enabled() {
+		opt.Cluster = cluster.Config{
+			Replicas:   s.Cluster.Replicas,
+			MergeEvery: sim.Time(s.Cluster.MergeMs) * sim.Time(time.Millisecond),
+			HashSeed:   uint64(s.Seed),
+			Replicate:  s.Cluster.Replicate,
+		}
+	}
 	w.dep = aitf.DeployTopology(opt, spec)
 
 	// ── Fault schedule ───────────────────────────────────────────────
@@ -750,6 +820,23 @@ func build(s Spec) *world {
 				})
 			})
 		}
+	}
+
+	// ── Replica-death chaos ──────────────────────────────────────────
+	// Kill one seed-chosen logical replica of the first victim's
+	// serving gateway mid-attack (offset from the whole-gateway crash
+	// instant so the two fault kinds compose without colliding). The
+	// gateway is fetched at fire time: a crash/restore may have
+	// replaced the object by then.
+	if s.Cluster.Enabled() && s.Cluster.KillReplica {
+		gw := servingGW(w.victims[0].as)
+		replica := int(uint64(s.Seed) % uint64(s.Cluster.Replicas))
+		killAt := sim.Time(attackWindowStart+time.Second) + sim.Time(s.AttackDur/3)
+		w.dep.Engine.ScheduleAt(killAt, func() {
+			if g := w.dep.Gateways[gw]; g != nil {
+				g.KillReplica(replica)
+			}
+		})
 	}
 
 	// ── Workloads ────────────────────────────────────────────────────

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aitf/internal/alloc"
+	"aitf/internal/cluster"
 	"aitf/internal/contract"
 	"aitf/internal/detect"
 	"aitf/internal/flow"
@@ -99,6 +100,24 @@ type GatewayFileConfig struct {
 	// (filters, shadows, pendings, counters) there on graceful drain and
 	// restore it on the next boot, honoring the original deadlines.
 	SnapshotPath string `json:"snapshot_path"`
+	// ClusterPeers runs the gateway as a cluster of this many logical
+	// replicas (internal/cluster): each observes a rendezvous-hash slice
+	// of the flows, merge rounds exchange detection state, and filter
+	// mutations feed a replicated log so failover never re-detects from
+	// zero. Valid values are 0 (disabled) or 2..64.
+	ClusterPeers int `json:"cluster_peers"`
+	// ClusterMergeMs is the merge-round interval in milliseconds
+	// (0 = the cluster default, 250). It must not be shorter than the
+	// effective detection window — merging faster than the sketches
+	// rotate only reships identical state.
+	ClusterMergeMs int `json:"cluster_merge_ms"`
+	// ClusterHashSeed perturbs the rendezvous hash assigning flows to
+	// replicas (0 = derive from the node address).
+	ClusterHashSeed uint64 `json:"cluster_hash_seed"`
+	// ClusterReplication arms the replicated filter log; off, each
+	// replica keeps only its own filter view (the independent-gateways
+	// baseline that loses filters at failover).
+	ClusterReplication bool `json:"cluster_replication"`
 }
 
 // HostFileConfig is the host-specific part of FileConfig.
@@ -182,6 +201,28 @@ func (g *GatewayFileConfig) validate() error {
 	for _, a := range g.DetectFor {
 		if _, err := flow.ParseAddr(a); err != nil {
 			return fmt.Errorf("%w: detect_for %q: %v", ErrBadConfig, a, err)
+		}
+	}
+	if g.ClusterPeers != 0 && (g.ClusterPeers < 2 || g.ClusterPeers > 64) {
+		return fmt.Errorf("%w: cluster_peers %d outside 0 or 2..64", ErrBadConfig, g.ClusterPeers)
+	}
+	if g.ClusterMergeMs < 0 {
+		return fmt.Errorf("%w: cluster_merge_ms %d is negative", ErrBadConfig, g.ClusterMergeMs)
+	}
+	if g.ClusterPeers == 0 && (g.ClusterMergeMs != 0 || g.ClusterHashSeed != 0 || g.ClusterReplication) {
+		return fmt.Errorf("%w: cluster knobs set without cluster_peers", ErrBadConfig)
+	}
+	if g.ClusterPeers >= 2 && g.ClusterMergeMs > 0 {
+		// Merging faster than the detection window rotates reships the
+		// same sketch state; reject the interval outright rather than
+		// silently clamping it.
+		win := g.DetectWindowMs
+		if win == 0 {
+			win = 250 // the detect engine's default window
+		}
+		if g.ClusterMergeMs < win {
+			return fmt.Errorf("%w: cluster_merge_ms %d shorter than the %dms detection window",
+				ErrBadConfig, g.ClusterMergeMs, win)
 		}
 	}
 	if g.CtrlMaxAttempts < 0 || g.CtrlRtoMs < 0 {
@@ -297,6 +338,20 @@ func (c *FileConfig) GatewayConfig(trace *obs.Trace) (GatewayConfig, error) {
 			pol.PrefixLens = append(pol.PrefixLens, uint8(l))
 		}
 		cfg.Allocation = pol
+	}
+	if c.Gateway.ClusterPeers >= 2 {
+		seed := c.Gateway.ClusterHashSeed
+		if seed == 0 {
+			// Same idiom as the detection seed: deterministic for a given
+			// config, different across gateways.
+			seed = uint64(node.Addr)
+		}
+		cfg.Cluster = cluster.Config{
+			Replicas:   c.Gateway.ClusterPeers,
+			MergeEvery: time.Duration(c.Gateway.ClusterMergeMs) * time.Millisecond,
+			HashSeed:   seed,
+			Replicate:  c.Gateway.ClusterReplication,
+		}
 	}
 	if c.Gateway.DetectBps > 0 {
 		cfg.Detect = detect.Config{

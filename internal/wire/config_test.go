@@ -138,6 +138,54 @@ func TestParseGatewayConfig(t *testing.T) {
 		t.Fatal("detection-configured gateway has no engine")
 	}
 	dg.Close()
+
+	// Cluster knobs round-trip; an unset hash seed derives from the
+	// node address so two gateways never share slice assignments.
+	withClu, err := ParseFileConfig([]byte(
+		`{"role":"gateway","addr":"1.1.1.1","gateway":{
+			"cluster_peers":3,"cluster_merge_ms":500,"cluster_replication":true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg, err := withClu.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ccfg.Cluster.Enabled() || ccfg.Cluster.Replicas != 3 ||
+		ccfg.Cluster.MergeEvery != 500*time.Millisecond || !ccfg.Cluster.Replicate {
+		t.Fatalf("cluster config = %+v", ccfg.Cluster)
+	}
+	if ccfg.Cluster.HashSeed != uint64(flow.MakeAddr(1, 1, 1, 1)) {
+		t.Fatalf("default hash seed not derived from the node address: %d", ccfg.Cluster.HashSeed)
+	}
+	withSeed, err := ParseFileConfig([]byte(
+		`{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":2,"cluster_hash_seed":99}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg, err := withSeed.GatewayConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.Cluster.HashSeed != 99 {
+		t.Fatalf("explicit cluster_hash_seed not propagated: %d", scfg.Cluster.HashSeed)
+	}
+	// A merge interval matching a custom detection window is accepted
+	// right at the boundary.
+	if _, err := ParseFileConfig([]byte(
+		`{"role":"gateway","addr":"1.1.1.1","gateway":{
+			"cluster_peers":2,"cluster_merge_ms":100,
+			"detect_bps":1000,"detect_for":["1.1.1.2"],"detect_window_ms":100}}`)); err != nil {
+		t.Fatalf("boundary merge interval rejected: %v", err)
+	}
+	cg, err := NewGateway(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Cluster() == nil {
+		t.Fatal("cluster-configured gateway has no overlay")
+	}
+	cg.Close()
 }
 
 func TestParseHostConfig(t *testing.T) {
@@ -186,6 +234,14 @@ func TestParseConfigErrors(t *testing.T) {
 		"gw detect neg":    `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":-2,"detect_for":["1.1.1.2"]}}`,
 		"gw detect badfor": `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":1000,"detect_for":["zzz"]}}`,
 		"gw sketch neg":    `{"role":"gateway","addr":"1.1.1.1","gateway":{"detect_bps":1000,"detect_for":["1.1.1.2"],"sketch_depth":-1}}`,
+		"cluster one":      `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":1}}`,
+		"cluster negative": `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":-2}}`,
+		"cluster huge":     `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":65}}`,
+		"cluster neg ms":   `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":2,"cluster_merge_ms":-250}}`,
+		"merge < window":   `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":2,"cluster_merge_ms":100}}`,
+		"merge < custom":   `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_peers":2,"cluster_merge_ms":400,"detect_bps":1000,"detect_for":["1.1.1.2"],"detect_window_ms":500}}`,
+		"knobs no peers":   `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_merge_ms":500}}`,
+		"repl no peers":    `{"role":"gateway","addr":"1.1.1.1","gateway":{"cluster_replication":true}}`,
 	}
 	for name, raw := range cases {
 		if _, err := ParseFileConfig([]byte(raw)); err == nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"aitf/internal/alloc"
+	"aitf/internal/cluster"
 	"aitf/internal/contract"
 	"aitf/internal/dataplane"
 	"aitf/internal/detect"
@@ -91,6 +92,15 @@ type GatewayConfig struct {
 	// detection the gateway files the filtering request itself, naming
 	// itself as the victim so it can answer the §II-E handshake.
 	DetectFor []flow.Addr
+	// Cluster, when enabled (Replicas >= 2), runs this gateway as a
+	// cluster of k logical replicas (internal/cluster): observations
+	// route to each flow's owning replica, merge rounds exchange
+	// detection state, and filter mutations feed a replicated log so
+	// any replica — including one standing in for a dead peer — can
+	// answer for the whole cluster. The dataplane stays the single
+	// packet-verdict fast path; the zero value keeps the classic
+	// single-engine gateway.
+	Cluster cluster.Config
 	// Control configures bounded control-plane retransmission. The zero
 	// value sends every control message exactly once (the pre-resilience
 	// behavior); with MaxAttempts > 1 each logical send carries a txid,
@@ -143,6 +153,14 @@ type Gateway struct {
 	// synchronized, so dispatcher workers feed it without g.mu.
 	det       *detect.Engine
 	protected map[flow.Addr]bool
+
+	// clu is the gateway-cluster overlay; nil when clustering is off.
+	// Like det it is internally synchronized, and when present it owns
+	// the sharded detection engines (det stays nil). closed gates the
+	// self-re-arming merge ticker so a firing that races Close cannot
+	// re-arm after stopAll.
+	clu    *cluster.Cluster
+	closed atomic.Bool
 
 	// Control-plane retransmission and idempotency state, all under mu:
 	// nextTxid numbers logical reliable sends, dedup remembers recently
@@ -245,13 +263,26 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 			dataplane.DispatcherConfig{Workers: cfg.Workers}, g.finishData)
 	}
 	if cfg.Detect.Enabled() && len(cfg.DetectFor) > 0 {
-		g.det = detect.New(cfg.Detect)
 		g.protected = make(map[flow.Addr]bool, len(cfg.DetectFor))
 		for _, a := range cfg.DetectFor {
 			g.protected[a] = true
 		}
+		if !cfg.Cluster.Enabled() {
+			g.det = detect.New(cfg.Detect)
+		}
+	}
+	if cfg.Cluster.Enabled() {
+		// The cluster shards the detection config across its replicas;
+		// with detection unarmed the replicas still run the replicated
+		// filter log.
+		det := detect.Config{}
+		if g.protected != nil {
+			det = cfg.Detect
+		}
+		g.clu = cluster.New(cfg.Cluster, det)
 	}
 	n.SetHandler(g)
+	g.armClusterMerge()
 	return g, nil
 }
 
@@ -268,6 +299,7 @@ func (g *Gateway) Run() { g.node.Run() }
 // SnapshotPath configured it then writes the drain snapshot, so the
 // state the next boot restores is the quiescent post-drain state.
 func (g *Gateway) Close() error {
+	g.closed.Store(true)
 	g.timers.stopAll()
 	err := g.node.Close()
 	if g.disp != nil {
@@ -382,8 +414,8 @@ func (g *Gateway) finishData(p *packet.Packet, v dataplane.Verdict) {
 	// syscall path dominates and this is not the bottleneck, but a
 	// deployment defending a line-rate destination should batch
 	// observations per worker before reaching for more workers.
-	if g.det != nil && g.protected[p.Dst] {
-		if d, ok := g.det.ObserveTuple(wallNow(), p.Tuple(), int(p.PayloadLen)); ok {
+	if (g.det != nil || g.clu != nil) && g.protected[p.Dst] {
+		if d, ok := g.observeTuple(wallNow(), p.Tuple(), int(p.PayloadLen)); ok {
 			g.selfDetect(d, p.Path)
 		}
 	}
@@ -513,7 +545,7 @@ func (g *Gateway) handleControl(p *packet.Packet, from flow.Addr) {
 // the shadow log is the gateway's "I really requested this" memory,
 // exactly as a victim host's wanted-set is. Called under mu.
 func (g *Gateway) handleVerifyQuery(p *packet.Packet, m *packet.VerifyQuery) {
-	if g.det == nil {
+	if g.protected == nil {
 		return // never a self-requesting victim: stay silent
 	}
 	label := m.Flow.Canonical()
@@ -675,12 +707,21 @@ func (g *Gateway) handleFilterReq(p *packet.Packet, m *packet.FilterReq, from fl
 // slot is installed. Called under mu.
 func (g *Gateway) installWithAggregation(label flow.Label, now, exp sim.Time) error {
 	err := g.dp.Install(label, now, exp)
-	if err == nil || !errors.Is(err, filter.ErrTableFull) {
+	if err == nil {
+		g.clusterRecord(cluster.OpInstall, label, exp, now)
+		return nil
+	}
+	if !errors.Is(err, filter.ErrTableFull) {
 		return err
 	}
 	if g.cfg.Allocation != nil {
 		cfg := alloc.Config{Policy: *g.cfg.Allocation}
-		if g.det != nil {
+		if g.clu != nil && g.protected != nil {
+			// The cluster's merged detection view prices candidates —
+			// including traffic only a dead replica's frozen summary saw.
+			cfg.Traffic = g.clu
+			cfg.WindowSeconds = g.clu.DetectionWindow().Seconds()
+		} else if g.det != nil {
 			cfg.Traffic = alloc.DetectTraffic{Eng: g.det}
 			cfg.WindowSeconds = g.det.Config().Window.Seconds()
 		}
@@ -693,6 +734,7 @@ func (g *Gateway) installWithAggregation(label flow.Label, now, exp sim.Time) er
 			freed = true
 			g.Aggregations++
 			g.CollateralBytes += uint64(pick.LegitBytes)
+			g.clusterRecord(cluster.OpAggregate, pick.Aggregate, pick.MaxExpiry, now)
 			g.event("aggregated", pick.Aggregate,
 				fmt.Sprintf("table full: coalesced %d siblings, covers %d sources, est %dB/window collateral",
 					replaced, pick.CoveredAddrs(), uint64(pick.LegitBytes)))
@@ -700,7 +742,11 @@ func (g *Gateway) installWithAggregation(label flow.Label, now, exp sim.Time) er
 		if !freed {
 			return err
 		}
-		return g.dp.Install(label, now, exp)
+		if ierr := g.dp.Install(label, now, exp); ierr != nil {
+			return ierr
+		}
+		g.clusterRecord(cluster.OpInstall, label, exp, now)
+		return nil
 	}
 	if g.cfg.AggregationPrefixLen <= 0 {
 		return err
@@ -715,8 +761,13 @@ func (g *Gateway) installWithAggregation(label flow.Label, now, exp sim.Time) er
 		return err
 	}
 	g.Aggregations++
+	g.clusterRecord(cluster.OpAggregate, best.Aggregate, best.MaxExpiry, now)
 	g.event("aggregated", best.Aggregate, fmt.Sprintf("table full: coalesced %d siblings", replaced))
-	return g.dp.Install(label, now, exp)
+	if ierr := g.dp.Install(label, now, exp); ierr != nil {
+		return ierr
+	}
+	g.clusterRecord(cluster.OpInstall, label, exp, now)
+	return nil
 }
 
 func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
@@ -736,6 +787,7 @@ func (g *Gateway) handleVerifyReply(m *packet.VerifyReply) {
 		g.logf("filter: %v", err)
 		return
 	}
+	g.clusterRecord(cluster.OpInstall, label, now+sim.Time(g.cfg.Timers.T), now)
 	g.event("handshake-ok", label, "filtering for "+g.cfg.Timers.T.String())
 	// Tell the attacking client to stop (§II-C ii).
 	g.StopOrders++

@@ -114,6 +114,26 @@ func (g *Gateway) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("aitf_gateway_detections_total",
 		"Attacks detected on behalf of protected legacy clients.",
 		func() uint64 { return g.Stats().Detections })
+	if clu := g.clu; clu != nil {
+		r.GaugeFunc("aitf_cluster_log_length",
+			"Replicated filter-log length (ops retained).",
+			func() float64 { return float64(clu.LogLen()) })
+		r.CounterFunc("aitf_cluster_merge_rounds_total",
+			"Cluster merge rounds run (sketch exchange + log shipping).",
+			func() uint64 { return clu.Stats().MergeRounds })
+		r.CounterFunc("aitf_cluster_merge_bytes_total",
+			"Estimated replication traffic exchanged by merge rounds.",
+			func() uint64 { return clu.Stats().MergeBytes })
+		r.CounterFunc("aitf_cluster_failovers_total",
+			"Replica deaths absorbed by consistent-hash reassignment.",
+			func() uint64 { return clu.Stats().Failovers })
+		r.CounterFunc("aitf_cluster_catchup_ops_total",
+			"Log ops replayed into survivors during failover catch-up.",
+			func() uint64 { return clu.Stats().CatchupOps })
+		r.CounterFunc("aitf_cluster_catchup_ns_total",
+			"Wall-clock nanoseconds spent in failover catch-up.",
+			func() uint64 { return clu.Stats().CatchupNanos })
+	}
 	g.node.registerMetrics(r)
 	g.dp.Instrument(r)
 	if g.det != nil {

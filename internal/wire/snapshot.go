@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aitf/internal/cluster"
 	"aitf/internal/filter"
 	"aitf/internal/flow"
 	"aitf/internal/packet"
@@ -58,12 +59,20 @@ type DiskSnapshot struct {
 	Node    string `json:"node"`
 	// TakenAtUnixNs dates the snapshot so restore can charge the
 	// downtime against every remaining duration.
-	TakenAtUnixNs int64         `json:"taken_at_unix_ns"`
-	Stats         GatewayStats  `json:"stats"`
-	NextTxid      uint64        `json:"next_txid"`
-	Filters       []DiskFilter  `json:"filters"`
-	Shadows       []DiskShadow  `json:"shadows"`
-	Pendings      []DiskPending `json:"pendings"`
+	TakenAtUnixNs int64 `json:"taken_at_unix_ns"`
+	// TakenAtMono is the writer's monotonic clock (wallNow) at snapshot
+	// time; restore uses it to rebase the cluster log's absolute
+	// timestamps onto the successor's epoch.
+	TakenAtMono time.Duration `json:"taken_at_mono_ns"`
+	Stats       GatewayStats  `json:"stats"`
+	NextTxid    uint64        `json:"next_txid"`
+	Filters     []DiskFilter  `json:"filters"`
+	Shadows     []DiskShadow  `json:"shadows"`
+	Pendings    []DiskPending `json:"pendings"`
+	// Cluster carries the replicated filter log and per-replica
+	// liveness/log positions when the gateway runs clustered; detection
+	// engines are volatile and re-acquire from live traffic.
+	Cluster *cluster.State `json:"cluster,omitempty"`
 }
 
 // Snapshot captures the gateway's durable state with remaining
@@ -78,8 +87,12 @@ func (g *Gateway) Snapshot() *DiskSnapshot {
 		Version:       diskSnapshotVersion,
 		Node:          g.node.Name(),
 		TakenAtUnixNs: time.Now().UnixNano(),
+		TakenAtMono:   time.Duration(now),
 		Stats:         g.statsLocked(),
 		NextTxid:      g.nextTxid,
+	}
+	if g.clu != nil {
+		snap.Cluster = g.clu.ExportState()
 	}
 	for _, ent := range g.dp.FilterEntries() {
 		if ent.ExpiresAt <= now {
@@ -227,6 +240,20 @@ func (g *Gateway) Restore(snap *DiskSnapshot) error {
 				g.event("handshake-failed", label, "timeout")
 			}
 		})
+	}
+	if g.clu != nil && snap.Cluster != nil {
+		// The cluster log stores absolute instants on the writer's
+		// monotonic clock; rebase each op onto this process's epoch and
+		// charge the downtime, mirroring the filter-table treatment: an
+		// op's deadline D before the crash still means D after it.
+		shift := sim.Time(time.Duration(now) - snap.TakenAtMono - downtime)
+		st := *snap.Cluster
+		st.Ops = append([]cluster.Op(nil), snap.Cluster.Ops...)
+		for i := range st.Ops {
+			st.Ops[i].Expires += shift
+			st.Ops[i].At += shift
+		}
+		g.clu.ImportState(&st, now)
 	}
 	g.SnapshotRestores++
 	g.event("snapshot-restored", flow.Label{},
