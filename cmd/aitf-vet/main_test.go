@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aitf/internal/analysis"
+)
+
+// TestRepoClean is the acceptance gate run by CI: the whole module
+// must pass every analyzer with zero findings. Any new diagnostic
+// means either real broken code (fix it) or a missing annotation
+// (justify it in-code with the grammar in internal/analysis).
+func TestRepoClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.LoadModule(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := mod.Run(analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("aitf-vet: %d finding(s); the tree must stay clean", len(diags))
+	}
+}
+
+// TestAnalyzerRegistry pins the suite roster: the CI gate runs all
+// four analyzers, and ByName resolves each.
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{"atomicfield", "determinism", "metricname", "poolsafety"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name, name)
+		}
+		if analysis.ByName(name) != all[i] {
+			t.Errorf("ByName(%s) does not resolve to All()[%d]", name, i)
+		}
+	}
+	if analysis.ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}

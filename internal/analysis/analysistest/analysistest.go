@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under testdata/src and checks its diagnostics against
+// `// want "regex"` expectations, mirroring the x/tools package of
+// the same name on the standard library only.
+//
+// Expectation grammar: a comment on the same line as the expected
+// diagnostic, holding one or more quoted regular expressions:
+//
+//	t := time.Now() // want "wall clock"
+//	r.Counter(n, "")  // want "constant string" "second finding"
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched by a diagnostic; anything unmatched
+// fails the test.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aitf/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads testdata/src/<pkgs...> (dependencies resolve between
+// fixture packages and the standard library), applies the analyzer to
+// exactly those packages, and matches diagnostics against want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	mod, err := analysis.LoadDir(src, pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgs, err)
+	}
+	diags, err := mod.Run([]*analysis.Analyzer{a}, pkgs...)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, path := range pkgs {
+		pkg := mod.Package(path)
+		if pkg == nil {
+			t.Fatalf("fixture package %s not loaded", path)
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, mod, c)...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func parseWants(t *testing.T, mod *analysis.Module, c *ast.Comment) []*expectation {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := mod.Fset.Position(c.Pos())
+	var out []*expectation
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("%s: malformed want expectation %q", pos, m[1])
+		}
+		var lit string
+		var err error
+		if rest[0] == '`' {
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+			}
+			lit, rest = rest[1:1+end], strings.TrimSpace(rest[2+end:])
+		} else {
+			end := 1
+			for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+				end++
+			}
+			if end == len(rest) {
+				t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+			}
+			lit, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, rest[:end+1], err)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: want pattern %q: %v", pos, lit, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+	}
+	return out
+}

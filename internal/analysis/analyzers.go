@@ -1,0 +1,16 @@
+package analysis
+
+// All returns the full aitf-vet suite in its canonical run order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicField, Determinism, MetricName, PoolSafety}
+}
+
+// ByName resolves a comma-separable analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

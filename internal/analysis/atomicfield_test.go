@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"aitf/internal/analysis"
+	"aitf/internal/analysis/analysistest"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicField, "atomicfield")
+}
+
+// TestAtomicFieldGatewayStats is the acceptance fixture: the
+// pre-PR-6 core.Gateway.Stats plain-copy/plain-increment pattern must
+// be flagged when reintroduced.
+func TestAtomicFieldGatewayStats(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicField, "gatewaystats")
+}
+
+// TestAtomicFieldCrossPackage proves the annotation travels with the
+// field object into importing packages.
+func TestAtomicFieldCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicField, "atomicuse")
+}

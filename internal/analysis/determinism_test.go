@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"aitf/internal/analysis"
+	"aitf/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "core")
+}
+
+// TestDeterminismAllowlistedPackage: wire owns real clocks and
+// sockets; none of its ambient inputs are flagged.
+func TestDeterminismAllowlistedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "wire")
+}

@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked module (or fixture) package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+}
+
+// A Module is a fully loaded and type-checked set of packages sharing
+// one FileSet and one types.Info, plus the module-wide annotation
+// facts the analyzers consume.
+type Module struct {
+	Fset *token.FileSet
+	Info *types.Info
+	Pkgs []*Package // dependency order
+	Dir  string     // module root (or fixture src root)
+
+	AtomicFields map[*types.Var]bool
+	PacketOwners map[*types.TypeName]bool
+	NoallocFuncs []NoallocFunc
+
+	byPath    map[string]*Package
+	lineNotes map[string]map[int][]Note // filename -> line -> notes
+	shared    map[string]any
+}
+
+func newModule(dir string) *Module {
+	return &Module{
+		Fset: token.NewFileSet(),
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+		Dir:          dir,
+		AtomicFields: map[*types.Var]bool{},
+		PacketOwners: map[*types.TypeName]bool{},
+		byPath:       map[string]*Package{},
+		lineNotes:    map[string]map[int][]Note{},
+		shared:       map[string]any{},
+	}
+}
+
+// Package returns the loaded package with the given import path, or
+// nil.
+func (m *Module) Package(path string) *Package { return m.byPath[path] }
+
+// pkgMeta is the subset of `go list -json` (or fixture-dir scan)
+// output the loader needs.
+type pkgMeta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+}
+
+// loader resolves and type-checks packages: module-internal (or
+// fixture) packages from source, everything else through the
+// compiler's export data.
+type loader struct {
+	mod      *Module
+	meta     map[string]*pkgMeta
+	std      types.ImporterFrom
+	inflight map[string]bool
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.mod.Dir, 0)
+}
+
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if meta, ok := l.meta[path]; ok {
+		pkg, err := l.check(meta)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.mod.Dir, 0)
+}
+
+// check parses and type-checks one source package (once), recording
+// it into the module in dependency order.
+func (l *loader) check(meta *pkgMeta) (*Package, error) {
+	if pkg, ok := l.mod.byPath[meta.ImportPath]; ok {
+		return pkg, nil
+	}
+	if l.inflight[meta.ImportPath] {
+		return nil, fmt.Errorf("import cycle through %s", meta.ImportPath)
+	}
+	l.inflight[meta.ImportPath] = true
+	defer delete(l.inflight, meta.ImportPath)
+
+	if len(meta.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported", meta.ImportPath)
+	}
+
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.mod.Fset, filepath.Join(meta.Dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(meta.ImportPath, l.mod.Fset, files, l.mod.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", meta.ImportPath, err)
+	}
+
+	pkg := &Package{
+		Path:  meta.ImportPath,
+		Name:  tpkg.Name(),
+		Dir:   meta.Dir,
+		Files: files,
+		Types: tpkg,
+	}
+	l.mod.byPath[pkg.Path] = pkg
+	l.mod.Pkgs = append(l.mod.Pkgs, pkg)
+	l.mod.collectFacts(pkg)
+	return pkg, nil
+}
+
+// LoadModule loads, parses and type-checks the module packages that
+// `go list <patterns>` resolves to, rooted at dir (any directory
+// inside the module). Test files are excluded, mirroring `go vet`'s
+// default unit of analysis.
+func LoadModule(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	metas, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	mod := newModule(root)
+	l := &loader{
+		mod:      mod,
+		meta:     map[string]*pkgMeta{},
+		std:      importer.ForCompiler(mod.Fset, "gc", nil).(types.ImporterFrom),
+		inflight: map[string]bool{},
+	}
+	// Packages outside the requested patterns but inside the module
+	// still resolve from source: list the whole module for the import
+	// map, then check only the requested roots (deps load on demand).
+	all, err := goList(root, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range all {
+		l.meta[m.ImportPath] = m
+	}
+
+	var paths []string
+	for _, m := range metas {
+		paths = append(paths, m.ImportPath)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := l.check(l.meta[p]); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+// LoadDir loads GOPATH-style fixture packages: root is a directory
+// whose subdirectories are import paths (analysistest's testdata/src
+// layout). All packages under root are eligible imports; the named
+// paths (plus their dependencies) are loaded.
+func LoadDir(root string, paths ...string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := newModule(root)
+	l := &loader{
+		mod:      mod,
+		meta:     map[string]*pkgMeta{},
+		std:      importer.ForCompiler(mod.Fset, "gc", nil).(types.ImporterFrom),
+		inflight: map[string]bool{},
+	}
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		var gofiles []string
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				gofiles = append(gofiles, e.Name())
+			}
+		}
+		if len(gofiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		ip := filepath.ToSlash(rel)
+		l.meta[ip] = &pkgMeta{ImportPath: ip, Dir: p, GoFiles: gofiles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		meta, ok := l.meta[p]
+		if !ok {
+			return nil, fmt.Errorf("no fixture package %q under %s", p, root)
+		}
+		if _, err := l.check(meta); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func goList(dir string, patterns []string) ([]*pkgMeta, error) {
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,CgoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []*pkgMeta
+	dec := json.NewDecoder(&out)
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"aitf/internal/analysis"
+	"aitf/internal/analysis/analysistest"
+)
+
+// TestMetricName covers well-formed, malformed, dynamic and duplicate
+// registrations, including a duplicate whose first site is in a
+// different package.
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MetricName, "metricname", "metricdup")
+}

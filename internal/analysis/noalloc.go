@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NoallocCheck is the allocation gate behind `aitf-vet -noalloc`: it
+// recompiles every package containing an `// aitf:noalloc` function
+// with -gcflags=<pkg>=-m and reports any heap-escape diagnostic
+// ("escapes to heap" / "moved to heap") positioned inside an
+// annotated function's body. This replaces eyeballing benchmark
+// allocs/op output: the zero-alloc contract of the hot paths becomes
+// a build-time failure. (The go tool replays cached compiler
+// diagnostics, so repeat runs stay correct without -a.)
+func (m *Module) NoallocCheck() ([]Diagnostic, error) {
+	byPkg := map[string][]NoallocFunc{}
+	for _, nf := range m.NoallocFuncs {
+		byPkg[nf.PkgPath] = append(byPkg[nf.PkgPath], nf)
+	}
+	if len(byPkg) == 0 {
+		return nil, nil
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	// Plain `go build` (no -o): non-main packages compile into the
+	// build cache and the binary result is discarded, which is all the
+	// gate needs — only the -m diagnostics matter.
+	args := []string{"build"}
+	for _, p := range pkgs {
+		args = append(args, "-gcflags="+p+"=-m")
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = m.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		// -m diagnostics go to stderr but a build *failure* is fatal.
+		if _, ok := err.(*exec.ExitError); !ok {
+			return nil, err
+		}
+		if !escapeLineRe.MatchString(stderr.String()) {
+			return nil, fmt.Errorf("go build for -noalloc failed: %v\n%s", err, stderr.String())
+		}
+	}
+	return m.escapeDiags(stderr.String(), byPkg), nil
+}
+
+var escapeLineRe = regexp.MustCompile(`(?m)^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// escapeDiags maps compiler escape lines onto annotated function
+// spans.
+func (m *Module) escapeDiags(buildOutput string, byPkg map[string][]NoallocFunc) []Diagnostic {
+	var diags []Diagnostic
+	for _, line := range strings.Split(buildOutput, "\n") {
+		mm := escapeLineRe.FindStringSubmatch(line)
+		if mm == nil {
+			continue
+		}
+		file := mm[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(m.Dir, file)
+		}
+		ln, _ := strconv.Atoi(mm[2])
+		col, _ := strconv.Atoi(mm[3])
+		msg := mm[4]
+		for _, funcs := range byPkg {
+			for _, nf := range funcs {
+				if nf.File == file && nf.Start <= ln && ln <= nf.End {
+					diags = append(diags, Diagnostic{
+						Analyzer: "noalloc",
+						Pos:      token.Position{Filename: file, Line: ln, Column: col},
+						Message: fmt.Sprintf("%s inside aitf:noalloc function %s: the zero-alloc contract is broken",
+							msg, nf.Name),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aitf/internal/analysis"
+)
+
+// TestNoallocCheck builds a throwaway module with one clean and one
+// escaping aitf:noalloc function and checks the gate flags exactly the
+// escape. This is the negative fixture for the -noalloc mode: the
+// analyzers' testdata packages cannot cover it because the gate shells
+// out to `go build`, which refuses testdata directories.
+func TestNoallocCheck(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module noallocfixture\n\ngo 1.24\n")
+	write("fixture.go", `package fixture
+
+var sink *int
+
+// hot is the happy case: arithmetic only, nothing escapes.
+//
+// aitf:noalloc
+func hot(a, b int) int { return a*31 + b }
+
+// leaky breaks the contract: &x escapes through the package-level
+// sink, so the compiler moves x to the heap.
+//
+// aitf:noalloc
+func leaky(v int) {
+	x := v
+	sink = &x
+}
+
+// unannotated allocates freely and must not be reported.
+func unannotated(n int) []int { return make([]int, n) }
+`)
+
+	mod, err := analysis.LoadModule(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.NoallocFuncs) != 2 {
+		t.Fatalf("collected %d aitf:noalloc funcs, want 2: %+v", len(mod.NoallocFuncs), mod.NoallocFuncs)
+	}
+	diags, err := mod.NoallocCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("NoallocCheck missed the seeded heap escape in leaky")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "leaky") {
+			t.Errorf("unexpected diagnostic outside leaky: %v", d)
+		}
+		if !strings.Contains(d.Message, "zero-alloc contract") {
+			t.Errorf("diagnostic missing contract wording: %v", d)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"aitf/internal/analysis"
+	"aitf/internal/analysis/analysistest"
+)
+
+func TestPoolSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PoolSafety, "poolsafety")
+}

@@ -1,0 +1,10 @@
+// Dependency fixture: the annotated field lives here, accesses are
+// checked in the importing package (atomicuse).
+package atomicdep
+
+import "sync/atomic"
+
+type Engine struct {
+	Classified uint64        // aitf:atomic
+	View       atomic.Uint32 // aitf:atomic
+}

@@ -1,0 +1,34 @@
+// Fixture for the atomicfield analyzer: flagged and allowed access
+// forms for both annotated field shapes (plain integer counters and
+// sync/atomic typed fields).
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64       // aitf:atomic
+	gauge atomic.Int64 // aitf:atomic
+	plain uint64
+}
+
+func good(c *counters) uint64 {
+	atomic.AddUint64(&c.hits, 1)
+	c.gauge.Add(2)
+	_ = c.gauge.Load()
+	c.plain++ // unannotated: no contract
+	return atomic.LoadUint64(&c.hits)
+}
+
+func bad(c *counters) uint64 {
+	c.hits++   // want "must be accessed through sync/atomic"
+	c.hits = 3 // want "must be accessed through sync/atomic"
+	x := c.hits // want "must be accessed through sync/atomic"
+	bump(&c.hits) // want "non-atomic callee"
+	return x
+}
+
+func bump(p *uint64) { *p++ }
+
+func swapOK(c *counters) uint64 {
+	return atomic.SwapUint64(&c.hits, 0)
+}

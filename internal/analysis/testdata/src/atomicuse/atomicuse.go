@@ -1,0 +1,21 @@
+// Fixture: cross-package enforcement — the annotation on
+// atomicdep.Engine's fields must travel with the object to importing
+// packages.
+package atomicuse
+
+import (
+	"sync/atomic"
+
+	"atomicdep"
+)
+
+func Good(e *atomicdep.Engine) uint64 {
+	atomic.AddUint64(&e.Classified, 1)
+	e.View.Store(7)
+	return atomic.LoadUint64(&e.Classified)
+}
+
+func Bad(e *atomicdep.Engine) uint64 {
+	e.Classified += 2 // want "must be accessed through sync/atomic"
+	return e.Classified // want "must be accessed through sync/atomic"
+}

@@ -1,0 +1,67 @@
+// Fixture for the determinism analyzer. The package is named (and
+// pathed) "core", one of the sim-deterministic packages, so every
+// ambient-input form below is in scope.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	t0 := time.Now()             // want "wall clock time.Now"
+	time.Sleep(time.Millisecond) // want "wall clock time.Sleep"
+	t1 := time.Now()             // aitf:wallclock profiling-only, excluded from replay fingerprints
+	_ = t1
+	t2 := time.Now() /* aitf:wallclock */ // want "requires a justification"
+	_ = t2
+	return time.Since(t0) // want "wall clock time.Since"
+}
+
+func draws(rng *rand.Rand) int {
+	n := rand.Intn(10)                 // want "global math/rand source"
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand source"
+	m := rng.Intn(10)                  // seeded *rand.Rand: fine
+	r := rand.New(rand.NewSource(42))  // explicit seed: fine
+	return m + r.Intn(3)
+}
+
+func env() string {
+	return os.Getenv("AITF_MODE") // want "ambient process input os.Getenv"
+}
+
+func order(m map[int]int) []int {
+	var keys []int
+	for k := range m { // collect-then-sort: fine
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func leak(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "map iteration appends to a slice"
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func fold(m map[int]int) int {
+	s := 0
+	for _, v := range m { // order-independent fold, no feed: fine
+		s += v
+	}
+	return s
+}
+
+func emit(m map[int]int, ch chan int) {
+	for k := range m { // aitf:mapiter receiver re-sorts; delivery order asserted nowhere
+		ch <- k
+	}
+	for k := range m { // want "map iteration sends on a channel"
+		ch <- k
+	}
+}

@@ -1,0 +1,35 @@
+// Fixture reproducing the pre-PR-6 core.Gateway.Stats access pattern:
+// a stats struct bumped by the data path and snapshotted by a plain
+// struct copy — the exact data race PR 6 fixed by hand and this
+// analyzer now rejects at compile time.
+package gatewaystats
+
+import "sync/atomic"
+
+type GatewayStats struct {
+	DataForwarded uint64
+	FilterDrops   uint64
+}
+
+type Gateway struct {
+	stats GatewayStats // aitf:atomic
+}
+
+// Stats is the pre-PR-6 snapshot: a plain copy racing with the data
+// path's counter bumps.
+func (g *Gateway) Stats() GatewayStats {
+	return g.stats // want "must be accessed through sync/atomic"
+}
+
+func (g *Gateway) forward() {
+	g.stats.DataForwarded++ // want "must be accessed through sync/atomic"
+	atomic.AddUint64(&g.stats.FilterDrops, 1)
+}
+
+// StatsAtomic is the PR-6 form: per-counter atomic loads.
+func (g *Gateway) StatsAtomic() GatewayStats {
+	return GatewayStats{
+		DataForwarded: atomic.LoadUint64(&g.stats.DataForwarded),
+		FilterDrops:   atomic.LoadUint64(&g.stats.FilterDrops),
+	}
+}

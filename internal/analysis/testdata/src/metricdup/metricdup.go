@@ -1,0 +1,11 @@
+// Fixture: duplicate metric registration across packages — the
+// second registration site of a name first claimed by the metricname
+// fixture package.
+package metricdup
+
+import "obs"
+
+func register(r *obs.Registry) {
+	r.Counter("aitf_drops_total", "cross-package duplicate") // want "already registered"
+	r.Counter("aitf_unique_elsewhere_total", "fine")
+}

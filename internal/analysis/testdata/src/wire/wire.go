@@ -1,0 +1,21 @@
+// Fixture: wire is an allowlisted package — real sockets and real
+// clocks are its job, so nothing here is flagged.
+package wire
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(1000)) * time.Millisecond
+}
+
+func ConfigPath() string {
+	return os.Getenv("AITF_CONFIG")
+}

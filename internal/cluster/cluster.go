@@ -504,13 +504,13 @@ func (c *Cluster) KillReplica(id int, now sim.Time) (inherited, lost int, ok boo
 	c.stats.Failovers++
 
 	if c.cfg.Replicate {
-		start := time.Now()
+		start := time.Now() // aitf:wallclock CatchupNanos is profiling-only and scrubbed from replay fingerprints (invariants.go)
 		for _, s := range c.reps {
 			if s.alive {
 				c.stats.CatchupOps += uint64(c.applySince(s))
 			}
 		}
-		c.stats.CatchupNanos += uint64(time.Since(start))
+		c.stats.CatchupNanos += uint64(time.Since(start)) // aitf:wallclock profiling-only counter, never fingerprinted
 	}
 
 	for lbl, exp := range dead.filters {

@@ -276,6 +276,9 @@ type compliance struct {
 // Gateway is an AITF border router: it records routes on transit data
 // packets, polices and serves filtering requests, runs handshakes, and
 // escalates or disconnects when the attacker side does not cooperate.
+//
+// aitf:packetowner — the gateway's detRun scratch buffer holds
+// borrowed packets for the duration of one detection batch.
 type Gateway struct {
 	cfg GatewayConfig
 
@@ -323,7 +326,10 @@ type Gateway struct {
 	// no-op (see Halt).
 	halted bool
 
-	stats  GatewayStats
+	// stats counters are bumped on the data path concurrently with
+	// Stats() snapshots; every access must go through sync/atomic
+	// (the PR 6 race class, machine-checked by aitf-vet since PR 10).
+	stats  GatewayStats // aitf:atomic
 	tracer Tracer
 	node   *netsim.Node
 }
@@ -465,6 +471,48 @@ func (g *Gateway) Stats() GatewayStats {
 		CtrlRetransmits:   atomic.LoadUint64(&g.stats.CtrlRetransmits),
 		CtrlDupDrops:      atomic.LoadUint64(&g.stats.CtrlDupDrops),
 	}
+}
+
+// restoreStats loads a snapshot into the live counter block with
+// per-field atomic stores (the aitf:atomic contract on g.stats): a
+// restore races only with an admin scraper, but a plain struct write
+// would still be a data race and is exactly the pattern aitf-vet
+// rejects.
+func (g *Gateway) restoreStats(s GatewayStats) {
+	atomic.StoreUint64(&g.stats.DataForwarded, s.DataForwarded)
+	atomic.StoreUint64(&g.stats.FilterDrops, s.FilterDrops)
+	atomic.StoreUint64(&g.stats.DisconnectDrops, s.DisconnectDrops)
+	atomic.StoreUint64(&g.stats.SpoofDrops, s.SpoofDrops)
+
+	atomic.StoreUint64(&g.stats.ReqReceived, s.ReqReceived)
+	atomic.StoreUint64(&g.stats.ReqPoliced, s.ReqPoliced)
+	atomic.StoreUint64(&g.stats.ReqInvalid, s.ReqInvalid)
+	atomic.StoreUint64(&g.stats.ReqAccepted, s.ReqAccepted)
+	atomic.StoreUint64(&g.stats.MsgProcessed, s.MsgProcessed)
+
+	atomic.StoreUint64(&g.stats.HandshakesStarted, s.HandshakesStarted)
+	atomic.StoreUint64(&g.stats.HandshakesOK, s.HandshakesOK)
+	atomic.StoreUint64(&g.stats.HandshakesFailed, s.HandshakesFailed)
+
+	atomic.StoreUint64(&g.stats.StopOrders, s.StopOrders)
+	atomic.StoreUint64(&g.stats.Escalations, s.Escalations)
+	atomic.StoreUint64(&g.stats.Disconnects, s.Disconnects)
+	atomic.StoreUint64(&g.stats.LongBlocks, s.LongBlocks)
+	atomic.StoreUint64(&g.stats.ShadowReblocks, s.ShadowReblocks)
+
+	atomic.StoreUint64(&g.stats.Detections, s.Detections)
+
+	atomic.StoreUint64(&g.stats.Aggregations, s.Aggregations)
+	atomic.StoreUint64(&g.stats.AggregatedChildren, s.AggregatedChildren)
+	atomic.StoreUint64(&g.stats.AggregateSplits, s.AggregateSplits)
+	atomic.StoreUint64(&g.stats.AggregateCovered, s.AggregateCovered)
+	atomic.StoreUint64(&g.stats.AggregateCollateral, s.AggregateCollateral)
+	atomic.StoreUint64(&g.stats.AggregateCollateralBytes, s.AggregateCollateralBytes)
+	atomic.StoreUint64(&g.stats.AggregateRefinements, s.AggregateRefinements)
+
+	atomic.StoreUint64(&g.stats.CtrlReliableSends, s.CtrlReliableSends)
+	atomic.StoreUint64(&g.stats.CtrlRetransmits, s.CtrlRetransmits)
+	atomic.StoreUint64(&g.stats.CtrlDupDrops, s.CtrlDupDrops)
 }
 
 // Config returns the gateway's configuration.

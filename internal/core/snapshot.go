@@ -197,7 +197,7 @@ func (g *Gateway) Halt() {
 func (g *Gateway) Restore(snap *GatewaySnapshot) {
 	now := g.now()
 	eng := g.node.Engine()
-	g.stats = snap.Stats
+	g.restoreStats(snap.Stats)
 	if g.msgr != nil && snap.NextTxid > g.msgr.nextID {
 		g.msgr.nextID = snap.NextTxid
 	}

@@ -15,6 +15,9 @@ import (
 // packet, then greedily drains whatever else is already queued (up to
 // MaxBatch), so batching amortizes lock traffic under load without
 // adding latency when traffic is sparse.
+//
+// aitf:packetowner — the dispatch channel owns submitted packets
+// until a worker hands them (with a verdict) to the sink.
 type Dispatcher struct {
 	e        *Engine
 	sink     func(*packet.Packet, Verdict)

@@ -98,27 +98,27 @@ type Engine struct {
 
 	// wildFilters / wildShadows count live-ish entries in the wild
 	// segment so the hot path can skip it entirely when empty.
-	wildFilters atomic.Int64
-	wildShadows atomic.Int64
+	wildFilters atomic.Int64 // aitf:atomic
+	wildShadows atomic.Int64 // aitf:atomic
 
 	// Global occupancy and stats. Capacity is enforced on fUsed/sUsed;
 	// the remaining counters mirror filter.Stats / filter.ShadowStats.
-	fUsed, fPeak atomic.Int64
-	sUsed, sPeak atomic.Int64
+	fUsed, fPeak atomic.Int64 // aitf:atomic
+	sUsed, sPeak atomic.Int64 // aitf:atomic
 
-	installed, rejected, evicted, expired, removed atomic.Uint64
-	aggregates, aggregated                         atomic.Uint64
+	installed, rejected, evicted, expired, removed atomic.Uint64 // aitf:atomic
+	aggregates, aggregated                         atomic.Uint64 // aitf:atomic
 
-	sLogged, sExpired, sRejected atomic.Uint64
+	sLogged, sExpired, sRejected atomic.Uint64 // aitf:atomic
 
 	// classified counts packets classified (batch paths add the whole
 	// batch size in one atomic add, so the per-packet cost is ~zero).
-	classified atomic.Uint64
+	classified atomic.Uint64 // aitf:atomic
 	// batchHist, when instrumented, observes ClassifyInto batch sizes.
 	// It is an atomic pointer so Instrument can race with live
 	// classification; nil (the uninstrumented default) costs one
 	// predictable branch per batch.
-	batchHist atomic.Pointer[obs.Histogram]
+	batchHist atomic.Pointer[obs.Histogram] // aitf:atomic
 
 	scratch sync.Pool // *batchScratch, for ClassifyInto bucketing
 }

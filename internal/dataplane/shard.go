@@ -18,9 +18,9 @@ import (
 type fentry struct {
 	label        flow.Label
 	installedAt  filter.Time
-	exp          atomic.Int64 // expiry deadline (filter.Time)
-	drops        atomic.Uint64
-	droppedBytes atomic.Uint64
+	exp          atomic.Int64 // aitf:atomic expiry deadline (filter.Time)
+	drops        atomic.Uint64 // aitf:atomic
+	droppedBytes atomic.Uint64 // aitf:atomic
 }
 
 // expires returns the entry's current expiry deadline.
@@ -44,9 +44,9 @@ func (fe *fentry) snapshot() filter.Entry {
 type sentry struct {
 	label    flow.Label
 	loggedAt filter.Time
-	exp      atomic.Int64  // expiry deadline (filter.Time)
-	victim   atomic.Uint32 // flow.Addr
-	reapp    atomic.Uint64
+	exp      atomic.Int64  // aitf:atomic expiry deadline (filter.Time)
+	victim   atomic.Uint32 // aitf:atomic flow.Addr
+	reapp    atomic.Uint64 // aitf:atomic
 }
 
 func (se *sentry) expires() filter.Time { return filter.Time(se.exp.Load()) }
@@ -104,6 +104,8 @@ func labelShape(l flow.Label) shape {
 }
 
 // addrHash mixes a single address into a destination-index bucket.
+//
+// aitf:noalloc
 func addrHash(a uint32) uint32 {
 	h := uint64(a) * 0x9e3779b97f4a7c15
 	h ^= h >> 29
@@ -117,6 +119,8 @@ func addrHash(a uint32) uint32 {
 // lengths, since the per-pair hash of Engine.shardIdx has already
 // consumed the (src, dst) entropy by the time a label reaches a shard's
 // view.
+//
+// aitf:noalloc
 func labelHash(l flow.Label) uint32 {
 	h := uint64(l.Src)<<32 | uint64(l.Dst)
 	h ^= uint64(l.Proto)<<40 | uint64(l.SrcPort)<<24 | uint64(l.DstPort)<<8 | uint64(l.Wildcards)
@@ -190,14 +194,16 @@ type fslot struct {
 // scan is the residue of shapes with no anchor. Every entry appears in
 // its main bucket regardless of shape, so get/each see exactly one copy.
 type filterView struct {
-	buckets []atomic.Pointer[fbucket]
-	dst     []atomic.Pointer[fbucket]
+	buckets []atomic.Pointer[fbucket] // aitf:atomic
+	dst     []atomic.Pointer[fbucket] // aitf:atomic
 	dcount  int // live entries indexed by dst, maintained under the writer lock
-	trie    atomic.Pointer[tnode[fslot]]
+	trie    atomic.Pointer[tnode[fslot]] // aitf:atomic
 	scan    []*fentry // entries matchable only by linear scan; immutable per view
 }
 
 // get returns the entry stored under the exact canonical label, if any.
+//
+// aitf:noalloc
 func (v *filterView) get(l flow.Label) *fentry {
 	if len(v.buckets) == 0 {
 		return nil
@@ -215,6 +221,8 @@ func (v *filterView) get(l flow.Label) *fentry {
 // match finds a live filter covering the tuple, walking the match
 // hierarchy: exact probe, pair probe, destination index, source-prefix
 // trie, scan residue. Lock-free.
+//
+// aitf:noalloc
 func (v *filterView) match(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *fentry {
 	if len(v.buckets) > 0 {
 		mask := uint32(len(v.buckets) - 1)
@@ -442,10 +450,10 @@ type sslot struct {
 // segment; see filterView for the per-bucket RCU discipline and the
 // secondary-index layout.
 type shadowView struct {
-	buckets []atomic.Pointer[sbucket]
-	dst     []atomic.Pointer[sbucket]
+	buckets []atomic.Pointer[sbucket] // aitf:atomic
+	dst     []atomic.Pointer[sbucket] // aitf:atomic
 	dcount  int
-	trie    atomic.Pointer[tnode[sslot]]
+	trie    atomic.Pointer[tnode[sslot]] // aitf:atomic
 	scan    []*sentry
 }
 
@@ -465,6 +473,8 @@ func (v *shadowView) get(l flow.Label) *sentry {
 
 // lookup finds a live shadow record covering the tuple, walking the
 // same match hierarchy as filterView.match. Lock-free.
+//
+// aitf:noalloc
 func (v *shadowView) lookup(exact, pair flow.Label, tup flow.Tuple, now filter.Time) *sentry {
 	if len(v.buckets) > 0 {
 		mask := uint32(len(v.buckets) - 1)
@@ -673,8 +683,8 @@ type shard struct {
 	fcount int // entries in fview, guarded by mu
 	scount int // entries in sview, guarded by mu
 
-	fview atomic.Pointer[filterView]
-	sview atomic.Pointer[shadowView]
+	fview atomic.Pointer[filterView] // aitf:atomic RCU: readers Load a published view, writers build-and-swap
+	sview atomic.Pointer[shadowView] // aitf:atomic RCU
 
 	// fNext / sNext are the earliest deadlines among this shard's
 	// entries (valid only while the corresponding count is non-zero);
@@ -688,9 +698,9 @@ type shard struct {
 	// ShadowStats) so classification on different shards never bounces
 	// a shared stats cache line — a single global counter would cap
 	// multi-core scaling no matter how many shards exist.
-	drops        atomic.Uint64
-	droppedBytes atomic.Uint64
-	shadowHits   atomic.Uint64
+	drops        atomic.Uint64 // aitf:atomic
+	droppedBytes atomic.Uint64 // aitf:atomic
+	shadowHits   atomic.Uint64 // aitf:atomic
 }
 
 func newShard() *shard {

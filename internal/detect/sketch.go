@@ -79,6 +79,8 @@ func (s *sketch) cellFor(i int, key uint64) *cell {
 // beyond, which tightens overestimates while preserving the one-sided
 // bound (every row still ends at least as high as the key's true
 // count, because the minimum row gets the full increment).
+//
+// aitf:noalloc
 func (s *sketch) add(key uint64, n uint64) uint64 {
 	est := ^uint64(0)
 	for i := 0; i < s.depth; i++ {
@@ -98,6 +100,8 @@ func (s *sketch) add(key uint64, n uint64) uint64 {
 }
 
 // estimate returns the key's window byte estimate (≥ the true count).
+//
+// aitf:noalloc
 func (s *sketch) estimate(key uint64) uint64 {
 	est := ^uint64(0)
 	for i := 0; i < s.depth; i++ {

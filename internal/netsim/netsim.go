@@ -176,6 +176,10 @@ func (i *Iface) Send(p *packet.Packet) bool {
 }
 
 // Node is a running network element.
+//
+// aitf:packetowner — a node holds in-flight pooled packets in its
+// batch-delivery buffers (pending/flushing/batchBuf) between the
+// enqueue instant and the flush that hands them to the handler.
 type Node struct {
 	net  *Network
 	info topology.Node
@@ -206,6 +210,9 @@ type Node struct {
 }
 
 // arrival is one buffered packet delivery.
+//
+// aitf:packetowner — an arrival briefly owns its packet between
+// enqueue and flush; Node's batch-delivery buffers hold arrivals.
 type arrival struct {
 	p    *packet.Packet
 	from *Iface

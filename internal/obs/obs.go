@@ -62,10 +62,12 @@ func (k Kind) String() string {
 // is usable, but counters are normally created via Registry.Counter so
 // they are exposed.
 type Counter struct {
-	v atomic.Uint64
+	v atomic.Uint64 // aitf:atomic
 }
 
 // Add increments the counter by n.
+//
+// aitf:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
@@ -76,7 +78,7 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is an atomic gauge holding a float64 (stored as bits).
 type Gauge struct {
-	v atomic.Uint64
+	v atomic.Uint64 // aitf:atomic
 }
 
 // Set stores the gauge value.
@@ -96,12 +98,14 @@ const HistogramBuckets = 64
 // v == 0 and bucket i ≥ 1 holds 2^(i-1) <= v < 2^i. Recording is three
 // uncontended atomic adds and never allocates.
 type Histogram struct {
-	buckets [HistogramBuckets]atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64
+	buckets [HistogramBuckets]atomic.Uint64 // aitf:atomic
+	count   atomic.Uint64 // aitf:atomic
+	sum     atomic.Uint64 // aitf:atomic
 }
 
 // Observe records one value.
+//
+// aitf:noalloc
 func (h *Histogram) Observe(v uint64) {
 	h.buckets[bits.Len64(v)%HistogramBuckets].Add(1)
 	h.count.Add(1)

@@ -29,9 +29,9 @@ type Event struct {
 // atomic pointer store; when the ring wraps, the oldest records are
 // overwritten. Readers snapshot without blocking writers.
 type Ring struct {
-	slots []atomic.Pointer[Event]
+	slots []atomic.Pointer[Event] // aitf:atomic
 	mask  uint64
-	next  atomic.Uint64
+	next  atomic.Uint64 // aitf:atomic
 }
 
 // NewRing creates a ring holding at least n events (n is rounded up to

@@ -42,6 +42,9 @@ func (h *eventHeap) push(e *Event) {
 	}
 }
 
+// pop removes and returns the earliest event.
+//
+// aitf:noalloc
 func (h *eventHeap) pop() *Event {
 	n := len(h.evs)
 	root := h.evs[0]
@@ -55,6 +58,9 @@ func (h *eventHeap) pop() *Event {
 	return root
 }
 
+// siftDown restores heap order below node i.
+//
+// aitf:noalloc
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.evs)
 	for {

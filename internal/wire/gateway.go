@@ -160,7 +160,7 @@ type Gateway struct {
 	// self-re-arming merge ticker so a firing that races Close cannot
 	// re-arm after stopAll.
 	clu    *cluster.Cluster
-	closed atomic.Bool
+	closed atomic.Bool // aitf:atomic
 
 	// Control-plane retransmission and idempotency state, all under mu:
 	// nextTxid numbers logical reliable sends, dedup remembers recently
